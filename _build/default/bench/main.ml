@@ -1,0 +1,177 @@
+(* Benchmark and experiment harness.
+
+   `dune exec bench/main.exe` regenerates every table/figure of the
+   reproduction (T1, T2, F1-F5, T3, T4 — see DESIGN.md for the mapping to
+   the paper's claims) and then runs one Bechamel micro-benchmark per
+   experiment workload, timing the machinery that produces it.
+
+   Flags:
+     --quick     shrink message counts / seed sets (CI-sized)
+     --no-bench  print the experiment tables only
+     --no-tables run the Bechamel benches only *)
+
+open Bechamel
+open Toolkit
+
+let losses_config = Blockack.Config.make ~window:16 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:50 ()
+
+let transfer proto ~loss () =
+  let r =
+    Ba_proto.Harness.run proto ~seed:3 ~messages:200 ~config:losses_config ~data_loss:loss
+      ~ack_loss:loss ~data_delay:(Ba_channel.Dist.Constant 50)
+      ~ack_delay:(Ba_channel.Dist.Constant 50) ()
+  in
+  assert r.Ba_proto.Harness.completed
+
+let explore () =
+  let r = Ba_verify.Explorer.run_spec (Ba_model.Ba_spec.default ~w:2 ~limit:3) in
+  assert (r.Ba_verify.Explorer.violation = None)
+
+let scenario () =
+  let t = Ba_experiments.Experiments.t1_intro_scenario () in
+  assert (List.length t.Ba_experiments.Experiments.rows = 2)
+
+let recovery proto () =
+  let config =
+    Blockack.Config.make ~window:16 ~rto:300 ~wire_modulus:(Some 32) ~ack_coalesce:20
+      ~max_transit:50 ()
+  in
+  let killed = ref false in
+  let r =
+    Ba_proto.Harness.run proto ~seed:7 ~messages:8 ~config
+      ~data_delay:(Ba_channel.Dist.Constant 50) ~ack_delay:(Ba_channel.Dist.Constant 50)
+      ~on_setup:(fun setup ->
+        Ba_channel.Link.set_fault setup.Ba_proto.Harness.ack_link (fun _ ->
+            if !killed then Ba_channel.Link.Deliver
+            else begin
+              killed := true;
+              Ba_channel.Link.Drop
+            end))
+      ()
+  in
+  assert r.Ba_proto.Harness.completed
+
+let reuse_transfer () =
+  let config = Blockack.Config.make ~window:8 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:60 () in
+  let r =
+    Ba_proto.Harness.run (Blockack.Protocols.reuse ()) ~seed:3 ~messages:200 ~config
+      ~data_loss:0.05 ~ack_loss:0.05 ~data_delay:(Ba_channel.Dist.Uniform (40, 60))
+      ~ack_delay:(Ba_channel.Dist.Uniform (40, 60)) ()
+  in
+  assert r.Ba_proto.Harness.completed
+
+let stenning_transfer () =
+  let config =
+    Blockack.Config.make ~window:8 ~rto:300 ~wire_modulus:(Some 16) ~stenning_gap:400 ()
+  in
+  let r =
+    Ba_proto.Harness.run Ba_baselines.Stenning.protocol ~seed:3 ~messages:100 ~config
+      ~data_loss:0.01 ~ack_loss:0.01 ~data_delay:(Ba_channel.Dist.Constant 50)
+      ~ack_delay:(Ba_channel.Dist.Constant 50) ()
+  in
+  assert r.Ba_proto.Harness.completed
+
+(* Micro-benchmarks of the substrate the experiments lean on. *)
+let micro_heap () =
+  let h = Ba_util.Heap.create ~cmp:compare () in
+  for i = 0 to 999 do
+    Ba_util.Heap.push h ((i * 7919) mod 1000)
+  done;
+  while Ba_util.Heap.pop h <> None do
+    ()
+  done
+
+let micro_reconstruct () =
+  let acc = ref 0 in
+  for x = 0 to 999 do
+    acc := !acc + Ba_util.Modseq.reconstruct ~n:32 ~ref_:x ((x + 7) mod 32)
+  done;
+  Sys.opaque_identity !acc |> ignore
+
+let micro_rng () =
+  let rng = Ba_util.Rng.create 1 in
+  let acc = ref 0 in
+  for _ = 0 to 999 do
+    acc := !acc + Ba_util.Rng.int rng 1000
+  done;
+  Sys.opaque_identity !acc |> ignore
+
+let tests =
+  Test.make_grouped ~name:"blockack"
+    [
+      Test.make ~name:"T1/intro-scenario-replay" (Staged.stage scenario);
+      Test.make ~name:"T2/explore-w2" (Staged.stage explore);
+      Test.make ~name:"F1/transfer-blockack-5pc"
+        (Staged.stage (transfer Blockack.Protocols.multi ~loss:0.05));
+      Test.make ~name:"F1/transfer-gbn-5pc"
+        (Staged.stage (transfer Ba_baselines.Go_back_n.protocol ~loss:0.05));
+      Test.make ~name:"F1/transfer-selrep-5pc"
+        (Staged.stage (transfer Ba_baselines.Selective_repeat.protocol ~loss:0.05));
+      Test.make ~name:"F2/transfer-blockack-0pc"
+        (Staged.stage (transfer Blockack.Protocols.multi ~loss:0.));
+      Test.make ~name:"F3/recovery-simple" (Staged.stage (recovery Blockack.Protocols.simple));
+      Test.make ~name:"F3/recovery-multi" (Staged.stage (recovery Blockack.Protocols.multi));
+      Test.make ~name:"F4/transfer-jitter"
+        (Staged.stage (fun () ->
+             let r =
+               Ba_proto.Harness.run Blockack.Protocols.multi ~seed:3 ~messages:200
+                 ~config:losses_config ~data_loss:0.01 ~ack_loss:0.01
+                 ~data_delay:(Ba_channel.Dist.Uniform (50, 100))
+                 ~ack_delay:(Ba_channel.Dist.Uniform (50, 100)) ()
+             in
+             assert r.Ba_proto.Harness.completed));
+      Test.make ~name:"T3/transfer-coalesced"
+        (Staged.stage (fun () ->
+             let config =
+               Blockack.Config.make ~window:16 ~rto:400 ~wire_modulus:(Some 32)
+                 ~ack_coalesce:30 ~max_transit:50 ()
+             in
+             let r =
+               Ba_proto.Harness.run Blockack.Protocols.simple ~seed:3 ~messages:200 ~config
+                 ~data_delay:(Ba_channel.Dist.Constant 50)
+                 ~ack_delay:(Ba_channel.Dist.Constant 50) ()
+             in
+             assert r.Ba_proto.Harness.completed));
+      Test.make ~name:"T4/transfer-stenning" (Staged.stage stenning_transfer);
+      Test.make ~name:"F5/transfer-reuse-5pc" (Staged.stage reuse_transfer);
+      Test.make ~name:"micro/heap-1k" (Staged.stage micro_heap);
+      Test.make ~name:"micro/reconstruct-1k" (Staged.stage micro_reconstruct);
+      Test.make ~name:"micro/rng-int-1k" (Staged.stage micro_rng);
+    ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances |> Analyze.merge ols instances
+  in
+  print_endline "\n=== Bechamel micro-benchmarks (time per run) ===";
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let time =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ t ] -> Printf.sprintf "%.1f us" (t /. 1_000.)
+        | Some _ | None -> "n/a"
+      in
+      rows := [ name; time ] :: !rows)
+    clock;
+  let rows = List.sort compare !rows in
+  Ba_util.Table.print ~headers:[ "benchmark"; "time/run" ] rows
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  let no_bench = List.mem "--no-bench" args in
+  let no_tables = List.mem "--no-tables" args in
+  if not no_tables then begin
+    Printf.printf
+      "Block Acknowledgment reproduction — experiment tables (%s mode)\n\
+       Mapping to the paper's claims: see DESIGN.md; measured-vs-paper: EXPERIMENTS.md.\n"
+      (if quick then "quick" else "full");
+    Ba_experiments.Experiments.run_all ~quick
+  end;
+  if not no_bench then run_benchmarks ()

@@ -1,0 +1,1 @@
+bin/ba_check.ml: Arg Ba_model Ba_verify Cmd Cmdliner Format Manpage Term

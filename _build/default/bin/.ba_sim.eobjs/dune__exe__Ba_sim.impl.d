@@ -1,0 +1,1 @@
+bin/ba_sim.ml: Arg Ba_baselines Ba_channel Ba_proto Ba_util Blockack Cmd Cmdliner Format List Manpage Option String Term

@@ -1,0 +1,1 @@
+bin/ba_sim.mli:

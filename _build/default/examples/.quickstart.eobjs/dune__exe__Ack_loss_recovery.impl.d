@@ -1,0 +1,1 @@
+examples/ack_loss_recovery.ml: Ba_channel Ba_proto Ba_sim Ba_trace Blockack Printf

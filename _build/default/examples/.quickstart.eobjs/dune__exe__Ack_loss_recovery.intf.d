@@ -1,0 +1,1 @@
+examples/ack_loss_recovery.mli:

@@ -1,0 +1,1 @@
+examples/chat.ml: Array Ba_sim Blockack Printf

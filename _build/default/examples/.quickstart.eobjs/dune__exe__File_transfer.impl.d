@@ -1,0 +1,1 @@
+examples/file_transfer.ml: Array Ba_channel Ba_util Blockack Buffer List Printf String

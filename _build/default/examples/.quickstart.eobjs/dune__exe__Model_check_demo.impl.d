@@ -1,0 +1,1 @@
+examples/model_check_demo.ml: Ba_model Ba_verify Format Printf String

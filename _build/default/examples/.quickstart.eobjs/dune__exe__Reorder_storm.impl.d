@@ -1,0 +1,1 @@
+examples/reorder_storm.ml: Ba_baselines Ba_channel Ba_proto Ba_util Blockack Printf

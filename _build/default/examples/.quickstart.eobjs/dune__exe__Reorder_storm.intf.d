@@ -1,0 +1,1 @@
+examples/reorder_storm.mli:

@@ -1,0 +1,1 @@
+examples/rpc.ml: Ba_channel Ba_sim Ba_util Blockack Format Hashtbl Option Printf Queue String

@@ -1,0 +1,59 @@
+(* Reorder storm: the paper's motivating environment — channels that
+   reorder aggressively — thrown at four protocols side by side.
+
+   Block acknowledgment and selective repeat ride it out; classic
+   in-order go-back-N collapses (every overtaken message is discarded and
+   must be retransmitted); bounded go-back-N does not even stay correct.
+
+   Run with: dune exec examples/reorder_storm.exe *)
+
+let messages = 800
+
+let run name proto config =
+  (* Delay anywhere in [10, 250]: a message can be overtaken by ~5
+     window-fuls of later traffic. *)
+  let delay = Ba_channel.Dist.Uniform (10, 250) in
+  let r =
+    Ba_proto.Harness.run proto ~seed:31 ~messages ~config ~data_loss:0.02 ~ack_loss:0.02
+      ~data_delay:delay ~ack_delay:delay ~deadline:30_000_000 ()
+  in
+  [
+    name;
+    (if Ba_proto.Harness.correct r then "correct"
+     else
+       Printf.sprintf "BROKEN (dup=%d ooo=%d%s)" r.Ba_proto.Harness.duplicates
+         r.Ba_proto.Harness.misordered
+         (if r.Ba_proto.Harness.completed then "" else ", wedged"));
+    string_of_int r.Ba_proto.Harness.ticks;
+    Printf.sprintf "%.1f" r.Ba_proto.Harness.goodput;
+    string_of_int r.Ba_proto.Harness.retransmissions;
+    Printf.sprintf "%d%%"
+      (100 * r.Ba_proto.Harness.data_reordered / max 1 r.Ba_proto.Harness.data_sent);
+  ]
+
+let () =
+  Printf.printf
+    "A reorder storm: %d messages through links with delay uniform in [10, 250]\n\
+     ticks and 2%% loss. Sequence numbers modulo 2w where bounded.\n\n"
+    messages;
+  let rto = 650 in
+  (* > 2 * 250 + margin: the conservative timeout stays sound. *)
+  let ba = Blockack.Config.make ~window:16 ~rto ~wire_modulus:(Some 32) ~max_transit:250 () in
+  let unbounded = Blockack.Config.make ~window:16 ~rto () in
+  let gbn_bounded = Blockack.Config.make ~window:16 ~rto ~wire_modulus:(Some 17) () in
+  let rows =
+    [
+      run "blockack-multi (n=2w)" Blockack.Protocols.multi ba;
+      run "selective-repeat (n=2w)" Ba_baselines.Selective_repeat.protocol ba;
+      run "go-back-N (unbounded)" Ba_baselines.Go_back_n.protocol unbounded;
+      run "go-back-N (n=w+1)" Ba_baselines.Go_back_n.protocol gbn_bounded;
+    ]
+  in
+  Ba_util.Table.print
+    ~headers:[ "protocol"; "outcome"; "ticks"; "goodput"; "retx"; "wire reorder" ]
+    rows;
+  print_newline ();
+  print_endline
+    "Reading: block ack tolerates disorder at full window throughput; in-order\n\
+     go-back-N burns retransmissions on every overtaking; with bounded sequence\n\
+     numbers it is not even safe (the paper's introduction, live)."

@@ -1,0 +1,1 @@
+lib/baselines/alternating_bit.ml: Ba_proto Ba_sim Lazy

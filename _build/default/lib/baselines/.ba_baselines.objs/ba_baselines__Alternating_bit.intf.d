@@ -1,0 +1,1 @@
+lib/baselines/alternating_bit.mli: Ba_proto

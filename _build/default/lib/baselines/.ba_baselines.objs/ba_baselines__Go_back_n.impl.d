@@ -1,0 +1,1 @@
+lib/baselines/go_back_n.ml: Ba_proto Ba_sim Ba_util Lazy

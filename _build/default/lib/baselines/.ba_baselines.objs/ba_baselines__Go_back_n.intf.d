@@ -1,0 +1,1 @@
+lib/baselines/go_back_n.mli: Ba_proto

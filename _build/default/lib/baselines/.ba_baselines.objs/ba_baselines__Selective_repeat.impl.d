@@ -1,0 +1,1 @@
+lib/baselines/selective_repeat.ml: Ba_proto Ba_util Blockack

@@ -1,0 +1,1 @@
+lib/baselines/selective_repeat.mli: Ba_proto Ba_sim

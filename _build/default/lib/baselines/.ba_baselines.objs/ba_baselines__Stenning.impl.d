@@ -1,0 +1,1 @@
+lib/baselines/stenning.ml: Array Ba_proto Ba_sim Ba_util Blockack Selective_repeat

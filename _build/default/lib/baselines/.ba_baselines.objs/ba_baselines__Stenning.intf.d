@@ -1,0 +1,1 @@
+lib/baselines/stenning.mli: Ba_proto

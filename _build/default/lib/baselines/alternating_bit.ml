@@ -1,0 +1,95 @@
+module Wire = Ba_proto.Wire
+module Config = Ba_proto.Proto_config
+
+type sender = {
+  tx : Wire.data -> unit;
+  source : Ba_proto.Source.t;
+  timer : Ba_sim.Timer.t;
+  mutable bit : int;
+  mutable current : string option;  (* in-flight payload awaiting its ack *)
+  mutable retransmissions : int;
+}
+
+type receiver = {
+  r_tx : Wire.ack -> unit;
+  r_deliver : string -> unit;
+  mutable expected : int;
+}
+
+let transmit s =
+  match s.current with
+  | None -> ()
+  | Some payload ->
+      s.tx { Wire.seq = s.bit; payload };
+      Ba_sim.Timer.start s.timer
+
+let pump s =
+  if s.current = None then begin
+    match Ba_proto.Source.next s.source with
+    | None -> ()
+    | Some payload ->
+        s.current <- Some payload;
+        transmit s
+  end
+
+let on_timeout s =
+  if s.current <> None then begin
+    s.retransmissions <- s.retransmissions + 1;
+    transmit s
+  end
+
+let create_sender engine config ~tx ~next_payload =
+  Config.validate config;
+  let source = Ba_proto.Source.create next_payload in
+  let rec s =
+    lazy
+      {
+        tx;
+        source;
+        timer =
+          Ba_sim.Timer.create engine ~duration:config.Config.rto (fun () ->
+              on_timeout (Lazy.force s));
+        bit = 0;
+        current = None;
+        retransmissions = 0;
+      }
+  in
+  Lazy.force s
+
+let sender_on_ack s { Wire.lo; hi = _ } =
+  if s.current <> None && lo = s.bit then begin
+    s.current <- None;
+    s.bit <- 1 - s.bit;
+    Ba_sim.Timer.stop s.timer;
+    pump s
+  end
+
+let create_receiver _engine config ~tx ~deliver =
+  Config.validate config;
+  { r_tx = tx; r_deliver = deliver; expected = 0 }
+
+let receiver_on_data r { Wire.seq; payload } =
+  if seq = r.expected then begin
+    r.r_deliver payload;
+    r.expected <- 1 - r.expected
+  end;
+  (* Ack the bit we saw, whether fresh or duplicate. *)
+  r.r_tx { Wire.lo = seq; hi = seq }
+
+let protocol : Ba_proto.Protocol.t =
+  (module struct
+    let name = "alternating-bit"
+
+    type nonrec sender = sender
+    type nonrec receiver = receiver
+
+    let create_sender = create_sender
+    let create_receiver = create_receiver
+    let sender_on_ack = sender_on_ack
+    let receiver_on_data = receiver_on_data
+    let sender_pump = pump
+    let sender_done s = s.current = None && Ba_proto.Source.exhausted s.source
+    let sender_outstanding s = if s.current = None then 0 else 1
+    let sender_retransmissions s = s.retransmissions
+    let ack_wire_bytes = Wire.ack_bytes_single
+  end)

@@ -1,0 +1,10 @@
+(** Alternating-bit baseline (Lynch; Bartlett–Scantlebury–Wilkinson) —
+    the protocol the window protocol generalises.
+
+    Stop-and-wait with a one-bit sequence number: the degenerate window
+    protocol with [w = 1] and wire modulus 2. Ignores the configured
+    window; one message is outstanding at a time. Correct over
+    loss-and-reorder channels only under the same conservative timeout
+    assumption as the rest of the family (at most one copy in transit). *)
+
+val protocol : Ba_proto.Protocol.t

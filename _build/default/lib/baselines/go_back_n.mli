@@ -1,0 +1,16 @@
+(** Go-back-N baseline (Stallings' textbook version the paper builds on).
+
+    Cumulative single-number acknowledgments; the receiver keeps no
+    out-of-order buffer and discards anything but the next expected
+    sequence number; on timeout the sender retransmits the whole
+    outstanding window.
+
+    With [wire_modulus = None] sequence numbers are unbounded and the
+    protocol is correct even over reordering channels — this is the fair
+    throughput comparator for the paper's claims. With
+    [wire_modulus = Some (w + 1)] it is the classic bounded protocol the
+    paper's introduction shows to be *unsafe* under reorder: the harness
+    observes duplicate or corrupt deliveries. Both variants are exposed
+    so experiments can demonstrate either side. *)
+
+val protocol : Ba_proto.Protocol.t

@@ -1,0 +1,61 @@
+module Wire = Ba_proto.Wire
+module Config = Ba_proto.Proto_config
+
+type receiver = {
+  codec : Blockack.Seqcodec.t;
+  window : int;
+  tx : Wire.ack -> unit;
+  deliver : string -> unit;
+  buffer : string Ba_util.Ring_buffer.t;
+  mutable nr : int;
+}
+
+let create_receiver _engine config ~tx ~deliver =
+  Config.validate config;
+  {
+    codec =
+      Blockack.Seqcodec.create ~window:config.Config.window
+        ~wire_modulus:config.Config.wire_modulus;
+    window = config.Config.window;
+    tx;
+    deliver;
+    buffer = Ba_util.Ring_buffer.create config.Config.window;
+    nr = 0;
+  }
+
+(* Every reception is acknowledged with a singleton (v, v), then in-order
+   payloads are drained to the application. *)
+let receiver_on_data r { Wire.seq; payload } =
+  let v = Blockack.Seqcodec.decode_data r.codec ~nr:r.nr seq in
+  let wire = Blockack.Seqcodec.encode r.codec v in
+  if v < r.nr then r.tx { Wire.lo = wire; hi = wire }
+  else if v < r.nr + r.window then begin
+    if not (Ba_util.Ring_buffer.mem r.buffer v) then Ba_util.Ring_buffer.set r.buffer v payload;
+    r.tx { Wire.lo = wire; hi = wire };
+    while Ba_util.Ring_buffer.mem r.buffer r.nr do
+      (match Ba_util.Ring_buffer.get r.buffer r.nr with
+      | Some p ->
+          Ba_util.Ring_buffer.remove r.buffer r.nr;
+          r.deliver p
+      | None -> ());
+      r.nr <- r.nr + 1
+    done
+  end
+
+let protocol : Ba_proto.Protocol.t =
+  (module struct
+    let name = "selective-repeat"
+
+    type sender = Blockack.Sender_multi.t
+    type nonrec receiver = receiver
+
+    let create_sender = Blockack.Sender_multi.create
+    let create_receiver = create_receiver
+    let sender_on_ack = Blockack.Sender_multi.on_ack
+    let receiver_on_data = receiver_on_data
+    let sender_pump = Blockack.Sender_multi.pump
+    let sender_done = Blockack.Sender_multi.is_done
+    let sender_outstanding = Blockack.Sender_multi.outstanding
+    let sender_retransmissions = Blockack.Sender_multi.retransmissions
+    let ack_wire_bytes = Wire.ack_bytes_single
+  end)

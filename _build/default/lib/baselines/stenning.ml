@@ -1,0 +1,165 @@
+module Wire = Ba_proto.Wire
+module Config = Ba_proto.Proto_config
+
+type sender = {
+  config : Config.t;
+  engine : Ba_sim.Engine.t;
+  codec : Blockack.Seqcodec.t;
+  tx : Wire.data -> unit;
+  source : Ba_proto.Source.t;
+  buffer : string Ba_util.Ring_buffer.t;
+  acked : unit Ba_util.Ring_buffer.t;
+  timers : Ba_sim.Timer.t Ba_util.Ring_buffer.t;
+  slot_free_at : int array;  (* per wire number: earliest next use *)
+  mutable pump_retry_armed : bool;
+  mutable na : int;
+  mutable ns : int;
+  mutable retransmissions : int;
+}
+
+let slot_count config =
+  match config.Config.wire_modulus with Some n -> n | None -> 0
+
+let slot_ready s seq =
+  match s.config.Config.wire_modulus with
+  | None -> true
+  | Some n -> Ba_sim.Engine.now s.engine >= s.slot_free_at.(Ba_util.Modseq.wrap ~n seq)
+
+let note_slot_use s seq =
+  match s.config.Config.wire_modulus with
+  | None -> ()
+  | Some n ->
+      s.slot_free_at.(Ba_util.Modseq.wrap ~n seq) <-
+        Ba_sim.Engine.now s.engine + s.config.Config.stenning_gap
+
+(* The real-time constraint: refuse to transmit until the wire number's
+   quarantine has elapsed; the caller reschedules. *)
+let try_transmit s seq =
+  if slot_ready s seq then begin
+    (match Ba_util.Ring_buffer.get s.buffer seq with
+    | None -> invalid_arg "Stenning.try_transmit: no buffered payload"
+    | Some payload ->
+        note_slot_use s seq;
+        s.tx { Wire.seq = Blockack.Seqcodec.encode s.codec seq; payload });
+    true
+  end
+  else false
+
+let outstanding s = s.ns - s.na
+
+let rec arm_timer s seq =
+  let timer =
+    match Ba_util.Ring_buffer.get s.timers seq with
+    | Some timer -> timer
+    | None ->
+        let timer =
+          Ba_sim.Timer.create s.engine ~duration:s.config.Config.rto (fun () -> resend s seq)
+        in
+        Ba_util.Ring_buffer.set s.timers seq timer;
+        timer
+  in
+  Ba_sim.Timer.start timer
+
+and resend s seq =
+  if seq >= s.na && seq < s.ns && not (Ba_util.Ring_buffer.mem s.acked seq) then begin
+    if try_transmit s seq then begin
+      s.retransmissions <- s.retransmissions + 1;
+      arm_timer s seq
+    end
+    else begin
+      (* Slot quarantined: retry when it frees. *)
+      match s.config.Config.wire_modulus with
+      | None -> ()
+      | Some n ->
+          let at = s.slot_free_at.(Ba_util.Modseq.wrap ~n seq) in
+          ignore (Ba_sim.Engine.schedule_at s.engine ~at (fun () -> resend s seq))
+    end
+  end
+
+let rec pump s =
+  if outstanding s < s.config.Config.window then begin
+    if slot_ready s s.ns then begin
+      match Ba_proto.Source.next s.source with
+      | None -> ()
+      | Some payload ->
+          Ba_util.Ring_buffer.set s.buffer s.ns payload;
+          s.ns <- s.ns + 1;
+          ignore (try_transmit s (s.ns - 1));
+          arm_timer s (s.ns - 1);
+          pump s
+    end
+    else if not s.pump_retry_armed then begin
+      match s.config.Config.wire_modulus with
+      | None -> ()
+      | Some n ->
+          let at = s.slot_free_at.(Ba_util.Modseq.wrap ~n s.ns) in
+          s.pump_retry_armed <- true;
+          ignore
+            (Ba_sim.Engine.schedule_at s.engine ~at (fun () ->
+                 s.pump_retry_armed <- false;
+                 pump s))
+    end
+  end
+
+let create_sender engine config ~tx ~next_payload =
+  Config.validate config;
+  let source = Ba_proto.Source.create next_payload in
+  {
+    config;
+    engine;
+    codec =
+      Blockack.Seqcodec.create ~window:config.Config.window
+        ~wire_modulus:config.Config.wire_modulus;
+    tx;
+    source;
+    buffer = Ba_util.Ring_buffer.create config.Config.window;
+    acked = Ba_util.Ring_buffer.create config.Config.window;
+    timers = Ba_util.Ring_buffer.create config.Config.window;
+    slot_free_at = Array.make (max 1 (slot_count config)) 0;
+    pump_retry_armed = false;
+    na = 0;
+    ns = 0;
+    retransmissions = 0;
+  }
+
+let stop_timer s seq =
+  match Ba_util.Ring_buffer.get s.timers seq with
+  | Some timer ->
+      Ba_sim.Timer.stop timer;
+      Ba_util.Ring_buffer.remove s.timers seq
+  | None -> ()
+
+let sender_on_ack s { Wire.lo; hi = _ } =
+  let seq = Blockack.Seqcodec.decode_ack s.codec ~na:s.na lo in
+  if seq >= s.na && seq < s.ns then begin
+    Ba_util.Ring_buffer.set s.acked seq ();
+    stop_timer s seq
+  end;
+  while Ba_util.Ring_buffer.mem s.acked s.na do
+    Ba_util.Ring_buffer.remove s.acked s.na;
+    Ba_util.Ring_buffer.remove s.buffer s.na;
+    stop_timer s s.na;
+    s.na <- s.na + 1
+  done;
+  pump s
+
+let protocol : Ba_proto.Protocol.t =
+  (module struct
+    let name = "stenning"
+
+    type nonrec sender = sender
+    type receiver = Selective_repeat.receiver
+
+    let create_sender = create_sender
+
+    let create_receiver engine config ~tx ~deliver =
+      Selective_repeat.create_receiver engine config ~tx ~deliver
+
+    let sender_on_ack = sender_on_ack
+    let receiver_on_data = Selective_repeat.receiver_on_data
+    let sender_pump = pump
+    let sender_done s = outstanding s = 0 && Ba_proto.Source.exhausted s.source
+    let sender_outstanding = outstanding
+    let sender_retransmissions s = s.retransmissions
+    let ack_wire_bytes = Wire.ack_bytes_single
+  end)

@@ -1,0 +1,17 @@
+(** Stenning / Lam–Shankar timer-constrained baseline ([14], [11], [12]).
+
+    A selective-repeat protocol whose correctness with bounded sequence
+    numbers comes from a {e real-time send constraint}: a wire sequence
+    number may not be reused until [stenning_gap] ticks have elapsed
+    since its previous use, guaranteeing that no copy of the earlier
+    incarnation (or its acknowledgment) is still in transit. As the paper
+    observes, "this additional constraint may adversely affect the rate
+    of data transfer in the event that a small domain of sequence numbers
+    is used": steady-state throughput is capped at
+    [wire_modulus / stenning_gap] messages per tick regardless of the
+    window — experiment T4 sweeps exactly this.
+
+    With [wire_modulus = None] the constraint never binds (every number
+    is fresh) and the protocol degenerates to plain selective repeat. *)
+
+val protocol : Ba_proto.Protocol.t

@@ -1,0 +1,1 @@
+lib/channel/dist.ml: Ba_util Float Format

@@ -1,0 +1,1 @@
+lib/channel/dist.mli: Ba_util Format

@@ -1,0 +1,1 @@
+lib/channel/link.ml: Ba_sim Ba_util Dist Queue

@@ -1,0 +1,1 @@
+lib/channel/link.mli: Ba_sim Dist

@@ -1,0 +1,1 @@
+lib/channel/multiset.mli: Format

@@ -1,0 +1,112 @@
+type 'a verdict = Deliver | Drop
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;
+  queue_dropped : int;
+  reordered : int;
+}
+
+type 'a t = {
+  engine : Ba_sim.Engine.t;
+  loss : float;
+  delay : Dist.t;
+  bottleneck : (int * int) option;  (* service time, queue capacity *)
+  deliver : 'a -> unit;
+  rng : Ba_util.Rng.t;
+  mutable fault : ('a -> 'a verdict) option;
+  queue : ('a * int) Queue.t;  (* message, send index *)
+  mutable serving : bool;
+  mutable in_flight : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable queue_dropped : int;
+  mutable reordered : int;
+  mutable send_index : int;
+  mutable max_delivered_index : int;
+}
+
+let create engine ?(loss = 0.) ?(delay = Dist.Constant 1) ?bottleneck ~deliver () =
+  if loss < 0. || loss > 1. then invalid_arg "Link.create: loss must be in [0,1]";
+  (match bottleneck with
+  | Some (service, capacity) when service <= 0 || capacity <= 0 ->
+      invalid_arg "Link.create: bottleneck needs positive service time and capacity"
+  | Some _ | None -> ());
+  {
+    engine;
+    loss;
+    delay;
+    bottleneck;
+    deliver;
+    rng = Ba_util.Rng.split (Ba_sim.Engine.rng engine);
+    fault = None;
+    queue = Queue.create ();
+    serving = false;
+    in_flight = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    queue_dropped = 0;
+    reordered = 0;
+    send_index = 0;
+    max_delivered_index = -1;
+  }
+
+(* Propagation stage: the per-message random delay after any queueing. *)
+let propagate t msg index =
+  t.in_flight <- t.in_flight + 1;
+  let delay = Dist.sample t.delay t.rng in
+  ignore
+    (Ba_sim.Engine.schedule t.engine ~delay (fun () ->
+         t.in_flight <- t.in_flight - 1;
+         t.delivered <- t.delivered + 1;
+         if index < t.max_delivered_index then t.reordered <- t.reordered + 1
+         else t.max_delivered_index <- index;
+         t.deliver msg))
+
+let rec serve t service_time =
+  match Queue.take_opt t.queue with
+  | None -> t.serving <- false
+  | Some (msg, index) ->
+      t.serving <- true;
+      ignore
+        (Ba_sim.Engine.schedule t.engine ~delay:service_time (fun () ->
+             propagate t msg index;
+             serve t service_time))
+
+let send t msg =
+  t.sent <- t.sent + 1;
+  let index = t.send_index in
+  t.send_index <- t.send_index + 1;
+  let fault_verdict = match t.fault with None -> Deliver | Some f -> f msg in
+  let lost = Ba_util.Rng.bernoulli t.rng t.loss in
+  match (fault_verdict, lost) with
+  | Drop, _ | _, true -> t.dropped <- t.dropped + 1
+  | Deliver, false -> (
+      match t.bottleneck with
+      | None -> propagate t msg index
+      | Some (service_time, capacity) ->
+          if Queue.length t.queue >= capacity then t.queue_dropped <- t.queue_dropped + 1
+          else begin
+            Queue.add (msg, index) t.queue;
+            if not t.serving then serve t service_time
+          end)
+
+let set_fault t f = t.fault <- Some f
+let clear_fault t = t.fault <- None
+let in_flight t = t.in_flight + Queue.length t.queue + if t.serving then 1 else 0
+let queue_length t = Queue.length t.queue
+let max_delay t = Dist.max_delay t.delay
+
+let stats t =
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    dropped = t.dropped;
+    queue_dropped = t.queue_dropped;
+    reordered = t.reordered;
+  }
+
+let loss t = t.loss

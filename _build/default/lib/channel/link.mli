@@ -1,0 +1,62 @@
+(** Simulated unidirectional link: loses and reorders, never duplicates.
+
+    This is the paper's channel model under the discrete-event engine:
+    each message independently suffers Bernoulli loss and a random delay
+    drawn from a bounded distribution. Independent delays mean later
+    messages can overtake earlier ones — exactly "message disorder". The
+    link never duplicates (the paper's channels are sets; at most one
+    copy of a sent message is ever in transit).
+
+    A programmable fault hook supports scripted experiments (e.g. "drop
+    the third acknowledgment") on top of the random loss. *)
+
+type 'a t
+
+type 'a verdict = Deliver | Drop
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped : int;  (** random loss + fault-hook drops *)
+  queue_dropped : int;  (** tail drops at the bottleneck queue *)
+  reordered : int;  (** deliveries overtaken by a later-sent message *)
+}
+
+val create :
+  Ba_sim.Engine.t ->
+  ?loss:float ->
+  ?delay:Dist.t ->
+  ?bottleneck:int * int ->
+  deliver:('a -> unit) ->
+  unit ->
+  'a t
+(** [create engine ~loss ~delay ~deliver ()] builds a link that calls
+    [deliver] at arrival time. Defaults: [loss = 0.], [delay = Constant 1].
+    The link draws from its own split of the engine's random stream.
+
+    [bottleneck:(service_time, queue_capacity)] models a congestible
+    router in front of the propagation delay: messages are serviced one
+    per [service_time] ticks from a FIFO queue of at most
+    [queue_capacity]; arrivals to a full queue are tail-dropped (counted
+    in [queue_dropped]). This makes loss *load-dependent*, which is what
+    variable-window (congestion-control) experiments need. *)
+
+val queue_length : 'a t -> int
+(** Messages waiting at the bottleneck (0 when none configured). *)
+
+val send : 'a t -> 'a -> unit
+
+val set_fault : 'a t -> ('a -> 'a verdict) -> unit
+(** Install a hook consulted at send time after random loss; [Drop]
+    discards the message (counted in [dropped]). *)
+
+val clear_fault : 'a t -> unit
+
+val in_flight : 'a t -> int
+(** Messages currently in transit. *)
+
+val max_delay : 'a t -> int
+(** The delay distribution's bound — what a conservative timeout needs. *)
+
+val stats : 'a t -> stats
+val loss : 'a t -> float

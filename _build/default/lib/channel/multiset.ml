@@ -1,0 +1,48 @@
+(* Canonical representation: association list sorted by element, counts > 0.
+   Structural equality/compare/hash on [t] then agree with multiset
+   equality, which the explorer's hash table requires. *)
+type 'a t = ('a * int) list
+
+let empty = []
+let is_empty t = t = []
+let cardinal t = List.fold_left (fun acc (_, k) -> acc + k) 0 t
+
+let rec add x = function
+  | [] -> [ (x, 1) ]
+  | (y, k) :: rest as all ->
+      let c = compare x y in
+      if c = 0 then (y, k + 1) :: rest
+      else if c < 0 then (x, 1) :: all
+      else (y, k) :: add x rest
+
+let rec remove x = function
+  | [] -> []
+  | (y, k) :: rest ->
+      let c = compare x y in
+      if c = 0 then if k = 1 then rest else (y, k - 1) :: rest
+      else if c < 0 then (y, k) :: rest
+      else (y, k) :: remove x rest
+
+let rec count x = function
+  | [] -> 0
+  | (y, k) :: rest ->
+      let c = compare x y in
+      if c = 0 then k else if c < 0 then 0 else count x rest
+
+let mem x t = count x t > 0
+let distinct t = List.map fst t
+let elements t = List.concat_map (fun (x, k) -> List.init k (fun _ -> x)) t
+let fold f t acc = List.fold_left (fun acc (x, k) -> f x k acc) acc t
+let for_all p t = List.for_all (fun (x, _) -> p x) t
+let exists p t = List.exists (fun (x, _) -> p x) t
+let filter_count p t = List.fold_left (fun acc (x, k) -> if p x then acc + k else acc) 0 t
+let of_list xs = List.fold_left (fun t x -> add x t) empty xs
+
+let pp pp_elt ppf t =
+  Format.fprintf ppf "{";
+  List.iteri
+    (fun i (x, k) ->
+      if i > 0 then Format.fprintf ppf ", ";
+      if k = 1 then pp_elt ppf x else Format.fprintf ppf "%a x%d" pp_elt x k)
+    t;
+  Format.fprintf ppf "}"

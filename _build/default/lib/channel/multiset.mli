@@ -1,0 +1,41 @@
+(** Immutable multiset — the paper's formal channel.
+
+    Section II defines each channel "as a set of messages whose membership
+    changes as new messages are sent into it or as old messages are lost or
+    received from it"; receive picks an arbitrary element. A canonical
+    sorted representation makes states directly comparable and hashable,
+    which the model checker depends on.
+
+    Elements are compared with the polymorphic [compare]; use only simple
+    immutable element types (the specs use ints and int pairs). *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+(** Total multiplicity. *)
+
+val add : 'a -> 'a t -> 'a t
+val remove : 'a -> 'a t -> 'a t
+(** Remove one occurrence; no-op when absent. *)
+
+val mem : 'a -> 'a t -> bool
+val count : 'a -> 'a t -> int
+
+val distinct : 'a t -> 'a list
+(** Distinct elements in increasing order. *)
+
+val elements : 'a t -> 'a list
+(** All elements with multiplicity, increasing order. *)
+
+val fold : ('a -> int -> 'acc -> 'acc) -> 'a t -> 'acc -> 'acc
+(** Fold over (element, multiplicity). *)
+
+val for_all : ('a -> bool) -> 'a t -> bool
+val exists : ('a -> bool) -> 'a t -> bool
+val filter_count : ('a -> bool) -> 'a t -> int
+(** Total multiplicity of elements satisfying the predicate. *)
+
+val of_list : 'a list -> 'a t
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,1 @@
+lib/core/connection.ml: Ba_channel Ba_proto Ba_sim Config Queue Receiver Sender Sender_multi

@@ -1,0 +1,1 @@
+lib/core/connection.mli: Ba_channel Ba_sim Config

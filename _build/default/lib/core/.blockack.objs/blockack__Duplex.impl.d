@@ -1,0 +1,1 @@
+lib/core/duplex.ml: Ba_channel Ba_proto Ba_sim Ba_util Config Option Queue Receiver Sender_multi

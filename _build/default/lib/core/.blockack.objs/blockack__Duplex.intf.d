@@ -1,0 +1,1 @@
+lib/core/duplex.mli: Ba_channel Ba_proto Ba_sim Config

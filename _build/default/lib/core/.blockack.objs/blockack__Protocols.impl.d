@@ -1,0 +1,1 @@
+lib/core/protocols.ml: Ba_proto Printf Receiver Reuse_sender Sender Sender_multi

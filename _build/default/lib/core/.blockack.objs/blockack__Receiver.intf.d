@@ -1,0 +1,1 @@
+lib/core/receiver.mli: Ba_proto Ba_sim Config

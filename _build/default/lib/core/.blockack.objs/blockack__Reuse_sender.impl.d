@@ -1,0 +1,1 @@
+lib/core/reuse_sender.ml: Ba_proto Ba_sim Ba_util Config Seqcodec Window_guard

@@ -1,0 +1,1 @@
+lib/core/reuse_sender.mli: Ba_proto Ba_sim Config

@@ -1,0 +1,1 @@
+lib/core/sender.ml: Ba_proto Ba_sim Ba_util Config Lazy Seqcodec Window_guard

@@ -1,0 +1,1 @@
+lib/core/sender_multi.ml: Ba_proto Ba_sim Ba_util Config Option Rtt_estimator Seqcodec Window_guard

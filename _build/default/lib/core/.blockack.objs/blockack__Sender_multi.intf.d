@@ -1,0 +1,1 @@
+lib/core/sender_multi.mli: Ba_proto Ba_sim Config

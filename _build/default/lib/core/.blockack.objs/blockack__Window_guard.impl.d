@@ -1,0 +1,1 @@
+lib/core/window_guard.ml: Ba_sim List

@@ -1,0 +1,4 @@
+(** Protocol configuration (re-exported from the protocol framework so
+    that [Blockack] is self-contained for library users). *)
+
+include module type of Ba_proto.Proto_config

@@ -1,0 +1,115 @@
+type timeout_style = Simple | Per_message
+
+type stats = {
+  submitted : int;
+  delivered : int;
+  in_flight : int;
+  data_sent : int;
+  data_dropped : int;
+  acks_sent : int;
+  retransmissions : int;
+  ticks : int;
+}
+
+(* The two sender flavours behind one record of closures. *)
+type sender_ops = {
+  pump : unit -> unit;
+  on_ack : Ba_proto.Wire.ack -> unit;
+  retransmissions : unit -> int;
+  outstanding : unit -> int;
+}
+
+type t = {
+  engine : Ba_sim.Engine.t;
+  queue : string Queue.t;
+  mutable submitted : int;
+  delivered : int ref;
+  sender : sender_ops;
+  data_link : Ba_proto.Wire.data Ba_channel.Link.t;
+  ack_link : Ba_proto.Wire.ack Ba_channel.Link.t;
+  receiver : Receiver.t;
+}
+
+let default_config =
+  Config.make ~wire_modulus:(Some (2 * Config.default.Config.window)) ()
+
+let create ?(seed = 42) ?(config = default_config) ?(timeout_style = Per_message)
+    ?(data_loss = 0.) ?(ack_loss = 0.) ?(data_delay = Ba_channel.Dist.Uniform (40, 60))
+    ?(ack_delay = Ba_channel.Dist.Uniform (40, 60)) ~on_receive () =
+  let engine = Ba_sim.Engine.create ~seed () in
+  let queue = Queue.create () in
+  let delivered = ref 0 in
+  let receiver_cell = ref None and sender_cell = ref None in
+  let data_link =
+    Ba_channel.Link.create engine ~loss:data_loss ~delay:data_delay
+      ~deliver:(fun d ->
+        match !receiver_cell with Some r -> Receiver.on_data r d | None -> ())
+      ()
+  in
+  let ack_link =
+    Ba_channel.Link.create engine ~loss:ack_loss ~delay:ack_delay
+      ~deliver:(fun a ->
+        match !sender_cell with Some ops -> ops.on_ack a | None -> ())
+      ()
+  in
+  let next_payload () = Queue.take_opt queue in
+  let sender =
+    match timeout_style with
+    | Simple ->
+        let s =
+          Sender.create engine config ~tx:(Ba_channel.Link.send data_link) ~next_payload
+        in
+        {
+          pump = (fun () -> Sender.pump s);
+          on_ack = Sender.on_ack s;
+          retransmissions = (fun () -> Sender.retransmissions s);
+          outstanding = (fun () -> Sender.outstanding s);
+        }
+    | Per_message ->
+        let s =
+          Sender_multi.create engine config ~tx:(Ba_channel.Link.send data_link) ~next_payload
+        in
+        {
+          pump = (fun () -> Sender_multi.pump s);
+          on_ack = Sender_multi.on_ack s;
+          retransmissions = (fun () -> Sender_multi.retransmissions s);
+          outstanding = (fun () -> Sender_multi.outstanding s);
+        }
+  in
+  sender_cell := Some sender;
+  let receiver =
+    Receiver.create engine config ~tx:(Ba_channel.Link.send ack_link)
+      ~deliver:(fun msg ->
+        incr delivered;
+        on_receive msg)
+  in
+  receiver_cell := Some receiver;
+  { engine; queue; submitted = 0; delivered; sender; data_link; ack_link; receiver }
+
+let send t msg =
+  t.submitted <- t.submitted + 1;
+  Queue.add msg t.queue;
+  t.sender.pump ()
+
+let idle t =
+  !(t.delivered) = t.submitted && t.sender.outstanding () = 0 && Queue.is_empty t.queue
+
+let run ?until t =
+  match until with
+  | Some horizon -> Ba_sim.Engine.run ~until:horizon t.engine
+  | None -> Ba_sim.Engine.run t.engine
+
+let engine t = t.engine
+
+let stats t =
+  let d = Ba_channel.Link.stats t.data_link in
+  {
+    submitted = t.submitted;
+    delivered = !(t.delivered);
+    in_flight = t.submitted - !(t.delivered);
+    data_sent = d.Ba_channel.Link.sent;
+    data_dropped = d.Ba_channel.Link.dropped;
+    acks_sent = Receiver.acks_sent t.receiver;
+    retransmissions = t.sender.retransmissions ();
+    ticks = Ba_sim.Engine.now t.engine;
+  }

@@ -1,0 +1,191 @@
+type frame = {
+  seq : int option;
+  payload : string;
+  pack : Ba_proto.Wire.ack option;
+}
+
+type stats = {
+  submitted : int;
+  delivered : int;
+  frames_sent : int;
+  data_frames : int;
+  pure_ack_frames : int;
+  piggybacked_acks : int;
+  retransmissions : int;
+}
+
+type endpoint = {
+  engine : Ba_sim.Engine.t;
+  queue : string Queue.t;
+  mutable submitted : int;
+  mutable delivered : int;
+  mutable link : frame Ba_channel.Link.t option;  (* tied after both endpoints exist *)
+  mutable sender : Sender_multi.t option;
+  mutable receiver : Receiver.t option;
+  (* The newest unflushed block acknowledgment for the reverse direction,
+     waiting for a data frame to ride on. *)
+  mutable pending_ack : Ba_proto.Wire.ack option;
+  mutable ack_timer : Ba_sim.Timer.t option;
+  mutable frames_sent : int;
+  mutable data_frames : int;
+  mutable pure_ack_frames : int;
+  mutable piggybacked_acks : int;
+}
+
+type t = { engine : Ba_sim.Engine.t; ea : endpoint; eb : endpoint }
+
+let transmit_frame e frame =
+  e.frames_sent <- e.frames_sent + 1;
+  (match frame.seq with
+  | Some _ -> e.data_frames <- e.data_frames + 1
+  | None -> e.pure_ack_frames <- e.pure_ack_frames + 1);
+  if frame.pack <> None && frame.seq <> None then
+    e.piggybacked_acks <- e.piggybacked_acks + 1;
+  match e.link with Some link -> Ba_channel.Link.send link frame | None -> ()
+
+(* Take the pending acknowledgment (cancelling its flush timer). *)
+let take_pending_ack e =
+  match e.pending_ack with
+  | None -> None
+  | Some _ as pack ->
+      e.pending_ack <- None;
+      Option.iter Ba_sim.Timer.stop e.ack_timer;
+      pack
+
+let flush_pure_ack e =
+  match take_pending_ack e with
+  | None -> ()
+  | Some _ as pack -> transmit_frame e { seq = None; payload = ""; pack }
+
+(* Outbound data: wrap the wire record into a frame, piggybacking any
+   pending acknowledgment. *)
+let tx_data e (d : Ba_proto.Wire.data) =
+  transmit_frame e { seq = Some d.Ba_proto.Wire.seq; payload = d.Ba_proto.Wire.payload; pack = take_pending_ack e }
+
+(* Outbound acknowledgment from our receiver half: hold it for a data
+   frame. Successive in-order block acknowledgments are adjacent ranges,
+   so they merge into one wider block — the block-ack property doing the
+   coalescing; a non-adjacent one (a duplicate re-ack) flushes the held
+   block first, since a frame carries a single range. *)
+let tx_ack ~piggyback_hold ~wire_modulus e (a : Ba_proto.Wire.ack) =
+  let succ_wire x =
+    match wire_modulus with Some n -> Ba_util.Modseq.succ ~n x | None -> x + 1
+  in
+  let held =
+    match e.pending_ack with
+    | Some p when succ_wire p.Ba_proto.Wire.hi = a.Ba_proto.Wire.lo ->
+        Option.iter Ba_sim.Timer.stop e.ack_timer;
+        e.pending_ack <- None;
+        { Ba_proto.Wire.lo = p.Ba_proto.Wire.lo; hi = a.Ba_proto.Wire.hi }
+    | Some _ ->
+        flush_pure_ack e;
+        a
+    | None -> a
+  in
+  if piggyback_hold = 0 then
+    transmit_frame e { seq = None; payload = ""; pack = Some held }
+  else begin
+    e.pending_ack <- Some held;
+    match e.ack_timer with
+    | Some timer -> Ba_sim.Timer.start timer
+    | None ->
+        let timer =
+          Ba_sim.Timer.create e.engine ~duration:piggyback_hold (fun () -> flush_pure_ack e)
+        in
+        e.ack_timer <- Some timer;
+        Ba_sim.Timer.start timer
+  end
+
+let on_frame e frame =
+  (* Data first: the receiver may pend a fresh acknowledgment, which the
+     sends triggered by the piggybacked ack below can then carry. *)
+  (match frame.seq with
+  | Some seq ->
+      Option.iter
+        (fun r -> Receiver.on_data r { Ba_proto.Wire.seq; payload = frame.payload })
+        e.receiver
+  | None -> ());
+  match frame.pack with
+  | Some a -> Option.iter (fun s -> Sender_multi.on_ack s a) e.sender
+  | None -> ()
+
+let make_endpoint engine =
+  {
+    engine;
+    queue = Queue.create ();
+    submitted = 0;
+    delivered = 0;
+    link = None;
+    sender = None;
+    receiver = None;
+    pending_ack = None;
+    ack_timer = None;
+    frames_sent = 0;
+    data_frames = 0;
+    pure_ack_frames = 0;
+    piggybacked_acks = 0;
+  }
+
+let default_config = Config.make ~wire_modulus:(Some (2 * Config.default.Config.window)) ()
+
+let create ?(seed = 42) ?(config = default_config) ?(piggyback_hold = 15) ?(loss = 0.)
+    ?(delay = Ba_channel.Dist.Uniform (40, 60)) ~on_receive_a ~on_receive_b () =
+  let engine = Ba_sim.Engine.create ~seed () in
+  let ea = make_endpoint engine and eb = make_endpoint engine in
+  (* Each endpoint's outbound link delivers to the peer. *)
+  ea.link <- Some (Ba_channel.Link.create engine ~loss ~delay ~deliver:(fun f -> on_frame eb f) ());
+  eb.link <- Some (Ba_channel.Link.create engine ~loss ~delay ~deliver:(fun f -> on_frame ea f) ());
+  let wire_endpoint e on_receive =
+    e.sender <-
+      Some
+        (Sender_multi.create engine config ~tx:(tx_data e)
+           ~next_payload:(fun () -> Queue.take_opt e.queue));
+    e.receiver <-
+      Some
+        (Receiver.create engine config
+           ~tx:(tx_ack ~piggyback_hold ~wire_modulus:config.Config.wire_modulus e)
+           ~deliver:(fun msg ->
+             e.delivered <- e.delivered + 1;
+             on_receive msg))
+  in
+  (* [on_receive_a] fires for messages arriving at A (sent by B), and
+     vice versa. *)
+  wire_endpoint ea on_receive_a;
+  wire_endpoint eb on_receive_b;
+  { engine; ea; eb }
+
+(* A sends into its own queue; deliveries surface at the peer. *)
+let a t = t.ea
+let b t = t.eb
+
+let send e msg =
+  e.submitted <- e.submitted + 1;
+  Queue.add msg e.queue;
+  Option.iter Sender_multi.pump e.sender
+
+let endpoint_idle e =
+  (match e.sender with Some s -> Sender_multi.outstanding s = 0 | None -> true)
+  && Queue.is_empty e.queue
+
+let idle t =
+  endpoint_idle t.ea && endpoint_idle t.eb
+  && t.ea.submitted = t.eb.delivered
+  && t.eb.submitted = t.ea.delivered
+
+let run ?until t =
+  match until with
+  | Some horizon -> Ba_sim.Engine.run ~until:horizon t.engine
+  | None -> Ba_sim.Engine.run t.engine
+
+let stats e =
+  {
+    submitted = e.submitted;
+    delivered = e.delivered;
+    frames_sent = e.frames_sent;
+    data_frames = e.data_frames;
+    pure_ack_frames = e.pure_ack_frames;
+    piggybacked_acks = e.piggybacked_acks;
+    retransmissions = (match e.sender with Some s -> Sender_multi.retransmissions s | None -> 0);
+  }
+
+let engine t = t.engine

@@ -1,0 +1,65 @@
+(** Duplex sessions with piggybacked block acknowledgments.
+
+    The paper studies one data direction with a dedicated acknowledgment
+    channel. Deployed window protocols (the paper cites ARPAnet, SNA, the
+    ISO standard) run data both ways and piggyback acknowledgments on
+    reverse-direction data frames. This module composes one
+    {!Sender_multi} and one {!Receiver} per side into such a session:
+
+    - every outbound data frame carries the latest pending block
+      acknowledgment for the opposite direction, for free;
+    - an acknowledgment with no data to ride on is flushed as a pure-ack
+      frame after [piggyback_hold] ticks (0 = never wait).
+
+    Soundness: holding an acknowledgment extends its effective transit
+    time, so the usual timeout bound becomes
+    [rto > 2 * max delay + ack_coalesce + piggyback_hold]. *)
+
+type frame = {
+  seq : int option;  (** [None] for a pure-ack frame *)
+  payload : string;  (** empty for pure-ack frames *)
+  pack : Ba_proto.Wire.ack option;  (** piggybacked acknowledgment *)
+}
+
+type t
+type endpoint
+
+type stats = {
+  submitted : int;
+  delivered : int;
+  frames_sent : int;  (** all frames leaving this endpoint *)
+  data_frames : int;
+  pure_ack_frames : int;
+  piggybacked_acks : int;  (** acks that travelled on a data frame *)
+  retransmissions : int;
+}
+
+val create :
+  ?seed:int ->
+  ?config:Config.t ->
+  ?piggyback_hold:int ->
+  ?loss:float ->
+  ?delay:Ba_channel.Dist.t ->
+  on_receive_a:(string -> unit) ->
+  on_receive_b:(string -> unit) ->
+  unit ->
+  t
+(** Two endpoints, A and B, joined by two simulated links (one per
+    direction) sharing the given loss and delay. [on_receive_a] fires
+    for messages arriving at A (i.e. sent by B), and vice versa.
+    Defaults: {!Config.default} with a [2w] wire modulus,
+    [piggyback_hold = 15], lossless, delay [Uniform (40, 60)]. *)
+
+val a : t -> endpoint
+val b : t -> endpoint
+
+val send : endpoint -> string -> unit
+(** Queue a message for the opposite endpoint. *)
+
+val run : ?until:int -> t -> unit
+val idle : t -> bool
+(** All submitted messages in both directions delivered and
+    acknowledged. *)
+
+val stats : endpoint -> stats
+val engine : t -> Ba_sim.Engine.t

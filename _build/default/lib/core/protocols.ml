@@ -1,0 +1,69 @@
+module Common_receiver = struct
+  type receiver = Receiver.t
+
+  let create_receiver engine config ~tx ~deliver = Receiver.create engine config ~tx ~deliver
+  let receiver_on_data = Receiver.on_data
+  let ack_wire_bytes = Ba_proto.Wire.ack_bytes_block
+end
+
+module Simple : Ba_proto.Protocol.S = struct
+  let name = "blockack-simple"
+
+  type sender = Sender.t
+
+  include Common_receiver
+
+  let create_sender = Sender.create
+  let sender_on_ack = Sender.on_ack
+  let sender_pump = Sender.pump
+  let sender_done = Sender.is_done
+  let sender_outstanding = Sender.outstanding
+  let sender_retransmissions = Sender.retransmissions
+end
+
+module Multi : Ba_proto.Protocol.S = struct
+  let name = "blockack-multi"
+
+  type sender = Sender_multi.t
+
+  include Common_receiver
+
+  let create_sender = Sender_multi.create
+  let sender_on_ack = Sender_multi.on_ack
+  let sender_pump = Sender_multi.pump
+  let sender_done = Sender_multi.is_done
+  let sender_outstanding = Sender_multi.outstanding
+  let sender_retransmissions = Sender_multi.retransmissions
+end
+
+let simple : Ba_proto.Protocol.t = (module Simple)
+let multi : Ba_proto.Protocol.t = (module Multi)
+
+let reuse ?(lead_factor = 2) () : Ba_proto.Protocol.t =
+  if lead_factor < 1 then invalid_arg "Protocols.reuse: lead_factor must be >= 1";
+  (module struct
+    let name = Printf.sprintf "blockack-reuse(x%d)" lead_factor
+
+    type sender = Reuse_sender.t
+    type receiver = Receiver.t
+
+    let lead config = lead_factor * config.Ba_proto.Proto_config.window
+
+    let create_sender engine config ~tx ~next_payload =
+      Reuse_sender.create engine config ~lead:(lead config) ~tx ~next_payload
+
+    (* The receiver must accept (and buffer) the whole flight band, so it
+       runs with the widened window. *)
+    let create_receiver engine config ~tx ~deliver =
+      Receiver.create engine
+        { config with Ba_proto.Proto_config.window = lead config }
+        ~tx ~deliver
+
+    let sender_on_ack = Reuse_sender.on_ack
+    let receiver_on_data = Receiver.on_data
+    let sender_pump = Reuse_sender.pump
+    let sender_done = Reuse_sender.is_done
+    let sender_outstanding = Reuse_sender.outstanding
+    let sender_retransmissions = Reuse_sender.retransmissions
+    let ack_wire_bytes = Ba_proto.Wire.ack_bytes_block
+  end)

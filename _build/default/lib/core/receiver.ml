@@ -1,0 +1,81 @@
+type t = {
+  config : Config.t;
+  codec : Seqcodec.t;
+  tx : Ba_proto.Wire.ack -> unit;
+  deliver : string -> unit;
+  buffer : string Ba_util.Ring_buffer.t;  (* payloads of [nr, nr + w) received out of order *)
+  ack_timer : Ba_sim.Timer.t;
+  mutable nr : int;
+  mutable vr : int;
+  mutable acks_sent : int;
+  mutable dup_acks_sent : int;
+}
+
+let send_ack t ~lo ~hi =
+  t.acks_sent <- t.acks_sent + 1;
+  t.tx { Ba_proto.Wire.lo = Seqcodec.encode t.codec lo; hi = Seqcodec.encode t.codec hi }
+
+(* Action 5: acknowledge the run [nr, vr) in one block and hand its
+   payloads to the application in order. *)
+let flush t =
+  Ba_sim.Timer.stop t.ack_timer;
+  if t.nr < t.vr then begin
+    send_ack t ~lo:t.nr ~hi:(t.vr - 1);
+    while t.nr < t.vr do
+      (match Ba_util.Ring_buffer.get t.buffer t.nr with
+      | Some payload ->
+          Ba_util.Ring_buffer.remove t.buffer t.nr;
+          t.deliver payload
+      | None -> invalid_arg "Receiver.flush: hole in accepted run");
+      t.nr <- t.nr + 1
+    done
+  end
+
+let create engine config ~tx ~deliver =
+  Config.validate config;
+  let codec = Seqcodec.create ~window:config.Config.window ~wire_modulus:config.Config.wire_modulus in
+  let rec t =
+    lazy
+      {
+        config;
+        codec;
+        tx;
+        deliver;
+        buffer = Ba_util.Ring_buffer.create config.Config.window;
+        ack_timer =
+          Ba_sim.Timer.create engine ~duration:config.Config.ack_coalesce (fun () ->
+              flush (Lazy.force t));
+        nr = 0;
+        vr = 0;
+        acks_sent = 0;
+        dup_acks_sent = 0;
+      }
+  in
+  Lazy.force t
+
+(* Actions 3 + 4: record the reception, extend the contiguous run, and
+   either flush immediately or leave the run open for coalescing. *)
+let on_data t { Ba_proto.Wire.seq; payload } =
+  let v = Seqcodec.decode_data t.codec ~nr:t.nr seq in
+  if v < t.nr then begin
+    (* Already accepted: its acknowledgment must have been lost; re-ack. *)
+    t.dup_acks_sent <- t.dup_acks_sent + 1;
+    send_ack t ~lo:v ~hi:v
+  end
+  else if v < t.nr + t.config.Config.window then begin
+    if not (Ba_util.Ring_buffer.mem t.buffer v) then Ba_util.Ring_buffer.set t.buffer v payload;
+    while Ba_util.Ring_buffer.mem t.buffer t.vr do
+      t.vr <- t.vr + 1
+    done;
+    if t.nr < t.vr then begin
+      if t.config.Config.ack_coalesce = 0 then flush t
+      else if not (Ba_sim.Timer.is_armed t.ack_timer) then Ba_sim.Timer.start t.ack_timer
+    end
+  end
+  (* v >= nr + w cannot come from a conforming sender; drop defensively. *)
+
+let nr t = t.nr
+let vr t = t.vr
+let buffered t = Ba_util.Ring_buffer.occupancy t.buffer
+let acks_sent t = t.acks_sent
+let dup_acks_sent t = t.dup_acks_sent

@@ -1,0 +1,42 @@
+(** Block-acknowledgment receiver (Sections II + V).
+
+    Buffers out-of-order data messages in a window of [w] slots, delivers
+    payloads to the application strictly in order, and acknowledges each
+    accepted message exactly once, as part of one block acknowledgment
+    [(nr, vr - 1)] covering a maximal contiguous run (actions 3–5).
+    Already-accepted duplicates are re-acknowledged with a singleton
+    [(v, v)] so a sender whose acknowledgment was lost can make progress
+    (action 3's first branch).
+
+    With [ack_coalesce > 0] the receiver holds a completed run open for
+    that many ticks before flushing, letting a single acknowledgment
+    cover data that arrives close together — the "one ack, many
+    messages" behaviour the paper highlights over go-back-N. *)
+
+type t
+
+val create :
+  Ba_sim.Engine.t ->
+  Config.t ->
+  tx:(Ba_proto.Wire.ack -> unit) ->
+  deliver:(string -> unit) ->
+  t
+
+val on_data : t -> Ba_proto.Wire.data -> unit
+
+val nr : t -> int
+(** Next sequence number to accept; everything below is delivered. *)
+
+val vr : t -> int
+(** Upper end (exclusive) of the received-but-unacknowledged run. *)
+
+val buffered : t -> int
+(** Out-of-order payloads currently held. *)
+
+val acks_sent : t -> int
+val dup_acks_sent : t -> int
+(** Singleton re-acknowledgments of old duplicates (subset of
+    [acks_sent]). *)
+
+val flush : t -> unit
+(** Force out any pending coalesced acknowledgment now. *)

@@ -1,0 +1,125 @@
+type t = {
+  config : Config.t;
+  lead : int;
+  codec : Seqcodec.t;
+  engine : Ba_sim.Engine.t;
+  tx : Ba_proto.Wire.data -> unit;
+  source : Ba_proto.Source.t;
+  buffer : string Ba_util.Ring_buffer.t;  (* payloads of [na, ns), lead slots *)
+  acked : unit Ba_util.Ring_buffer.t;
+  timers : Ba_sim.Timer.t Ba_util.Ring_buffer.t;
+  guard : Window_guard.t;
+  mutable na : int;
+  mutable ns : int;
+  mutable unacked : int;
+  mutable acked_total : int;
+  mutable retransmissions : int;
+}
+
+let outstanding t = t.unacked
+
+let rec on_timeout t seq =
+  if seq >= t.na && seq < t.ns && not (Ba_util.Ring_buffer.mem t.acked seq) then begin
+    t.retransmissions <- t.retransmissions + 1;
+    (* The stale-copy decode band is [seq, seq + lead) here. *)
+    if t.config.Config.wire_modulus <> None then
+      Window_guard.note_retransmission t.guard ~seq ~window:t.lead
+        ~hold_for:(Config.hold_duration t.config);
+    transmit t seq
+  end
+
+and transmit t seq =
+  match Ba_util.Ring_buffer.get t.buffer seq with
+  | None -> invalid_arg "Reuse_sender.transmit: no buffered payload"
+  | Some payload ->
+      t.tx { Ba_proto.Wire.seq = Seqcodec.encode t.codec seq; payload };
+      let timer =
+        match Ba_util.Ring_buffer.get t.timers seq with
+        | Some timer -> timer
+        | None ->
+            let timer =
+              Ba_sim.Timer.create t.engine ~duration:t.config.Config.rto (fun () ->
+                  on_timeout t seq)
+            in
+            Ba_util.Ring_buffer.set t.timers seq timer;
+            timer
+      in
+      Ba_sim.Timer.start timer
+
+(* The reuse rule: new data is admitted while fewer than [window]
+   messages are unacknowledged AND the flight band stays within [lead]
+   of na. The first bound is the classic resource limit; the second is
+   what keeps the receiver's decode band sound. *)
+let rec pump t =
+  if t.unacked < t.config.Config.window && t.ns < t.na + t.lead then begin
+    if t.ns >= Window_guard.frontier t.guard then
+      Window_guard.when_blocked t.guard (fun () -> pump t)
+    else begin
+      match Ba_proto.Source.next t.source with
+      | None -> ()
+      | Some payload ->
+          Ba_util.Ring_buffer.set t.buffer t.ns payload;
+          t.ns <- t.ns + 1;
+          t.unacked <- t.unacked + 1;
+          transmit t (t.ns - 1);
+          pump t
+    end
+  end
+
+let is_done t = t.unacked = 0 && Ba_proto.Source.exhausted t.source
+
+let create engine config ~lead ~tx ~next_payload =
+  Config.validate config;
+  if lead < config.Config.window then
+    invalid_arg "Reuse_sender.create: lead must be >= window";
+  let codec = Seqcodec.create ~window:lead ~wire_modulus:config.Config.wire_modulus in
+  let source = Ba_proto.Source.create next_payload in
+  {
+    config;
+    lead;
+    codec;
+    engine;
+    tx;
+    source;
+    buffer = Ba_util.Ring_buffer.create lead;
+    acked = Ba_util.Ring_buffer.create lead;
+    timers = Ba_util.Ring_buffer.create lead;
+    guard = Window_guard.create engine;
+    na = 0;
+    ns = 0;
+    unacked = 0;
+    acked_total = 0;
+    retransmissions = 0;
+  }
+
+let stop_timer t seq =
+  match Ba_util.Ring_buffer.get t.timers seq with
+  | Some timer ->
+      Ba_sim.Timer.stop timer;
+      Ba_util.Ring_buffer.remove t.timers seq
+  | None -> ()
+
+let on_ack t { Ba_proto.Wire.lo; hi } =
+  let count = Seqcodec.span t.codec ~lo ~hi in
+  for k = 0 to count - 1 do
+    let wire = Seqcodec.shift t.codec lo k in
+    let seq = Seqcodec.decode_ack t.codec ~na:t.na wire in
+    if seq >= t.na && seq < t.ns && not (Ba_util.Ring_buffer.mem t.acked seq) then begin
+      Ba_util.Ring_buffer.set t.acked seq ();
+      stop_timer t seq;
+      t.unacked <- t.unacked - 1;
+      t.acked_total <- t.acked_total + 1
+    end
+  done;
+  while Ba_util.Ring_buffer.mem t.acked t.na do
+    Ba_util.Ring_buffer.remove t.acked t.na;
+    Ba_util.Ring_buffer.remove t.buffer t.na;
+    stop_timer t t.na;
+    t.na <- t.na + 1
+  done;
+  pump t
+
+let na t = t.na
+let ns t = t.ns
+let retransmissions t = t.retransmissions
+let acked_total t = t.acked_total

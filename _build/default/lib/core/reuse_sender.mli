@@ -1,0 +1,44 @@
+(** Section VI extension: aggressive reuse of acknowledged positions.
+
+    The paper sketches a more complex sender that, when messages 3–5 are
+    acknowledged while 0–2 are still outstanding, goes ahead and uses
+    those freed positions for new data instead of stalling at the window
+    edge. The price is extra bookkeeping and buffer space, and a wider
+    sequence-number band in flight.
+
+    This implementation realises the sketch as follows: the sender may
+    have at most [window] *unacknowledged* messages at any time (the same
+    resource bound as the classic protocol), but may run ahead of the
+    lowest unacknowledged message [na] by up to [lead >= window]
+    positions. In-flight data then spans [na, na + lead), so both
+    endpoints size their codecs and buffers by [lead], and a wire modulus
+    of at least [2 * lead] is required — exactly the paper's "tradeoff
+    between the added complexity versus the potential gain in
+    performance".
+
+    With [lead = window] this degenerates to {!Sender_multi}. Timers are
+    per-message (Section IV style). *)
+
+type t
+
+val create :
+  Ba_sim.Engine.t ->
+  Config.t ->
+  lead:int ->
+  tx:(Ba_proto.Wire.data -> unit) ->
+  next_payload:(unit -> string option) ->
+  t
+(** [config.window] bounds unacknowledged messages; [lead] bounds
+    [ns - na]. Requires [lead >= config.window] and, when a wire modulus
+    is set, [modulus >= 2 * lead]. *)
+
+val pump : t -> unit
+val on_ack : t -> Ba_proto.Wire.ack -> unit
+val na : t -> int
+val ns : t -> int
+val outstanding : t -> int
+(** Unacknowledged message count (not [ns - na]). *)
+
+val is_done : t -> bool
+val retransmissions : t -> int
+val acked_total : t -> int

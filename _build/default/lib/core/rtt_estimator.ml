@@ -1,0 +1,42 @@
+type t = {
+  floor : int;
+  ceiling : int;
+  mutable srtt : float;
+  mutable rttvar : float;
+  mutable current : int;
+  mutable samples : int;
+}
+
+let clamp t v = max t.floor (min t.ceiling v)
+
+let create ?(floor = 1) ?(ceiling = max_int) ~initial_rto () =
+  if floor <= 0 then invalid_arg "Rtt_estimator.create: floor must be positive";
+  if ceiling < floor then invalid_arg "Rtt_estimator.create: ceiling < floor";
+  let t = { floor; ceiling; srtt = 0.; rttvar = 0.; current = 0; samples = 0 } in
+  t.current <- clamp t initial_rto;
+  t
+
+let alpha = 0.125
+let beta = 0.25
+
+let observe t sample =
+  if sample < 0 then invalid_arg "Rtt_estimator.observe: negative sample";
+  let sample = float_of_int sample in
+  if t.samples = 0 then begin
+    (* RFC 6298 initialisation. *)
+    t.srtt <- sample;
+    t.rttvar <- sample /. 2.
+  end
+  else begin
+    t.rttvar <- ((1. -. beta) *. t.rttvar) +. (beta *. abs_float (t.srtt -. sample));
+    t.srtt <- ((1. -. alpha) *. t.srtt) +. (alpha *. sample)
+  end;
+  t.samples <- t.samples + 1;
+  t.current <- clamp t (int_of_float (Float.ceil (t.srtt +. (4. *. t.rttvar))))
+
+let rto t = t.current
+let srtt t = t.srtt
+let rttvar t = t.rttvar
+let samples t = t.samples
+
+let backoff t = t.current <- clamp t (t.current * 2)

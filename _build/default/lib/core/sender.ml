@@ -1,0 +1,100 @@
+type t = {
+  config : Config.t;
+  codec : Seqcodec.t;
+  tx : Ba_proto.Wire.data -> unit;
+  source : Ba_proto.Source.t;
+  buffer : string Ba_util.Ring_buffer.t;  (* payloads of [na, ns) *)
+  acked : unit Ba_util.Ring_buffer.t;  (* out-of-order acked members of [na, ns) *)
+  timer : Ba_sim.Timer.t;
+  guard : Window_guard.t;
+  mutable na : int;
+  mutable ns : int;
+  mutable retransmissions : int;
+}
+
+(* Transmitting any data message restarts the single timer: the paper's
+   simple timeout measures silence since the last data send. *)
+let transmit t seq =
+  match Ba_util.Ring_buffer.get t.buffer seq with
+  | None -> invalid_arg "Sender.transmit: no buffered payload"
+  | Some payload ->
+      t.tx { Ba_proto.Wire.seq = Seqcodec.encode t.codec seq; payload };
+      Ba_sim.Timer.start t.timer
+
+let outstanding t = t.ns - t.na
+
+let rec pump t =
+  if outstanding t < t.config.Config.window then begin
+    if t.ns >= Window_guard.frontier t.guard then
+      (* A retransmitted copy may still be in flight; sending past its
+         decode window would risk mis-reconstruction at the receiver. *)
+      Window_guard.when_blocked t.guard (fun () -> pump t)
+    else begin
+      match Ba_proto.Source.next t.source with
+      | None -> ()
+      | Some payload ->
+          Ba_util.Ring_buffer.set t.buffer t.ns payload;
+          t.ns <- t.ns + 1;
+          transmit t (t.ns - 1);
+          pump t
+    end
+  end
+
+let is_done t = outstanding t = 0 && Ba_proto.Source.exhausted t.source
+
+(* Action 2: resend the oldest outstanding message. *)
+let on_timeout t =
+  if outstanding t > 0 then begin
+    t.retransmissions <- t.retransmissions + 1;
+    (* With unbounded wire numbers decode is exact and no hold is needed. *)
+    if t.config.Config.wire_modulus <> None then
+      Window_guard.note_retransmission t.guard ~seq:t.na ~window:t.config.Config.window
+        ~hold_for:(Config.hold_duration t.config);
+    transmit t t.na
+  end
+
+let create engine config ~tx ~next_payload =
+  Config.validate config;
+  let source = Ba_proto.Source.create next_payload in
+  let codec = Seqcodec.create ~window:config.Config.window ~wire_modulus:config.Config.wire_modulus in
+  let rec t =
+    lazy
+      {
+        config;
+        codec;
+        tx;
+        source;
+        buffer = Ba_util.Ring_buffer.create config.Config.window;
+        acked = Ba_util.Ring_buffer.create config.Config.window;
+        timer = Ba_sim.Timer.create engine ~duration:config.Config.rto (fun () -> on_timeout (Lazy.force t));
+        guard = Window_guard.create engine;
+        na = 0;
+        ns = 0;
+        retransmissions = 0;
+      }
+  in
+  Lazy.force t
+
+(* Action 1: mark every covered sequence number that is still
+   outstanding, then slide na over the acknowledged prefix. Stale
+   duplicates (covering already-acknowledged messages) decode outside
+   [na, ns) and are ignored. *)
+let on_ack t { Ba_proto.Wire.lo; hi } =
+  let count = Seqcodec.span t.codec ~lo ~hi in
+  for k = 0 to count - 1 do
+    let wire = Seqcodec.shift t.codec lo k in
+    let seq = Seqcodec.decode_ack t.codec ~na:t.na wire in
+    if seq >= t.na && seq < t.ns then Ba_util.Ring_buffer.set t.acked seq ()
+  done;
+  while Ba_util.Ring_buffer.mem t.acked t.na do
+    Ba_util.Ring_buffer.remove t.acked t.na;
+    Ba_util.Ring_buffer.remove t.buffer t.na;
+    t.na <- t.na + 1
+  done;
+  if outstanding t = 0 then Ba_sim.Timer.stop t.timer;
+  pump t
+
+let na t = t.na
+let ns t = t.ns
+let retransmissions t = t.retransmissions
+let acked_total t = t.na

@@ -1,0 +1,47 @@
+(** Block-acknowledgment sender with the simple timeout (Sections II + V).
+
+    Keeps a window of at most [w] outstanding payloads, retransmits the
+    oldest outstanding message ([na]) when its single timer expires, and
+    processes block acknowledgments [(lo, hi)] that may cover any range
+    of outstanding messages. The timer restarts on every data
+    transmission, so "expired" means no data was sent for a full [rto] —
+    with [rto > 2 * max link delay + ack_coalesce] that implies no copy
+    of any message or acknowledgment is still in transit, which is the
+    paper's timeout soundness condition.
+
+    Sequence numbers are full-width internally; the wire carries them
+    through {!Seqcodec} (modulo [2w] when the config sets a modulus). *)
+
+type t
+
+val create :
+  Ba_sim.Engine.t ->
+  Config.t ->
+  tx:(Ba_proto.Wire.data -> unit) ->
+  next_payload:(unit -> string option) ->
+  t
+
+val pump : t -> unit
+(** Pull payloads from [next_payload] while the window has room, sending
+    each immediately. Called automatically after window-opening acks;
+    call it once after setup, and again if the supplier gains new data. *)
+
+val on_ack : t -> Ba_proto.Wire.ack -> unit
+(** Process a (possibly stale or duplicate) block acknowledgment. *)
+
+val na : t -> int
+(** Lowest unacknowledged sequence number. *)
+
+val ns : t -> int
+(** Next fresh sequence number. *)
+
+val outstanding : t -> int
+(** [ns - na], between 0 and the window size. *)
+
+val is_done : t -> bool
+(** Supplier exhausted and nothing outstanding. *)
+
+val retransmissions : t -> int
+
+val acked_total : t -> int
+(** Messages acknowledged so far (= [na]). *)

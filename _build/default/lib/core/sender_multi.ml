@@ -1,0 +1,208 @@
+type t = {
+  config : Config.t;
+  codec : Seqcodec.t;
+  engine : Ba_sim.Engine.t;
+  tx : Ba_proto.Wire.data -> unit;
+  source : Ba_proto.Source.t;
+  buffer : string Ba_util.Ring_buffer.t;
+  acked : unit Ba_util.Ring_buffer.t;
+  timers : Ba_sim.Timer.t Ba_util.Ring_buffer.t;  (* one armed timer per outstanding message *)
+  sent_at : int Ba_util.Ring_buffer.t;  (* first-transmission time, for RTT sampling *)
+  resent : int Ba_util.Ring_buffer.t;  (* per-message retransmission count (Karn's rule + backoff) *)
+  estimator : Rtt_estimator.t option;
+  guard : Window_guard.t;
+  mutable na : int;
+  mutable ns : int;
+  mutable retransmissions : int;
+  (* AIMD congestion window (dynamic_window mode): cwnd counts messages,
+     ack_credit accumulates fractional additive increase. *)
+  mutable cwnd : int;
+  mutable ack_credit : int;
+}
+
+let outstanding t = t.ns - t.na
+
+let effective_window t =
+  if t.config.Config.dynamic_window then min t.cwnd t.config.Config.window
+  else t.config.Config.window
+
+(* Additive increase: one extra message of window per cwnd acknowledged
+   (i.e. +1 per round trip at saturation). *)
+let on_progress t acked_count =
+  if t.config.Config.dynamic_window && t.cwnd < t.config.Config.window then begin
+    t.ack_credit <- t.ack_credit + acked_count;
+    if t.ack_credit >= t.cwnd then begin
+      t.ack_credit <- 0;
+      t.cwnd <- t.cwnd + 1
+    end
+  end
+
+(* Multiplicative decrease on timeout. *)
+let on_loss_signal t =
+  if t.config.Config.dynamic_window then begin
+    t.cwnd <- max 1 (t.cwnd / 2);
+    t.ack_credit <- 0
+  end
+
+let base_rto t =
+  match t.estimator with Some e -> Rtt_estimator.rto e | None -> t.config.Config.rto
+
+(* Adaptive mode backs off per message: each retransmission of [seq]
+   doubles its own timer, independently of its window mates (a shared
+   backoff would compound across the whole window). Fixed mode keeps the
+   paper's constant timeout period. *)
+let rto_for t seq =
+  match t.estimator with
+  | None -> t.config.Config.rto
+  | Some _ ->
+      let retx = Option.value ~default:0 (Ba_util.Ring_buffer.get t.resent seq) in
+      let factor = 1 lsl min retx 6 in
+      min (base_rto t * factor) (60 * t.config.Config.rto)
+
+(* Action 2': the timer of message [seq] expired, meaning no copy of it
+   or of a covering acknowledgment survives in either channel; resend it
+   and re-arm its own timer only. *)
+let rec on_timeout t seq =
+  if seq >= t.na && seq < t.ns && not (Ba_util.Ring_buffer.mem t.acked seq) then begin
+    t.retransmissions <- t.retransmissions + 1;
+    on_loss_signal t;
+    let retx = Option.value ~default:0 (Ba_util.Ring_buffer.get t.resent seq) in
+    Ba_util.Ring_buffer.set t.resent seq (retx + 1);
+    (* With unbounded wire numbers decode is exact and no hold is needed. *)
+    if t.config.Config.wire_modulus <> None then
+      Window_guard.note_retransmission t.guard ~seq ~window:t.config.Config.window
+        ~hold_for:(Config.hold_duration t.config);
+    transmit t seq
+  end
+
+and transmit t seq =
+  match Ba_util.Ring_buffer.get t.buffer seq with
+  | None -> invalid_arg "Sender_multi.transmit: no buffered payload"
+  | Some payload ->
+      t.tx { Ba_proto.Wire.seq = Seqcodec.encode t.codec seq; payload };
+      let timer =
+        match Ba_util.Ring_buffer.get t.timers seq with
+        | Some timer -> timer
+        | None ->
+            let timer =
+              Ba_sim.Timer.create t.engine ~duration:t.config.Config.rto (fun () ->
+                  on_timeout t seq)
+            in
+            Ba_util.Ring_buffer.set t.timers seq timer;
+            timer
+      in
+      Ba_sim.Timer.start_for timer (rto_for t seq)
+
+let rec pump t =
+  if outstanding t < effective_window t then begin
+    if t.ns >= Window_guard.frontier t.guard then
+      (* A retransmitted copy may still be in flight; sending past its
+         decode window would risk mis-reconstruction at the receiver. *)
+      Window_guard.when_blocked t.guard (fun () -> pump t)
+    else begin
+      match Ba_proto.Source.next t.source with
+      | None -> ()
+      | Some payload ->
+          Ba_util.Ring_buffer.set t.buffer t.ns payload;
+          t.ns <- t.ns + 1;
+          Ba_util.Ring_buffer.set t.sent_at (t.ns - 1) (Ba_sim.Engine.now t.engine);
+          transmit t (t.ns - 1);
+          pump t
+    end
+  end
+
+let is_done t = outstanding t = 0 && Ba_proto.Source.exhausted t.source
+
+let create engine config ~tx ~next_payload =
+  Config.validate config;
+  let source = Ba_proto.Source.create next_payload in
+  let codec = Seqcodec.create ~window:config.Config.window ~wire_modulus:config.Config.wire_modulus in
+  let estimator =
+    if config.Config.adaptive_rto then begin
+      (* With a finite modulus the configured rto is the soundness floor
+         (it encodes the channel-lifetime bound); unbounded wire numbers
+         can chase the real round trip freely. *)
+      let floor =
+        match config.Config.wire_modulus with Some _ -> config.Config.rto | None -> 2
+      in
+      Some
+        (Rtt_estimator.create ~floor ~ceiling:(60 * config.Config.rto)
+           ~initial_rto:config.Config.rto ())
+    end
+    else None
+  in
+  {
+    config;
+    codec;
+    engine;
+    tx;
+    source;
+    buffer = Ba_util.Ring_buffer.create config.Config.window;
+    acked = Ba_util.Ring_buffer.create config.Config.window;
+    timers = Ba_util.Ring_buffer.create config.Config.window;
+    sent_at = Ba_util.Ring_buffer.create config.Config.window;
+    resent = Ba_util.Ring_buffer.create config.Config.window;
+    estimator;
+    guard = Window_guard.create engine;
+    na = 0;
+    ns = 0;
+    retransmissions = 0;
+    cwnd = 1;
+    ack_credit = 0;
+  }
+
+let stop_timer t seq =
+  match Ba_util.Ring_buffer.get t.timers seq with
+  | Some timer ->
+      Ba_sim.Timer.stop timer;
+      Ba_util.Ring_buffer.remove t.timers seq
+  | None -> ()
+
+let forget t seq =
+  Ba_util.Ring_buffer.remove t.buffer seq;
+  Ba_util.Ring_buffer.remove t.sent_at seq;
+  Ba_util.Ring_buffer.remove t.resent seq;
+  stop_timer t seq
+
+let sample_rtt t seq =
+  match t.estimator with
+  | None -> ()
+  | Some e ->
+      (* Karn's rule: only first-transmission acknowledgments are
+         unambiguous round-trip samples. *)
+      if Ba_util.Ring_buffer.get t.resent seq = None then begin
+        match Ba_util.Ring_buffer.get t.sent_at seq with
+        | Some sent -> Rtt_estimator.observe e (Ba_sim.Engine.now t.engine - sent)
+        | None -> ()
+      end
+
+let on_ack t { Ba_proto.Wire.lo; hi } =
+  let count = Seqcodec.span t.codec ~lo ~hi in
+  for k = 0 to count - 1 do
+    let wire = Seqcodec.shift t.codec lo k in
+    let seq = Seqcodec.decode_ack t.codec ~na:t.na wire in
+    if seq >= t.na && seq < t.ns && not (Ba_util.Ring_buffer.mem t.acked seq) then begin
+      sample_rtt t seq;
+      Ba_util.Ring_buffer.set t.acked seq ();
+      stop_timer t seq
+    end
+  done;
+  let na_before = t.na in
+  while Ba_util.Ring_buffer.mem t.acked t.na do
+    Ba_util.Ring_buffer.remove t.acked t.na;
+    forget t t.na;
+    t.na <- t.na + 1
+  done;
+  on_progress t (t.na - na_before);
+  pump t
+
+let na t = t.na
+let ns t = t.ns
+let retransmissions t = t.retransmissions
+let acked_total t = t.na
+
+let rto_now t = base_rto t
+
+let srtt t = Option.map Rtt_estimator.srtt t.estimator
+
+let cwnd t = t.cwnd

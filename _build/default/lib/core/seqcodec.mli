@@ -1,0 +1,36 @@
+(** Sequence-number codec: Section V on the wire.
+
+    Endpoints keep full-width sequence numbers internally; the codec maps
+    them to wire numbers modulo [n] and reconstructs full numbers on
+    receipt using the paper's function [f] with the anchors the proof
+    prescribes: [na] on the sender side (assertions 9–10) and
+    [max 0 (nr - w)] on the receiver side (assertion 11). With
+    [wire_modulus = None] the codec is the identity (unbounded wire
+    numbers, the Section II protocol). *)
+
+type t
+
+val create : window:int -> wire_modulus:int option -> t
+(** Raises [Invalid_argument] if the modulus is smaller than
+    [2 * window] — the bound Section V proves necessary and sufficient. *)
+
+val modulus : t -> int option
+
+val encode : t -> int -> int
+(** Full sequence number to wire number. *)
+
+val decode_ack : t -> na:int -> int -> int
+(** Reconstruct an acknowledgment bound at the sender, anchored at the
+    sender's [na]. Correct for true values in [na, na + n). *)
+
+val decode_data : t -> nr:int -> int -> int
+(** Reconstruct a data sequence number at the receiver, anchored at
+    [max 0 (nr - window)]. Correct for true values within the paper's
+    assertion-11 band. *)
+
+val span : t -> lo:int -> hi:int -> int
+(** Number of wire sequence numbers covered by the inclusive wire range
+    [lo, hi] (respecting wraparound); [hi - lo + 1] when unbounded. *)
+
+val shift : t -> int -> int -> int
+(** [shift t wire k]: the wire number [k] positions after [wire]. *)

@@ -1,0 +1,34 @@
+type hold = { cap : int; expiry : int }
+
+type t = {
+  engine : Ba_sim.Engine.t;
+  mutable holds : hold list;
+  mutable retry_armed : bool;
+}
+
+let create engine = { engine; holds = []; retry_armed = false }
+
+let prune t =
+  let now = Ba_sim.Engine.now t.engine in
+  t.holds <- List.filter (fun h -> h.expiry > now) t.holds
+
+let note_retransmission t ~seq ~window ~hold_for =
+  prune t;
+  t.holds <- { cap = seq + window; expiry = Ba_sim.Engine.now t.engine + hold_for } :: t.holds
+
+let frontier t =
+  prune t;
+  List.fold_left (fun acc h -> min acc h.cap) max_int t.holds
+
+let when_blocked t retry =
+  prune t;
+  match t.holds with
+  | [] -> ()
+  | _ :: _ when t.retry_armed -> ()
+  | holds ->
+      let earliest = List.fold_left (fun acc h -> min acc h.expiry) max_int holds in
+      t.retry_armed <- true;
+      ignore
+        (Ba_sim.Engine.schedule_at t.engine ~at:earliest (fun () ->
+             t.retry_armed <- false;
+             retry ()))

@@ -1,0 +1,36 @@
+(** Retransmission frontier: real-time enforcement of the paper's
+    single-copy invariant.
+
+    Assertion 8 guarantees that any in-transit data message [m] satisfies
+    [m >= na >= nr - w], which is exactly what makes a [2w] wire modulus
+    lossless (assertion 11). A timer-driven sender can break this: it may
+    retransmit [seq] while the acknowledgment that covers [seq] is
+    already on its way back; the window then slides past [seq] and, if
+    more than [w] new messages are delivered while the stale copy is
+    still in flight, the receiver decodes the copy into the *future*
+    window — delivering an old payload as a new one.
+
+    The guard closes the race without any knowledge the sender does not
+    have: after retransmitting [seq], hold the send frontier at
+    [seq + w] until every copy of [seq] and every acknowledgment it
+    could trigger has aged out of the network (one [rto], since
+    [rto > 2 * max transit + ack delay] is already required for timeout
+    soundness). While a hold is active, [nr <= ns <= seq + w], so the
+    receiver's decode window never drifts past the stale copy. *)
+
+type t
+
+val create : Ba_sim.Engine.t -> t
+
+val note_retransmission : t -> seq:int -> window:int -> hold_for:int -> unit
+(** Record that [seq] was retransmitted now: cap the frontier at
+    [seq + window] for the next [hold_for] ticks. *)
+
+val frontier : t -> int
+(** Lowest active cap, or [max_int] when unrestricted. Expired holds are
+    pruned on the fly. *)
+
+val when_blocked : t -> (unit -> unit) -> unit
+(** [when_blocked t retry] arranges for [retry ()] to run when the
+    earliest active hold expires (no-op when unrestricted). At most one
+    retry is pending at a time. *)

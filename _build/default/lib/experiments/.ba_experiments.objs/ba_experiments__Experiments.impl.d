@@ -1,0 +1,1 @@
+lib/experiments/experiments.ml: Array Ba_baselines Ba_channel Ba_model Ba_proto Ba_sim Ba_util Ba_verify Blockack List Option Printf

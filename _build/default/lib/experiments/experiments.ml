@@ -1,0 +1,832 @@
+type table = {
+  id : string;
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+module Harness = Ba_proto.Harness
+module Config = Ba_proto.Proto_config
+module Dist = Ba_channel.Dist
+module Explorer = Ba_verify.Explorer
+
+let fmt = Ba_util.Table.fmt_float
+let pct x = Printf.sprintf "%.0f%%" (100. *. x)
+
+(* Averaged harness runs over a seed list. *)
+type avg = {
+  goodput : float;
+  ticks : float;
+  acks_per_msg : float;
+  ack_bytes_per_byte : float;
+  retx_per_msg : float;
+  reorder_frac : float;
+  all_correct : bool;
+}
+
+let average ?(payload_size = 32) ~seeds ~messages ~config ~loss ~delay proto =
+  let runs =
+    List.map
+      (fun seed ->
+        Harness.run proto ~seed ~messages ~payload_size ~config ~data_loss:loss ~ack_loss:loss
+          ~data_delay:delay ~ack_delay:delay ())
+      seeds
+  in
+  let n = float_of_int (List.length runs) in
+  let mean f = List.fold_left (fun acc r -> acc +. f r) 0. runs /. n in
+  {
+    goodput = mean (fun r -> r.Harness.goodput);
+    ticks = mean (fun r -> float_of_int r.Harness.ticks);
+    acks_per_msg =
+      mean (fun r -> float_of_int r.Harness.acks_sent /. float_of_int (max 1 r.Harness.delivered));
+    ack_bytes_per_byte = mean (fun r -> r.Harness.ack_overhead);
+    retx_per_msg =
+      mean (fun r ->
+          float_of_int r.Harness.retransmissions /. float_of_int (max 1 r.Harness.delivered));
+    reorder_frac =
+      mean (fun r ->
+          float_of_int r.Harness.data_reordered /. float_of_int (max 1 r.Harness.data_sent));
+    all_correct = List.for_all Harness.correct runs;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* T1: the introduction's scenario, replayed. *)
+
+module Gbn_intro = Ba_model.Gbn_bounded_spec.Make (struct
+  let w = 2
+  let n = 3
+  let limit = 6
+end)
+
+module Gbn_scenario = Ba_verify.Scenario.Make (Gbn_intro)
+
+module Ba_intro = Ba_model.Ba_spec_finite.Make (struct
+  let w = 2
+  let n = 4
+  let limit = 6
+end)
+
+module Ba_scenario = Ba_verify.Scenario.Make (Ba_intro)
+
+let t1_intro_scenario () =
+  let gbn_script =
+    [ "send(0"; "send(1"; "recv_data(0"; "recv_data(1"; "recv_ack(1"; "recv_ack(0" ]
+  in
+  let ba_script =
+    [
+      "send(0"; "send(1";
+      "recv_data(w0"; "advance_vr(0"; "send_ack(0,0";
+      "recv_data(w1"; "advance_vr(1"; "send_ack(1,1";
+      "recv_ack(w1"; "recv_ack(w0";
+    ]
+  in
+  let describe name outcome steps =
+    match outcome.Ba_verify.Scenario.first_violation with
+    | Some (step, msg) -> [ name; string_of_int steps; "VIOLATED at step " ^ string_of_int step; msg ]
+    | None -> [ name; string_of_int steps; "safe"; "sender waits for the missing block ack" ]
+  in
+  let gbn = Gbn_scenario.replay gbn_script in
+  let ba = Ba_scenario.replay ba_script in
+  {
+    id = "T1";
+    title = "Intro scenario: reordered acknowledgments with bounded sequence numbers";
+    headers = [ "protocol"; "steps"; "outcome"; "detail" ];
+    rows =
+      [
+        describe "go-back-N (w=2, n=3, cumulative acks)" gbn (List.length gbn.Ba_verify.Scenario.steps);
+        describe "block ack (w=2, n=2w=4)" ba (List.length ba.Ba_verify.Scenario.steps);
+      ];
+    notes =
+      [
+        "Same interleaving: a window is sent, delivered, and its two acks arrive reversed.";
+        "Expected: go-back-N decodes the stale cumulative ack as recent and slides its \
+         window past data the receiver never accepted; block acknowledgment simply waits.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* T2: exhaustive verification of the specs. *)
+
+let t2_verification ~quick =
+  let lim_small = if quick then 3 else 4 in
+  let entries =
+    [
+      ("II  (w=1)", Ba_model.Ba_spec.default ~w:1 ~limit:(lim_small + 1), true);
+      ("II  (w=2)", Ba_model.Ba_spec.default ~w:2 ~limit:lim_small, true);
+      ("IV  (w=2)", Ba_model.Ba_spec_timeout.default ~w:2 ~limit:lim_small, true);
+      ("V   (w=2, n=2w=4)", Ba_model.Ba_spec_finite.default ~w:2 ~limit:lim_small (), true);
+      ("V   (w=2, n=3w=6)", Ba_model.Ba_spec_finite.default ~w:2 ~n:6 ~limit:lim_small (), true);
+      ("V   (w=2, n=2w-1=3)", Ba_model.Ba_spec_finite.default ~w:2 ~n:3 ~limit:6 (), false);
+      ("Vb  (w=2, bounded storage)", Ba_model.Ba_spec_bounded.default ~w:2 ~limit:lim_small (), true);
+      ( "VI  (w=2, lead=4 slot reuse)",
+        Ba_model.Ba_reuse_spec.default ~w:2 ~lead:4 ~limit:(lim_small + 1) (),
+        true );
+      ("GBN (w=2, n=3)", Ba_model.Gbn_bounded_spec.default ~w:2 ~limit:6 (), false);
+    ]
+  in
+  let entries =
+    if quick then entries
+    else entries @ [ ("II  (w=3)", Ba_model.Ba_spec.default ~w:3 ~limit:5, true) ]
+  in
+  let rows =
+    List.map
+      (fun (name, spec, expect_ok) ->
+        let r = Explorer.run_spec spec in
+        let invariant =
+          match r.Explorer.violation with None -> "HOLDS" | Some (msg, _) -> "VIOLATED: " ^ msg
+        in
+        let progress =
+          match r.Explorer.live with
+          | Some true -> "live"
+          | Some false -> "NOT live"
+          | None -> "-"
+        in
+        let verdict =
+          match (expect_ok, r.Explorer.violation) with
+          | true, None | false, Some _ -> "as proven"
+          | true, Some _ -> "UNEXPECTED"
+          | false, None -> "UNEXPECTED"
+        in
+        [
+          name;
+          string_of_int r.Explorer.state_count;
+          string_of_int r.Explorer.transition_count;
+          invariant;
+          progress;
+          verdict;
+        ])
+      entries
+  in
+  {
+    id = "T2";
+    title = "Exhaustive verification (assertions 6-8, deadlock freedom, loss-free progress)";
+    headers = [ "spec (section)"; "states"; "transitions"; "invariant"; "progress"; "vs paper" ];
+    rows;
+    notes =
+      [
+        "Sections II, IV and V verify exactly as the paper proves; n = 2w - 1 yields a \
+         reconstruction counterexample; bounded go-back-N violates safety under reorder.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* F1: goodput vs loss (near-FIFO links for a fair classic comparison). *)
+
+let f1_goodput_vs_loss ~quick =
+  let messages = if quick then 400 else 2000 in
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+  let delay = Dist.Constant 50 in
+  let losses = [ 0.0; 0.01; 0.02; 0.05; 0.1; 0.2 ] in
+  let ba_config = Config.make ~window:16 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:50 () in
+  let unbounded = Config.make ~window:16 ~rto:300 () in
+  let protos =
+    [
+      ("blockack-simple", Blockack.Protocols.simple, ba_config);
+      ("blockack-multi", Blockack.Protocols.multi, ba_config);
+      ("go-back-N", Ba_baselines.Go_back_n.protocol, unbounded);
+      ("selective-repeat", Ba_baselines.Selective_repeat.protocol, ba_config);
+    ]
+  in
+  let rows =
+    List.map
+      (fun loss ->
+        let cells =
+          List.map
+            (fun (_, proto, config) ->
+              let a = average ~seeds ~messages ~config ~loss ~delay proto in
+              fmt a.goodput ^ if a.all_correct then "" else "!")
+            protos
+        in
+        pct loss :: cells)
+      losses
+  in
+  {
+    id = "F1";
+    title = "Goodput (messages per 1000 ticks) vs loss rate — w=16, near-FIFO links";
+    headers = "loss" :: List.map (fun (n, _, _) -> n) protos;
+    rows;
+    notes =
+      [
+        "Paper claim: block acknowledgment keeps the throughput of the classic window \
+         protocol while also tolerating loss and reorder.";
+        "Expected shape: at 0% everyone is window-limited and equal; as loss grows, \
+         go-back-N pays a whole-window retransmission per loss and falls behind, \
+         blockack-multi tracks selective-repeat, blockack-simple sits between.";
+        "A trailing '!' marks a run that was not perfectly correct (none expected here).";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* F2: goodput vs window size. *)
+
+let f2_goodput_vs_window ~quick =
+  let messages = if quick then 400 else 2000 in
+  let seeds = if quick then [ 1 ] else [ 1; 2 ] in
+  let delay = Dist.Constant 50 in
+  let loss = 0.02 in
+  let windows = [ 1; 2; 4; 8; 16; 32; 64 ] in
+  let rows =
+    List.map
+      (fun w ->
+        let ba_config = Config.make ~window:w ~rto:300 ~wire_modulus:(Some (2 * w)) ~max_transit:50 () in
+        let gbn_config = Config.make ~window:w ~rto:300 () in
+        let ba = average ~seeds ~messages ~config:ba_config ~loss ~delay Blockack.Protocols.multi in
+        let gbn =
+          average ~seeds ~messages ~config:gbn_config ~loss ~delay Ba_baselines.Go_back_n.protocol
+        in
+        [ string_of_int w; fmt ba.goodput; fmt gbn.goodput; fmt (ba.goodput /. gbn.goodput) ])
+      windows
+  in
+  {
+    id = "F2";
+    title = "Goodput vs window size — 2% loss, near-FIFO links, n = 2w";
+    headers = [ "window"; "blockack-multi"; "go-back-N"; "ratio" ];
+    rows;
+    notes =
+      [
+        "Expected shape: both scale with the window until the loss-recovery cost \
+         dominates; go-back-N's whole-window retransmissions make its large-window \
+         gains evaporate, so the ratio grows with w.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* F3: recovery time after a lost block acknowledgment. *)
+
+let f3_recovery_time ~quick =
+  let blocks = if quick then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 16 ] in
+  let rto = 300 in
+  let run_with_kill proto b =
+    (* Transfer exactly b messages; they are emitted in one burst over a
+       constant-delay link and coalesce into a single block ack, which we
+       kill. Completion time then measures pure recovery. *)
+    let config =
+      Config.make ~window:16 ~rto ~wire_modulus:(Some 32) ~ack_coalesce:20 ~max_transit:50 ()
+    in
+    let killed = ref false in
+    let r =
+      Harness.run proto ~seed:7 ~messages:b ~config ~data_delay:(Dist.Constant 50)
+        ~ack_delay:(Dist.Constant 50)
+        ~on_setup:(fun setup ->
+          Ba_channel.Link.set_fault setup.Harness.ack_link (fun (_ : Ba_proto.Wire.ack) ->
+              if !killed then Ba_channel.Link.Deliver
+              else begin
+                killed := true;
+                Ba_channel.Link.Drop
+              end))
+        ()
+    in
+    assert r.Harness.completed;
+    r.Harness.ticks
+  in
+  let rows =
+    List.map
+      (fun b ->
+        let simple = run_with_kill Blockack.Protocols.simple b in
+        let multi = run_with_kill Blockack.Protocols.multi b in
+        [
+          string_of_int b;
+          string_of_int simple;
+          string_of_int multi;
+          fmt ~decimals:1 (float_of_int simple /. float_of_int (max 1 multi));
+          Printf.sprintf "~%d" ((b * rto) + 170);
+          Printf.sprintf "~%d" (rto + 170);
+        ])
+      blocks
+  in
+  {
+    id = "F3";
+    title =
+      "Recovery after losing the block ack covering b messages (ticks to completion; rto=300)";
+    headers =
+      [ "block b"; "simple (II)"; "multi (IV)"; "simple/multi"; "expected II"; "expected IV" ];
+    rows;
+    notes =
+      [
+        "Paper, Section IV: with the simple timeout the sender recovers one message per \
+         timeout period (~b*rto); per-message timers resend the whole block back-to-back \
+         (~rto + round trip) regardless of b.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* F4: reorder tolerance — goodput vs delay jitter. *)
+
+let f4_reorder_tolerance ~quick =
+  let messages = if quick then 300 else 1500 in
+  let seeds = if quick then [ 1 ] else [ 1; 2 ] in
+  let loss = 0.01 in
+  let jitters = [ 0; 25; 50; 100; 200 ] in
+  let rows =
+    List.map
+      (fun j ->
+        let delay = if j = 0 then Dist.Constant 50 else Dist.Uniform (50, 50 + j) in
+        (* rto must stay sound as max delay grows. *)
+        let rto = (2 * (50 + j)) + 100 in
+        let ba_config = Config.make ~window:16 ~rto ~wire_modulus:(Some 32) ~max_transit:(50 + j) () in
+        let unbounded = Config.make ~window:16 ~rto () in
+        let ba = average ~seeds ~messages ~config:ba_config ~loss ~delay Blockack.Protocols.multi in
+        let gbn =
+          average ~seeds ~messages ~config:unbounded ~loss ~delay Ba_baselines.Go_back_n.protocol
+        in
+        let sr =
+          average ~seeds ~messages ~config:ba_config ~loss ~delay
+            Ba_baselines.Selective_repeat.protocol
+        in
+        [
+          string_of_int j;
+          pct ba.reorder_frac;
+          fmt ba.goodput ^ (if ba.all_correct then "" else "!");
+          fmt sr.goodput ^ (if sr.all_correct then "" else "!");
+          fmt gbn.goodput ^ (if gbn.all_correct then "" else "!");
+          fmt gbn.retx_per_msg;
+        ])
+      jitters
+  in
+  {
+    id = "F4";
+    title = "Tolerating reorder: goodput vs delay jitter (base delay 50, 1% loss, w=16)";
+    headers =
+      [
+        "jitter";
+        "wire reorder";
+        "blockack-multi";
+        "selective-repeat";
+        "go-back-N";
+        "gbn retx/msg";
+      ];
+    rows;
+    notes =
+      [
+        "Paper claim: the protocol tolerates message disorder. Expected shape: blockack \
+         and selective-repeat degrade gently with jitter; in-order go-back-N discards \
+         every overtaken message, its retransmissions explode and goodput collapses.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* T3: acknowledgment economy. *)
+
+let t3_ack_overhead ~quick =
+  let messages = if quick then 500 else 2000 in
+  let seeds = if quick then [ 1 ] else [ 1; 2 ] in
+  let delay = Dist.Constant 50 in
+  let ba_config = Config.make ~window:16 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:50 () in
+  let ba_coalesced =
+    Config.make ~window:16 ~rto:400 ~wire_modulus:(Some 32) ~ack_coalesce:30 ~max_transit:50 ()
+  in
+  let unbounded = Config.make ~window:16 ~rto:300 () in
+  let protos =
+    [
+      ("blockack", Blockack.Protocols.simple, ba_config);
+      ("blockack+coalesce30", Blockack.Protocols.simple, ba_coalesced);
+      ("go-back-N", Ba_baselines.Go_back_n.protocol, unbounded);
+      ("selective-repeat", Ba_baselines.Selective_repeat.protocol, ba_config);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun loss ->
+        List.map
+          (fun (name, proto, config) ->
+            let a = average ~seeds ~messages ~config ~loss ~delay proto in
+            [
+              pct loss;
+              name;
+              fmt a.acks_per_msg;
+              fmt ~decimals:4 a.ack_bytes_per_byte;
+              fmt a.retx_per_msg;
+            ])
+          protos)
+      [ 0.0; 0.05 ]
+  in
+  {
+    id = "T3";
+    title = "Acknowledgment economy (32-byte payloads; block acks are 8B, single acks 4B)";
+    headers = [ "loss"; "protocol"; "acks/msg"; "ack bytes/payload byte"; "retx/msg" ];
+    rows;
+    notes =
+      [
+        "Paper, Section VI: a block ack acknowledges many messages for \"the small added \
+         expense\" of a second number. Selective repeat must ack every message; block \
+         acknowledgment amortises, especially with coalescing.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* T4: the Stenning real-time constraint vs domain size. *)
+
+let t4_stenning_domain ~quick =
+  let messages = if quick then 200 else 600 in
+  let seeds = [ 1 ] in
+  let delay = Dist.Constant 50 in
+  let loss = 0.01 in
+  let gap = 600 in
+  let domains = [ 4; 8; 16; 32; 64 ] in
+  let rows =
+    List.map
+      (fun n ->
+        let w = n / 2 in
+        let config = Config.make ~window:w ~rto:300 ~wire_modulus:(Some n) ~stenning_gap:gap () in
+        let st = average ~seeds ~messages ~config ~loss ~delay Ba_baselines.Stenning.protocol in
+        let ba_config = Config.make ~window:w ~rto:300 ~wire_modulus:(Some n) ~max_transit:50 () in
+        let ba = average ~seeds ~messages ~config:ba_config ~loss ~delay Blockack.Protocols.multi in
+        [
+          string_of_int n;
+          string_of_int w;
+          fmt st.goodput;
+          fmt (float_of_int n /. float_of_int gap *. 1000.);
+          fmt ba.goodput;
+          fmt (ba.goodput /. st.goodput);
+        ])
+      domains
+  in
+  {
+    id = "T4";
+    title =
+      Printf.sprintf
+        "Timer-based protocols vs domain size (reuse quarantine %d ticks, 1%% loss)" gap;
+    headers =
+      [ "domain n"; "window"; "stenning goodput"; "stenning cap (n/gap)"; "blockack"; "ratio" ];
+    rows;
+    notes =
+      [
+        "Paper, introduction: the Stenning/Lam-Shankar send constraint \"may adversely \
+         affect the rate of data transfer\" when the sequence-number domain is small. \
+         Steady-state Stenning throughput is capped at n/gap; block acknowledgment with \
+         the same n and window is only window/RTT-limited.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* F5: the Section VI slot-reuse extension. *)
+
+let f5_slot_reuse ~quick =
+  let messages = if quick then 500 else 2000 in
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+  let delay = Dist.Uniform (40, 60) in
+  let losses = [ 0.0; 0.02; 0.05; 0.1; 0.2 ] in
+  let plain_config = Config.make ~window:8 ~rto:300 ~wire_modulus:(Some 16) ~max_transit:60 () in
+  let reuse_config = Config.make ~window:8 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:60 () in
+  let reuse_proto = Blockack.Protocols.reuse ~lead_factor:2 () in
+  let rows =
+    List.map
+      (fun loss ->
+        let plain =
+          average ~seeds ~messages ~config:plain_config ~loss ~delay Blockack.Protocols.multi
+        in
+        let reuse = average ~seeds ~messages ~config:reuse_config ~loss ~delay reuse_proto in
+        [
+          pct loss;
+          fmt plain.goodput;
+          fmt reuse.goodput ^ (if reuse.all_correct then "" else "!");
+          Printf.sprintf "%+.0f%%" (100. *. ((reuse.goodput /. plain.goodput) -. 1.));
+        ])
+      losses
+  in
+  {
+    id = "F5";
+    title = "Section VI slot reuse: w=8 unacked budget, lead 16, n=32 vs plain w=8, n=16";
+    headers = [ "loss"; "plain blockack-multi"; "slot reuse"; "gain" ];
+    rows;
+    notes =
+      [
+        "Paper, Section VI: reusing acknowledged positions before earlier messages are \
+         acknowledged trades complexity (wider buffers, n = 2*lead) for throughput. \
+         Expected shape: no gain at 0% loss (window never blocks on a hole), growing \
+         gain with loss as head-of-line stalls disappear.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* F6: per-message delivery latency (head-of-line blocking made visible). *)
+
+let f6_latency ~quick =
+  let messages = if quick then 500 else 2000 in
+  let delay = Dist.Constant 50 in
+  let ba_config = Config.make ~window:16 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:50 () in
+  let unbounded = Config.make ~window:16 ~rto:300 () in
+  let protos =
+    [
+      ("blockack-simple", Blockack.Protocols.simple, ba_config);
+      ("blockack-multi", Blockack.Protocols.multi, ba_config);
+      ("go-back-N", Ba_baselines.Go_back_n.protocol, unbounded);
+      ("selective-repeat", Ba_baselines.Selective_repeat.protocol, ba_config);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun loss ->
+        List.map
+          (fun (name, proto, config) ->
+            let r =
+              Harness.run proto ~seed:17 ~messages ~config ~data_loss:loss ~ack_loss:loss
+                ~data_delay:delay ~ack_delay:delay ()
+            in
+            match r.Harness.latency with
+            | Some l ->
+                [
+                  pct loss;
+                  name;
+                  fmt ~decimals:0 l.Ba_util.Stats.p50;
+                  fmt ~decimals:0 l.Ba_util.Stats.p90;
+                  fmt ~decimals:0 l.Ba_util.Stats.p99;
+                  fmt ~decimals:0 l.Ba_util.Stats.max;
+                ]
+            | None -> [ pct loss; name; "-"; "-"; "-"; "-" ])
+          protos)
+      [ 0.0; 0.05 ]
+  in
+  {
+    id = "F6";
+    title = "Delivery latency in ticks (window entry to in-order delivery; RTT = 100)";
+    headers = [ "loss"; "protocol"; "p50"; "p90"; "p99"; "max" ];
+    rows;
+    notes =
+      [
+        "In-order delivery means one lost message delays everything behind it \
+         (head-of-line blocking) until recovery. Expected shape: identical ~RTT/2+delay \
+         medians at 0% loss; under loss the p99 tail is one timeout (~rto) for \
+         blockack-multi and selective-repeat, several timeouts for blockack-simple \
+         (serial recovery), and inflated for go-back-N (whole-window resends).";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* T5: piggybacked acknowledgments in a duplex session. *)
+
+let t5_piggyback ~quick =
+  let messages = if quick then 300 else 1000 in
+  let pace = 20 in
+  let run ~hold ~loss =
+    let d =
+      Blockack.Duplex.create ~seed:6 ~piggyback_hold:hold ~loss
+        ~on_receive_a:(fun _ -> ())
+        ~on_receive_b:(fun _ -> ())
+        ()
+    in
+    let engine = Blockack.Duplex.engine d in
+    for i = 1 to messages do
+      ignore
+        (Ba_sim.Engine.schedule engine ~delay:(i * pace) (fun () ->
+             Blockack.Duplex.send (Blockack.Duplex.a d) (Printf.sprintf "a%d" i);
+             Blockack.Duplex.send (Blockack.Duplex.b d) (Printf.sprintf "b%d" i)))
+    done;
+    Blockack.Duplex.run d;
+    let sa = Blockack.Duplex.stats (Blockack.Duplex.a d) in
+    let sb = Blockack.Duplex.stats (Blockack.Duplex.b d) in
+    let completed = Blockack.Duplex.idle d in
+    let tot f = f sa + f sb in
+    [
+      string_of_int hold;
+      pct loss;
+      string_of_int (tot (fun s -> s.Blockack.Duplex.data_frames));
+      string_of_int (tot (fun s -> s.Blockack.Duplex.pure_ack_frames));
+      string_of_int (tot (fun s -> s.Blockack.Duplex.piggybacked_acks));
+      (string_of_int (tot (fun s -> s.Blockack.Duplex.frames_sent))
+      ^ if completed then "" else "!");
+      Printf.sprintf "%.1f%%"
+        (100.
+        *. float_of_int (tot (fun s -> s.Blockack.Duplex.pure_ack_frames))
+        /. float_of_int (max 1 (tot (fun s -> s.Blockack.Duplex.data_frames))));
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun loss -> List.map (fun hold -> run ~hold ~loss) [ 0; 15; 25; 60 ])
+      [ 0.0; 0.05 ]
+  in
+  {
+    id = "T5";
+    title =
+      Printf.sprintf
+        "Piggybacked block acks in a duplex conversation (%d msgs each way, one every %d \
+         ticks)" messages pace;
+    headers =
+      [ "hold"; "loss"; "data frames"; "pure-ack frames"; "piggybacked"; "total frames";
+        "ack-frame overhead" ];
+    rows;
+    notes =
+      [
+        "Deployed window protocols carry acknowledgments on reverse data. Holding an \
+         ack briefly (>= the app's pacing) lets nearly every block ack ride for free; \
+         hold=0 degenerates to a dedicated ack channel. Adjacent pending blocks merge \
+         into wider blocks — the block-ack property doing the coalescing.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A1 (extension ablation): fixed vs adaptive retransmission timeout. *)
+
+let a1_adaptive_rto ~quick =
+  let messages = if quick then 400 else 1500 in
+  let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
+  let delay = Dist.Uniform (40, 100) in
+  let loss = 0.05 in
+  let run_fixed rto =
+    let config = Config.make ~window:16 ~rto () in
+    average ~seeds ~messages ~config ~loss ~delay Blockack.Protocols.multi
+  in
+  let run_adaptive initial =
+    let config = Config.make ~window:16 ~rto:initial ~adaptive_rto:true () in
+    average ~seeds ~messages ~config ~loss ~delay Blockack.Protocols.multi
+  in
+  let describe name a =
+    [ name; fmt a.goodput ^ (if a.all_correct then "" else "!"); fmt a.retx_per_msg ]
+  in
+  let rows =
+    List.map (fun rto -> describe (Printf.sprintf "fixed rto=%d" rto) (run_fixed rto))
+      [ 150; 300; 600; 1500 ]
+    @ List.map
+        (fun initial -> describe (Printf.sprintf "adaptive (initial %d)" initial) (run_adaptive initial))
+        [ 300; 1500 ]
+  in
+  {
+    id = "A1";
+    title =
+      "Extension ablation: fixed vs adaptive timeout (delay U[40,100], 5% loss, unbounded \
+       wire numbers)";
+    headers = [ "timeout policy"; "goodput"; "retx/msg" ];
+    rows;
+    notes =
+      [
+        "The paper assumes an accurately chosen timeout (rto > 2*max delay = 200 here). \
+         An under-estimated fixed rto retransmits spuriously; an over-estimated one \
+         recovers slowly. The Jacobson/Karels estimator (Karn's rule, exponential \
+         backoff) converges to the real round trip from either starting point.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A2 (extension ablation): variable-size windows over a bottleneck. *)
+
+let a2_dynamic_window ~quick =
+  let messages = if quick then 600 else 2000 in
+  let delay = Dist.Constant 50 in
+  let bottleneck = (10, 10) in
+  (* service: 1 msg / 10 ticks (100 msgs per kilotick), FIFO queue of 10 *)
+  let run ~dynamic w =
+    let config = Config.make ~window:w ~rto:400 ~dynamic_window:dynamic () in
+    Harness.run Blockack.Protocols.multi ~seed:3 ~messages ~config ~data_delay:delay
+      ~ack_delay:delay ~data_bottleneck:bottleneck
+      ~deadline:(messages * 10_000) ()
+  in
+  let describe name (r : Harness.result) =
+    [
+      name;
+      (if Harness.correct r then fmt r.Harness.goodput else "WEDGED");
+      string_of_int r.Harness.retransmissions;
+      string_of_int r.Harness.data_queue_dropped;
+    ]
+  in
+  let rows =
+    List.map (fun w -> describe (Printf.sprintf "fixed w=%d" w) (run ~dynamic:false w))
+      [ 4; 8; 16; 32 ]
+    @ [ describe "AIMD (max 64)" (run ~dynamic:true 64) ]
+  in
+  {
+    id = "A2";
+    title =
+      "Section VI variable windows: fixed vs AIMD window over a bottleneck queue (100 msgs/kilotick, 10-slot FIFO, tail drop)";
+    headers = [ "window policy"; "goodput"; "retx"; "queue drops" ];
+    rows;
+    notes =
+      [
+        "With load-dependent loss, a fixed window beyond the bandwidth-delay product (~11 messages here) overflows the queue; retransmissions add load and the largest fixed windows collapse. The AIMD window (+1/RTT, halve on timeout) finds the operating point by itself — the paper's 'variable size windows' remark, quantified. Unbounded wire numbers (queueing extends message lifetime beyond what a mod-2w timeout bound can promise).";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A3 (extension ablation): two flows share the bottleneck — fairness. *)
+
+let a3_fairness ~quick =
+  let messages = if quick then 400 else 1500 in
+  (* Two independent block-ack flows share one bottleneck queue on the
+     data path (acks return on private links). We observe each flow's
+     delivered count at the moment the first flow completes: a fair
+     sharing policy keeps the ratio near 1. *)
+  let run_pair ~dynamic ~w =
+    let engine = Ba_sim.Engine.create ~seed:5 () in
+    let config = Config.make ~window:w ~rto:400 ~dynamic_window:dynamic () in
+    let delivered = [| 0; 0 |] in
+    let at_first_finish = ref None in
+    let receivers = Array.make 2 None in
+    let shared =
+      Ba_channel.Link.create engine ~delay:(Dist.Constant 50) ~bottleneck:(10, 10)
+        ~deliver:(fun (flow, d) ->
+          match receivers.(flow) with
+          | Some r -> Blockack.Receiver.on_data r d
+          | None -> ())
+        ()
+    in
+    let senders = Array.make 2 None in
+    let flows =
+      Array.init 2 (fun flow ->
+          let ack_link =
+            Ba_channel.Link.create engine ~delay:(Dist.Constant 50)
+              ~deliver:(fun a ->
+                match senders.(flow) with
+                | Some s -> Blockack.Sender_multi.on_ack s a
+                | None -> ())
+              ()
+          in
+          let sender =
+            Blockack.Sender_multi.create engine config
+              ~tx:(fun d -> Ba_channel.Link.send shared (flow, d))
+              ~next_payload:
+                (Ba_proto.Workload.supplier ~seed:(100 + flow) ~size:32 ~count:messages)
+          in
+          let receiver =
+            Blockack.Receiver.create engine config
+              ~tx:(Ba_channel.Link.send ack_link)
+              ~deliver:(fun _ ->
+                delivered.(flow) <- delivered.(flow) + 1;
+                if delivered.(flow) = messages && !at_first_finish = None then
+                  at_first_finish := Some (delivered.(0), delivered.(1)))
+          in
+          senders.(flow) <- Some sender;
+          receivers.(flow) <- Some receiver;
+          sender)
+    in
+    Array.iter Blockack.Sender_multi.pump flows;
+    let finish_time = ref None in
+    let rec watch () =
+      if delivered.(0) = messages && delivered.(1) = messages then begin
+        finish_time := Some (Ba_sim.Engine.now engine);
+        Ba_sim.Engine.stop engine
+      end
+      else ignore (Ba_sim.Engine.schedule engine ~delay:500 watch)
+    in
+    ignore (Ba_sim.Engine.schedule engine ~delay:500 watch);
+    Ba_sim.Engine.run ~until:(messages * 10_000) engine;
+    let d0, d1 = Option.value ~default:(delivered.(0), delivered.(1)) !at_first_finish in
+    let retx =
+      Array.fold_left
+        (fun acc s -> acc + Blockack.Sender_multi.retransmissions (Option.get s))
+        0 senders
+    in
+    (d0, d1, !finish_time, retx)
+  in
+  let describe name (d0, d1, finish, retx) =
+    let share_ratio = float_of_int (min d0 d1) /. float_of_int (max 1 (max d0 d1)) in
+    [
+      name;
+      string_of_int d0;
+      string_of_int d1;
+      fmt ~decimals:2 share_ratio;
+      (match finish with Some t -> string_of_int t | None -> "WEDGED");
+      string_of_int retx;
+    ]
+  in
+  let rows =
+    [
+      describe "2 x fixed w=4" (run_pair ~dynamic:false ~w:4);
+      describe "2 x fixed w=8" (run_pair ~dynamic:false ~w:8);
+      describe "2 x fixed w=32" (run_pair ~dynamic:false ~w:32);
+      describe "2 x AIMD (max 64)" (run_pair ~dynamic:true ~w:64);
+    ]
+  in
+  {
+    id = "A3";
+    title =
+      "Two competing flows on one bottleneck (100 msgs/kilotick, 10-slot queue): share at \
+       first finish";
+    headers =
+      [ "policy"; "flow A delivered"; "flow B delivered"; "min/max share"; "ticks"; "retx" ];
+    rows;
+    notes =
+      [
+        "Fairness view of A2: with AIMD both flows back off and converge to an even \
+         split of the bottleneck; fixed windows beyond half the bandwidth-delay product \
+         fight over the queue, and the combined load degrades both.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let all ~quick =
+  [
+    t1_intro_scenario ();
+    t2_verification ~quick;
+    f1_goodput_vs_loss ~quick;
+    f2_goodput_vs_window ~quick;
+    f3_recovery_time ~quick;
+    f4_reorder_tolerance ~quick;
+    t3_ack_overhead ~quick;
+    f6_latency ~quick;
+    t4_stenning_domain ~quick;
+    f5_slot_reuse ~quick;
+    t5_piggyback ~quick;
+    a1_adaptive_rto ~quick;
+    a2_dynamic_window ~quick;
+    a3_fairness ~quick;
+  ]
+
+let print_table t =
+  Printf.printf "\n=== %s: %s ===\n" t.id t.title;
+  Ba_util.Table.print ~headers:t.headers t.rows;
+  List.iter (fun n -> Printf.printf "  note: %s\n" n) t.notes;
+  print_newline ()
+
+let run_all ~quick = List.iter print_table (all ~quick)

@@ -1,0 +1,1 @@
+lib/proto/harness.ml: Ba_channel Ba_sim Ba_util Format Hashtbl Proto_config Protocol String Wire Workload

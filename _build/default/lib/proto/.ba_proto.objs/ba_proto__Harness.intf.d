@@ -1,0 +1,1 @@
+lib/proto/harness.mli: Ba_channel Ba_sim Ba_util Format Proto_config Protocol Wire

@@ -1,0 +1,1 @@
+lib/proto/proto_config.ml: Format Option Printf

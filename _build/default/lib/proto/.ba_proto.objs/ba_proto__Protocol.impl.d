@@ -1,0 +1,1 @@
+lib/proto/protocol.ml: Ba_sim Proto_config Wire

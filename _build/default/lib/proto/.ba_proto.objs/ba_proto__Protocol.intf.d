@@ -1,0 +1,1 @@
+lib/proto/protocol.mli: Ba_sim Proto_config Wire

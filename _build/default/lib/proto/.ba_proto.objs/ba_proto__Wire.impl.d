@@ -1,0 +1,1 @@
+lib/proto/wire.ml: Format String

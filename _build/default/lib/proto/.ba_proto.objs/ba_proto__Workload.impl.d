@@ -1,0 +1,1 @@
+lib/proto/workload.ml: Ba_util Printf String

@@ -1,0 +1,67 @@
+type t = {
+  window : int;
+  rto : int;
+  wire_modulus : int option;
+  ack_coalesce : int;
+  stenning_gap : int;
+  dynamic_window : bool;
+  adaptive_rto : bool;
+  max_transit : int option;
+}
+
+let default =
+  {
+    window = 16;
+    rto = 250;
+    wire_modulus = None;
+    ack_coalesce = 0;
+    stenning_gap = 0;
+    dynamic_window = false;
+    adaptive_rto = false;
+    max_transit = None;
+  }
+
+let validate t =
+  if t.window <= 0 then invalid_arg "Proto_config: window must be positive";
+  if t.rto <= 0 then invalid_arg "Proto_config: rto must be positive";
+  if t.ack_coalesce < 0 then invalid_arg "Proto_config: ack_coalesce must be >= 0";
+  if t.stenning_gap < 0 then invalid_arg "Proto_config: stenning_gap must be >= 0";
+  (match t.max_transit with
+  | Some m when m <= 0 -> invalid_arg "Proto_config: max_transit must be positive"
+  | Some m when t.rto <= (2 * m) + t.ack_coalesce ->
+      invalid_arg "Proto_config: rto must exceed 2*max_transit + ack_coalesce"
+  | Some _ | None -> ());
+  match t.wire_modulus with
+  | None -> ()
+  | Some n ->
+      (* n >= w + 1 is the bare minimum for any windowed scheme; block
+         acknowledgment additionally needs n >= 2w, which the block-ack
+         endpoints enforce themselves. *)
+      if n < t.window + 1 then
+        invalid_arg
+          (Printf.sprintf "Proto_config: wire modulus %d < window+1=%d" n (t.window + 1))
+
+let make ?window ?rto ?wire_modulus ?ack_coalesce ?stenning_gap ?dynamic_window ?adaptive_rto
+    ?max_transit () =
+  let t =
+    {
+      window = Option.value ~default:default.window window;
+      rto = Option.value ~default:default.rto rto;
+      wire_modulus = Option.value ~default:default.wire_modulus wire_modulus;
+      ack_coalesce = Option.value ~default:default.ack_coalesce ack_coalesce;
+      stenning_gap = Option.value ~default:default.stenning_gap stenning_gap;
+      dynamic_window = Option.value ~default:default.dynamic_window dynamic_window;
+      adaptive_rto = Option.value ~default:default.adaptive_rto adaptive_rto;
+      max_transit;
+    }
+  in
+  validate t;
+  t
+
+let hold_duration t =
+  match t.max_transit with Some m -> (2 * m) + t.ack_coalesce | None -> t.rto
+
+let pp ppf t =
+  Format.fprintf ppf "w=%d rto=%d mod=%s coalesce=%d" t.window t.rto
+    (match t.wire_modulus with None -> "none" | Some n -> string_of_int n)
+    t.ack_coalesce

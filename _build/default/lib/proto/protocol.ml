@@ -1,0 +1,30 @@
+module type S = sig
+  val name : string
+
+  type sender
+  type receiver
+
+  val create_sender :
+    Ba_sim.Engine.t ->
+    Proto_config.t ->
+    tx:(Wire.data -> unit) ->
+    next_payload:(unit -> string option) ->
+    sender
+
+  val create_receiver :
+    Ba_sim.Engine.t ->
+    Proto_config.t ->
+    tx:(Wire.ack -> unit) ->
+    deliver:(string -> unit) ->
+    receiver
+
+  val sender_on_ack : sender -> Wire.ack -> unit
+  val receiver_on_data : receiver -> Wire.data -> unit
+  val sender_pump : sender -> unit
+  val sender_done : sender -> bool
+  val sender_outstanding : sender -> int
+  val sender_retransmissions : sender -> int
+  val ack_wire_bytes : int
+end
+
+type t = (module S)

@@ -1,0 +1,53 @@
+(** The interface every simulated protocol implements.
+
+    A protocol is a sender half and a receiver half, each driven entirely
+    by callbacks: the harness wires [tx] into a lossy {!Ba_channel.Link}
+    and feeds arriving messages back into [sender_on_ack] /
+    [receiver_on_data]. The sender pulls application payloads through the
+    [next_payload] supplier whenever its window has room, so flow control
+    stays inside the protocol where it belongs. *)
+
+module type S = sig
+  val name : string
+
+  type sender
+  type receiver
+
+  val create_sender :
+    Ba_sim.Engine.t ->
+    Proto_config.t ->
+    tx:(Wire.data -> unit) ->
+    next_payload:(unit -> string option) ->
+    sender
+  (** [next_payload] returns [None] when the application has nothing more
+      to send; the sender calls it again after acknowledgments open the
+      window. *)
+
+  val create_receiver :
+    Ba_sim.Engine.t ->
+    Proto_config.t ->
+    tx:(Wire.ack -> unit) ->
+    deliver:(string -> unit) ->
+    receiver
+  (** [deliver] receives payloads in application order, exactly once each
+      (for a correct protocol — the harness counts violations). *)
+
+  val sender_on_ack : sender -> Wire.ack -> unit
+  val receiver_on_data : receiver -> Wire.data -> unit
+
+  val sender_pump : sender -> unit
+  (** Ask the sender to (re)fill its window from [next_payload]; called
+      once by the harness at start and harmless at any other time. *)
+
+  val sender_done : sender -> bool
+  (** Every payload ever accepted from [next_payload] is acknowledged and
+      the supplier is exhausted. *)
+
+  val sender_outstanding : sender -> int
+  val sender_retransmissions : sender -> int
+
+  val ack_wire_bytes : int
+  (** Size of this protocol's acknowledgment on the wire. *)
+end
+
+type t = (module S)

@@ -1,0 +1,20 @@
+type t = { supplier : unit -> string option; mutable pending : string option }
+
+let create supplier = { supplier; pending = None }
+
+let next t =
+  match t.pending with
+  | Some _ as p ->
+      t.pending <- None;
+      p
+  | None -> t.supplier ()
+
+let exhausted t =
+  match t.pending with
+  | Some _ -> false
+  | None -> (
+      match t.supplier () with
+      | None -> true
+      | Some p ->
+          t.pending <- Some p;
+          false)

@@ -1,0 +1,20 @@
+(** Payload source with one-slot lookahead.
+
+    Senders pull payloads from a [unit -> string option] supplier. A
+    supplier returning [None] means "nothing available now", not
+    necessarily "never again" — an application may queue more data later
+    (as {!Blockack.Connection} does). This wrapper re-polls on demand and
+    buffers at most one payload so that checking for exhaustion never
+    loses data. *)
+
+type t
+
+val create : (unit -> string option) -> t
+
+val next : t -> string option
+(** Take the buffered payload if any, otherwise poll the supplier. *)
+
+val exhausted : t -> bool
+(** [true] when nothing is available right now: the lookahead slot is
+    empty and a fresh poll returned [None]. A payload obtained by the
+    poll is kept for the next {!next}. *)

@@ -1,0 +1,12 @@
+type data = { seq : int; payload : string }
+
+type ack = { lo : int; hi : int }
+
+let data_header_bytes = 8
+let ack_bytes_block = 8
+let ack_bytes_single = 4
+
+let data_bytes d = data_header_bytes + String.length d.payload
+
+let pp_data ppf d = Format.fprintf ppf "data(seq=%d,%dB)" d.seq (String.length d.payload)
+let pp_ack ppf a = Format.fprintf ppf "ack(%d,%d)" a.lo a.hi

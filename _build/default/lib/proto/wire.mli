@@ -1,0 +1,26 @@
+(** Wire messages exchanged by the simulated protocols.
+
+    Data messages carry a sequence number (possibly modulo-encoded,
+    depending on the protocol's configuration) and an opaque payload.
+    Acknowledgments carry the paper's pair [(lo, hi)]; protocols that use
+    single-number acks (go-back-N, selective repeat) set [lo = hi], which
+    also gives a uniform basis for byte accounting. *)
+
+type data = { seq : int; payload : string }
+
+type ack = { lo : int; hi : int }
+
+val data_header_bytes : int
+(** Fixed per-data-message header cost used for overhead accounting. *)
+
+val ack_bytes_block : int
+(** Bytes of a two-number block acknowledgment. *)
+
+val ack_bytes_single : int
+(** Bytes of a classic one-number acknowledgment. *)
+
+val data_bytes : data -> int
+(** Header plus payload length. *)
+
+val pp_data : Format.formatter -> data -> unit
+val pp_ack : Format.formatter -> ack -> unit

@@ -1,0 +1,30 @@
+let filler_alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+
+let payload ~seed ~size i =
+  if i < 0 then invalid_arg "Workload.payload: negative index";
+  let prefix = Printf.sprintf "m:%d:" i in
+  let pad = max 0 (size - String.length prefix) in
+  let rng = Ba_util.Rng.create ((seed * 1_000_003) + i) in
+  let filler =
+    String.init pad (fun _ ->
+        filler_alphabet.[Ba_util.Rng.int rng (String.length filler_alphabet)])
+  in
+  prefix ^ filler
+
+let index_of s =
+  if String.length s >= 2 && s.[0] = 'm' && s.[1] = ':' then begin
+    match String.index_from_opt s 2 ':' with
+    | None -> None
+    | Some stop -> int_of_string_opt (String.sub s 2 (stop - 2))
+  end
+  else None
+
+let supplier ~seed ~size ~count =
+  let next = ref 0 in
+  fun () ->
+    if !next >= count then None
+    else begin
+      let p = payload ~seed ~size !next in
+      incr next;
+      Some p
+    end

@@ -1,0 +1,18 @@
+(** Deterministic application workloads.
+
+    A workload is a finite sequence of self-describing payloads: each
+    embeds its index, so the harness can verify ordering, uniqueness and
+    integrity of what the receiver delivers without keeping a copy of
+    every message. *)
+
+val payload : seed:int -> size:int -> int -> string
+(** [payload ~seed ~size i] is the [i]-th payload: an ["m:<i>:"] prefix
+    padded with seeded pseudo-random filler up to [size] bytes (or longer
+    if the prefix alone exceeds [size]). Deterministic in [(seed, size, i)]. *)
+
+val index_of : string -> int option
+(** Parse the embedded index back out of a payload. *)
+
+val supplier : seed:int -> size:int -> count:int -> unit -> string option
+(** A stateful pull source yielding payloads [0 .. count-1] then [None]
+    forever. *)

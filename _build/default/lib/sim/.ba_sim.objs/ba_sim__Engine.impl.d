@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Ba_util List

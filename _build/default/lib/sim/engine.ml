@@ -1,0 +1,95 @@
+exception Stopped
+
+type event = { time : int; action : unit -> unit; mutable live : bool }
+
+type handle = event
+
+type t = {
+  mutable clock : int;
+  queue : event Ba_util.Heap.t;
+  rng : Ba_util.Rng.t;
+  mutable pending : int;
+  mutable stopping : bool;
+}
+
+let create ?(seed = 1) () =
+  {
+    clock = 0;
+    queue = Ba_util.Heap.create ~cmp:(fun a b -> compare a.time b.time) ();
+    rng = Ba_util.Rng.create seed;
+    pending = 0;
+    stopping = false;
+  }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t ~at action =
+  if at < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let event = { time = at; action; live = true } in
+  Ba_util.Heap.push t.queue event;
+  t.pending <- t.pending + 1;
+  event
+
+let schedule t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~at:(t.clock + delay) action
+
+(* Cancellation is lazy: the event stays in the heap, marked dead, and is
+   skipped when popped. [pending] counts live events only, so it drops here. *)
+let cancel h =
+  if h.live then h.live <- false
+
+let is_pending h = h.live
+
+let live_count t =
+  Ba_util.Heap.to_sorted_list t.queue |> List.filter (fun e -> e.live) |> List.length
+
+let pending_events t =
+  t.pending <- live_count t;
+  t.pending
+
+let rec next_live t =
+  match Ba_util.Heap.pop t.queue with
+  | None -> None
+  | Some e when not e.live -> next_live t
+  | Some e -> Some e
+
+let step t =
+  match next_live t with
+  | None -> false
+  | Some e ->
+      t.clock <- e.time;
+      e.live <- false;
+      e.action ();
+      true
+
+let stop t = t.stopping <- true
+
+let run ?until ?max_events t =
+  t.stopping <- false;
+  let fired = ref 0 in
+  let budget_ok () = match max_events with None -> true | Some m -> !fired < m in
+  let rec loop () =
+    if t.stopping || not (budget_ok ()) then ()
+    else begin
+      match Ba_util.Heap.peek t.queue with
+      | None -> ()
+      | Some e when not e.live ->
+          ignore (Ba_util.Heap.pop t.queue);
+          loop ()
+      | Some e -> begin
+          match until with
+          | Some horizon when e.time > horizon -> ()
+          | Some _ | None ->
+              if step t then begin
+                incr fired;
+                loop ()
+              end
+        end
+    end
+  in
+  loop ();
+  match until with
+  | Some horizon when not t.stopping && budget_ok () -> t.clock <- max t.clock horizon
+  | Some _ | None -> ()

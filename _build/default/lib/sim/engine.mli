@@ -1,0 +1,50 @@
+(** Deterministic discrete-event simulation engine.
+
+    Model time is an integer tick count (one tick reads naturally as one
+    microsecond, but nothing depends on the unit). Events scheduled for
+    the same tick fire in scheduling order, so a run is fully determined
+    by the seed and the program. *)
+
+type t
+
+type handle
+(** A scheduled event; can be cancelled until it fires. *)
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] starts a simulation at tick 0 with a generator
+    seeded by [seed] (default 1). *)
+
+val now : t -> int
+(** Current tick. *)
+
+val rng : t -> Ba_util.Rng.t
+(** The engine's random stream. Components wanting independent streams
+    should [Ba_util.Rng.split] it at setup time. *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> handle
+(** [schedule t ~delay f] arranges for [f ()] to run at [now t + delay].
+    Requires [delay >= 0]. *)
+
+val schedule_at : t -> at:int -> (unit -> unit) -> handle
+(** Absolute-time variant. Requires [at >= now t]. *)
+
+val cancel : handle -> unit
+(** Cancel a pending event; no-op if it already fired or was cancelled. *)
+
+val is_pending : handle -> bool
+
+val pending_events : t -> int
+(** Number of not-yet-fired, not-cancelled events. *)
+
+val step : t -> bool
+(** Fire the next event. Returns [false] when the queue is empty. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
+(** Fire events until the queue drains, [until] ticks is reached
+    (events at [until] and beyond stay pending, with the clock advanced
+    to [until]), or [max_events] have fired. *)
+
+val stop : t -> unit
+(** Make the current [run] return after the event in progress. *)
+
+exception Stopped

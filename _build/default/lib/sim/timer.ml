@@ -1,0 +1,40 @@
+type t = {
+  engine : Engine.t;
+  mutable duration : int;
+  callback : unit -> unit;
+  mutable handle : Engine.handle option;
+  mutable expiry : int;
+}
+
+let create engine ~duration callback =
+  if duration < 0 then invalid_arg "Timer.create: negative duration";
+  { engine; duration; callback; handle = None; expiry = 0 }
+
+let stop t =
+  match t.handle with
+  | None -> ()
+  | Some h ->
+      Engine.cancel h;
+      t.handle <- None
+
+let start_for t duration =
+  stop t;
+  t.expiry <- Engine.now t.engine + duration;
+  let h =
+    Engine.schedule t.engine ~delay:duration (fun () ->
+        t.handle <- None;
+        t.callback ())
+  in
+  t.handle <- Some h
+
+let start t = start_for t t.duration
+
+let is_armed t = match t.handle with Some h -> Engine.is_pending h | None -> false
+
+let duration t = t.duration
+
+let set_duration t d =
+  if d < 0 then invalid_arg "Timer.set_duration: negative duration";
+  t.duration <- d
+
+let remaining t = if is_armed t then Some (max 0 (t.expiry - Engine.now t.engine)) else None

@@ -1,0 +1,29 @@
+(** Restartable one-shot timer on top of {!Engine}.
+
+    The shape every retransmission timer in the protocol layer needs:
+    [start] (re)arms it, [stop] disarms it, and the callback fires once
+    per arming when the duration elapses. *)
+
+type t
+
+val create : Engine.t -> duration:int -> (unit -> unit) -> t
+(** [create engine ~duration f] makes a stopped timer that, once started,
+    calls [f ()] after [duration] ticks. Requires [duration >= 0]. *)
+
+val start : t -> unit
+(** Arm, or re-arm from now if already armed. *)
+
+val start_for : t -> int -> unit
+(** Arm with a one-off duration, overriding the default for this arming. *)
+
+val stop : t -> unit
+
+val is_armed : t -> bool
+
+val duration : t -> int
+
+val set_duration : t -> int -> unit
+(** Change the default duration; takes effect at the next [start]. *)
+
+val remaining : t -> int option
+(** Ticks until expiry when armed. *)

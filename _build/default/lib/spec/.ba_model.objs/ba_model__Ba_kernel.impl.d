@@ -1,0 +1,1 @@
+lib/spec/ba_kernel.ml: Ba_channel Format Invariant Iset List Printf Spec_types

@@ -1,0 +1,1 @@
+lib/spec/ba_kernel.mli: Ba_channel Format Invariant Iset Spec_types

@@ -1,0 +1,1 @@
+lib/spec/ba_reuse_spec.ml: Ba_channel Ba_spec_finite Ba_util Format Invariant Iset List Printf Spec_types

@@ -1,0 +1,1 @@
+lib/spec/ba_reuse_spec.mli: Ba_channel Ba_spec_finite Iset Spec_types

@@ -1,0 +1,1 @@
+lib/spec/ba_spec.ml: Ba_channel Ba_kernel Invariant Iset Printf Spec_types

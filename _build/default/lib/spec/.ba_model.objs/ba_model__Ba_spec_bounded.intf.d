@@ -1,0 +1,1 @@
+lib/spec/ba_spec_bounded.mli: Spec_types

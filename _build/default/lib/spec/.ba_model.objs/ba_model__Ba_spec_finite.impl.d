@@ -1,0 +1,1 @@
+lib/spec/ba_spec_finite.ml: Ba_channel Ba_util Format Invariant Iset List Printf Spec_types

@@ -1,0 +1,1 @@
+lib/spec/ba_spec_finite.mli: Ba_channel Iset Spec_types

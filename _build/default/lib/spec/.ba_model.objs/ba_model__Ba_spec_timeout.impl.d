@@ -1,0 +1,1 @@
+lib/spec/ba_spec_timeout.ml: Ba_channel Ba_kernel Invariant Iset List Printf Spec_types

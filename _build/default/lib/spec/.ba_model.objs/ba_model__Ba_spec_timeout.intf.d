@@ -1,0 +1,1 @@
+lib/spec/ba_spec_timeout.mli: Ba_kernel Spec_types

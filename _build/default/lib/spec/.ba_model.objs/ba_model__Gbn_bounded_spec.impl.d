@@ -1,0 +1,1 @@
+lib/spec/gbn_bounded_spec.ml: Ba_channel Ba_util Format List Printf Spec_types

@@ -1,0 +1,1 @@
+lib/spec/gbn_bounded_spec.mli: Ba_channel Spec_types

@@ -1,0 +1,1 @@
+lib/spec/invariant.mli:

@@ -1,0 +1,1 @@
+lib/spec/iset.ml: Format List String

@@ -1,0 +1,1 @@
+lib/spec/iset.mli: Format

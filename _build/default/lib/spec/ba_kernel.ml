@@ -1,0 +1,122 @@
+open Spec_types
+module M = Ba_channel.Multiset
+
+type params = { w : int; limit : int }
+
+type state = {
+  na : int;
+  ns : int;
+  ackd : Iset.t;
+  nr : int;
+  vr : int;
+  rcvd : Iset.t;
+  csr : int M.t;
+  crs : (int * int) M.t;
+}
+
+let validate p =
+  if p.w <= 0 then invalid_arg "Ba_kernel: w must be positive";
+  if p.limit < 0 then invalid_arg "Ba_kernel: limit must be >= 0"
+
+let initial =
+  {
+    na = 0;
+    ns = 0;
+    ackd = Iset.empty;
+    nr = 0;
+    vr = 0;
+    rcvd = Iset.empty;
+    csr = M.empty;
+    crs = M.empty;
+  }
+
+let rec advance_na na ackd = if Iset.mem na ackd then advance_na (na + 1) ackd else na
+
+(* Action 0: ns < na + w -> send ns; ns := ns + 1. [limit] bounds the
+   input sequence so the state space stays finite. *)
+let send_new p s =
+  if s.ns < s.na + p.w && s.ns < p.limit then
+    [ { label = Printf.sprintf "send(%d)" s.ns;
+        kind = Protocol;
+        target = { s with csr = M.add s.ns s.csr; ns = s.ns + 1 } } ]
+  else []
+
+(* Action 1: rcv (i, j) -> ackd[i..j] := true; advance na. *)
+let recv_ack s =
+  List.map
+    (fun ((i, j) as ack) ->
+      let ackd = Iset.add_range ~lo:i ~hi:j s.ackd in
+      let na = advance_na s.na ackd in
+      { label = Printf.sprintf "recv_ack(%d,%d)" i j;
+        kind = Protocol;
+        target = { s with crs = M.remove ack s.crs; ackd; na } })
+    (M.distinct s.crs)
+
+(* Action 3: rcv v -> if v < nr then send (v, v) else rcvd[v] := true. *)
+let recv_data s =
+  List.map
+    (fun v ->
+      let csr = M.remove v s.csr in
+      let target =
+        if v < s.nr then { s with csr; crs = M.add (v, v) s.crs }
+        else { s with csr; rcvd = Iset.add v s.rcvd }
+      in
+      { label = Printf.sprintf "recv_data(%d)" v; kind = Protocol; target })
+    (M.distinct s.csr)
+
+(* Action 4: rcvd[vr] -> vr := vr + 1. *)
+let advance_vr s =
+  if Iset.mem s.vr s.rcvd then
+    [ { label = Printf.sprintf "advance_vr(%d)" s.vr;
+        kind = Protocol;
+        target = { s with vr = s.vr + 1 } } ]
+  else []
+
+(* Action 5: nr < vr -> send (nr, vr - 1); nr := vr. *)
+let send_ack s =
+  if s.nr < s.vr then
+    [ { label = Printf.sprintf "send_ack(%d,%d)" s.nr (s.vr - 1);
+        kind = Protocol;
+        target = { s with crs = M.add (s.nr, s.vr - 1) s.crs; nr = s.vr } } ]
+  else []
+
+let lose s =
+  List.map
+    (fun v ->
+      { label = Printf.sprintf "lose_data(%d)" v;
+        kind = Loss;
+        target = { s with csr = M.remove v s.csr } })
+    (M.distinct s.csr)
+  @ List.map
+      (fun ((i, j) as ack) ->
+        { label = Printf.sprintf "lose_ack(%d,%d)" i j;
+          kind = Loss;
+          target = { s with crs = M.remove ack s.crs } })
+      (M.distinct s.crs)
+
+let sr_count s m = M.count m s.csr
+let rs_count s m = M.filter_count (fun (x, y) -> x <= m && m <= y) s.crs
+
+let view p s =
+  {
+    Invariant.w = p.w;
+    na = s.na;
+    ns = s.ns;
+    nr = s.nr;
+    vr = s.vr;
+    ackd = (fun m -> Iset.mem m s.ackd);
+    rcvd = (fun m -> Iset.mem m s.rcvd);
+    sr_count = sr_count s;
+    rs_count = rs_count s;
+    horizon = p.limit + p.w + 2;
+  }
+
+let measure s = s.na + s.ns + s.nr + s.vr
+
+let pp ppf s =
+  Format.fprintf ppf "S{na=%d ns=%d ackd=%a} R{nr=%d vr=%d rcvd=%a} CSR=%a CRS=%a" s.na s.ns
+    Iset.pp s.ackd s.nr s.vr Iset.pp s.rcvd
+    (M.pp Format.pp_print_int)
+    s.csr
+    (M.pp (fun ppf (i, j) -> Format.fprintf ppf "(%d,%d)" i j))
+    s.crs

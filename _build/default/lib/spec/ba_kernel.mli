@@ -1,0 +1,59 @@
+(** Shared kernel for the block-acknowledgment specs.
+
+    Sections II and IV differ only in the timeout action (2 vs 2′), and
+    Section V only re-encodes what crosses the wire. This module holds the
+    state record and the actions common to all variants so each spec
+    assembles its transition relation without duplicating the others. *)
+
+type params = { w : int; limit : int }
+
+type state = {
+  na : int;
+  ns : int;
+  ackd : Iset.t;
+  nr : int;
+  vr : int;
+  rcvd : Iset.t;
+  csr : int Ba_channel.Multiset.t;  (** data messages in transit, S -> R *)
+  crs : (int * int) Ba_channel.Multiset.t;  (** block acks in transit, R -> S *)
+}
+
+val validate : params -> unit
+(** Raises [Invalid_argument] on a non-positive window or negative limit. *)
+
+val initial : state
+
+val advance_na : int -> Iset.t -> int
+(** Action 1's trailing loop: skip over consecutively acknowledged
+    sequence numbers. *)
+
+val send_new : params -> state -> state Spec_types.transition list
+(** Action 0. *)
+
+val recv_ack : state -> state Spec_types.transition list
+(** Action 1, one transition per distinct in-transit acknowledgment. *)
+
+val recv_data : state -> state Spec_types.transition list
+(** Action 3, one transition per distinct in-transit data message. *)
+
+val advance_vr : state -> state Spec_types.transition list
+(** Action 4. *)
+
+val send_ack : state -> state Spec_types.transition list
+(** Action 5. *)
+
+val lose : state -> state Spec_types.transition list
+(** Environment: drop any one in-transit message. *)
+
+val sr_count : state -> int -> int
+(** #SR m. *)
+
+val rs_count : state -> int -> int
+(** #RS m (acks whose range covers m). *)
+
+val view : params -> state -> Invariant.view
+
+val measure : state -> int
+(** na + ns + nr + vr. *)
+
+val pp : Format.formatter -> state -> unit

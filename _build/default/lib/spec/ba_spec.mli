@@ -1,0 +1,18 @@
+(** Section II: the window protocol with block acknowledgments, unbounded
+    sequence numbers, and the simple whole-channel timeout (action 2).
+
+    The spec is a faithful transcription of processes S and R: actions
+    0–5 with channels as multisets, every receive nondeterministic, and
+    loss as an environment action. [limit] bounds how many distinct data
+    messages the sender will ever offer, making the state space finite. *)
+
+module Make (P : sig
+  val w : int
+  (** window size, > 0 *)
+
+  val limit : int
+  (** number of data messages to transfer, >= 0 *)
+end) : Spec_types.SPEC with type state = Ba_kernel.state
+
+val default : w:int -> limit:int -> Spec_types.spec
+(** First-class-module convenience wrapper around {!Make}. *)

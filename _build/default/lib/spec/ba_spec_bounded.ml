@@ -1,0 +1,272 @@
+open Spec_types
+module M = Ba_channel.Multiset
+
+module Make (P : sig
+  val w : int
+  val n : int
+  val limit : int
+end) =
+struct
+  let () =
+    if P.w <= 0 then invalid_arg "Ba_spec_bounded: w must be positive";
+    if P.n <= 0 || P.n mod P.w <> 0 then
+      invalid_arg "Ba_spec_bounded: n must be a positive multiple of w";
+    if P.limit < 0 then invalid_arg "Ba_spec_bounded: limit must be >= 0"
+
+  type wire_data = { wv : int; gv : int }
+  type wire_ack = { wi : int; wj : int; gi : int; gj : int }
+
+  type state = {
+    (* Bounded protocol state: everything a real implementation stores. *)
+    bna : int;  (** na mod n *)
+    bns : int;  (** ns mod n *)
+    backd : Iset.t;  (** w-slot ackd array: set of occupied slots (mod w) *)
+    bnr : int;  (** nr mod n *)
+    bvr : int;  (** vr mod n *)
+    brcvd : Iset.t;  (** w-slot rcvd array: slots of [vr, nr+w) received *)
+    csr : wire_data M.t;
+    crs : wire_ack M.t;
+    (* Ghost state: the paper's unbounded variables, updated in parallel,
+       never read by any guard or update. *)
+    g_na : int;
+    g_ns : int;
+    g_ackd : Iset.t;
+    g_nr : int;
+    g_vr : int;
+    g_rcvd : Iset.t;
+  }
+
+  let name = Printf.sprintf "blockack-V-bounded(w=%d,n=%d,limit=%d)" P.w P.n P.limit
+
+  let initial =
+    {
+      bna = 0;
+      bns = 0;
+      backd = Iset.empty;
+      bnr = 0;
+      bvr = 0;
+      brcvd = Iset.empty;
+      csr = M.empty;
+      crs = M.empty;
+      g_na = 0;
+      g_ns = 0;
+      g_ackd = Iset.empty;
+      g_nr = 0;
+      g_vr = 0;
+      g_rcvd = Iset.empty;
+    }
+
+  let wrap m = Ba_util.Modseq.wrap ~n:P.n m
+  let succ m = Ba_util.Modseq.succ ~n:P.n m
+  let dist a b = Ba_util.Modseq.distance ~n:P.n a b
+  let slot wire = wire mod P.w
+
+  (* Action 0: guard ns < na + w, i.e. forward distance from bna to bns is
+     below w. The ghost ns bounds the input sequence (environment bound,
+     not protocol state). *)
+  let send_new s =
+    if dist s.bna s.bns < P.w && s.g_ns < P.limit then
+      [ { label = Printf.sprintf "send(%d|w%d)" s.g_ns s.bns;
+          kind = Protocol;
+          target =
+            { s with
+              csr = M.add { wv = s.bns; gv = s.g_ns } s.csr;
+              bns = succ s.bns;
+              g_ns = s.g_ns + 1
+            } } ]
+    else []
+
+  (* Action 1' with bounded storage: a covered wire number y is relevant
+     iff it lies inside the outstanding band [bna, bns); its ackd slot is
+     y mod w (sound because w | n). Advancing na clears its slot. *)
+  let recv_ack s =
+    List.map
+      (fun (a : wire_ack) ->
+        let covered = dist a.wi a.wj + 1 in
+        let outstanding = dist s.bna s.bns in
+        let rec mark k backd =
+          if k >= covered then backd
+          else begin
+            let y = wrap (a.wi + k) in
+            let backd = if dist s.bna y < outstanding then Iset.add (slot y) backd else backd in
+            mark (k + 1) backd
+          end
+        in
+        let backd = mark 0 s.backd in
+        let rec advance bna backd g_na =
+          if Iset.mem (slot bna) backd then
+            advance (succ bna) (Iset.remove (slot bna) backd) (g_na + 1)
+          else (bna, backd, g_na)
+        in
+        let bna, backd, g_na = advance s.bna backd s.g_na in
+        let g_ackd = Iset.add_range ~lo:a.gi ~hi:a.gj s.g_ackd in
+        { label = Printf.sprintf "recv_ack(w%d,w%d)" a.wi a.wj;
+          kind = Protocol;
+          target = { s with crs = M.remove a s.crs; backd; bna; g_na; g_ackd } })
+      (M.distinct s.crs)
+
+  (* Action 2, simple timeout, all conjuncts bounded:
+     na <> ns  ~  bna <> bns (outstanding > 0);
+     channels empty  ~  both multisets empty (environment knowledge, as in
+     the unbounded spec);
+     ¬rcvd[nr]  ~  nr = vr and nr's slot not in the out-of-order array. *)
+  let timeout s =
+    if
+      s.bna <> s.bns && M.is_empty s.csr && M.is_empty s.crs && s.bnr = s.bvr
+      && not (Iset.mem (slot s.bnr) s.brcvd)
+    then
+      [ { label = Printf.sprintf "timeout->resend(w%d)" s.bna;
+          kind = Protocol;
+          target = { s with csr = M.add { wv = s.bna; gv = s.g_na } s.csr } } ]
+    else []
+
+  (* Action 3': classify the wire number by its distance from bnr — below
+     w means the new-data band [nr, nr+w), otherwise it is an old
+     duplicate from [nr-w, nr) (assertion 11 guarantees nothing else can
+     be in transit). *)
+  let recv_data s =
+    List.map
+      (fun (d : wire_data) ->
+        let csr = M.remove d s.csr in
+        let target =
+          if dist s.bnr d.wv < P.w then
+            { s with csr; brcvd = Iset.add (slot d.wv) s.brcvd; g_rcvd = Iset.add d.gv s.g_rcvd }
+          else
+            { s with
+              csr;
+              crs = M.add { wi = d.wv; wj = d.wv; gi = d.gv; gj = d.gv } s.crs
+            }
+        in
+        { label = Printf.sprintf "recv_data(w%d)" d.wv; kind = Protocol; target })
+      (M.distinct s.csr)
+
+  (* Action 4: rcvd[vr mod w] -> advance vr and clear the slot. *)
+  let advance_vr s =
+    if Iset.mem (slot s.bvr) s.brcvd then
+      [ { label = Printf.sprintf "advance_vr(w%d)" s.bvr;
+          kind = Protocol;
+          target =
+            { s with
+              brcvd = Iset.remove (slot s.bvr) s.brcvd;
+              bvr = succ s.bvr;
+              g_vr = s.g_vr + 1
+            } } ]
+    else []
+
+  (* Action 5: nr < vr ~ bnr <> bvr. *)
+  let send_ack s =
+    if s.bnr <> s.bvr then
+      [ { label = Printf.sprintf "send_ack(w%d,w%d)" s.bnr (wrap (s.bvr - 1));
+          kind = Protocol;
+          target =
+            { s with
+              crs =
+                M.add
+                  { wi = s.bnr; wj = wrap (s.bvr - 1); gi = s.g_nr; gj = s.g_vr - 1 }
+                  s.crs;
+              bnr = s.bvr;
+              g_nr = s.g_vr
+            } } ]
+    else []
+
+  let lose s =
+    List.map
+      (fun (d : wire_data) ->
+        { label = Printf.sprintf "lose_data(%d)" d.gv;
+          kind = Loss;
+          target = { s with csr = M.remove d s.csr } })
+      (M.distinct s.csr)
+    @ List.map
+        (fun (a : wire_ack) ->
+          { label = Printf.sprintf "lose_ack(%d,%d)" a.gi a.gj;
+            kind = Loss;
+            target = { s with crs = M.remove a s.crs } })
+        (M.distinct s.crs)
+
+  let transitions s =
+    send_new s @ recv_ack s @ timeout s @ recv_data s @ advance_vr s @ send_ack s @ lose s
+
+  (* -------------------------------------------------------------- *)
+  (* The refinement check: bounded state ≡ ghost state. *)
+
+  let fail fmt = Format.kasprintf (fun m -> Some m) fmt
+
+  let slots_of predicate lo hi =
+    let rec go m acc = if m >= hi then acc else go (m + 1) (if predicate m then Iset.add (m mod P.w) acc else acc) in
+    go (max 0 lo) Iset.empty
+
+  let refinement s =
+    if s.bna <> wrap s.g_na then fail "refinement: bna=%d <> na mod n=%d" s.bna (wrap s.g_na)
+    else if s.bns <> wrap s.g_ns then fail "refinement: bns=%d <> ns mod n" s.bns
+    else if s.bnr <> wrap s.g_nr then fail "refinement: bnr=%d <> nr mod n" s.bnr
+    else if s.bvr <> wrap s.g_vr then fail "refinement: bvr=%d <> vr mod n" s.bvr
+    else begin
+      let expected_ackd = slots_of (fun m -> Iset.mem m s.g_ackd && m >= s.g_na) s.g_na s.g_ns in
+      if s.backd <> expected_ackd then
+        fail "refinement: ackd slots %a <> ghost %a" Iset.pp s.backd Iset.pp expected_ackd
+      else begin
+        let expected_rcvd =
+          slots_of (fun m -> Iset.mem m s.g_rcvd && m >= s.g_vr) s.g_vr (s.g_nr + P.w)
+        in
+        if s.brcvd <> expected_rcvd then
+          fail "refinement: rcvd slots %a <> ghost %a" Iset.pp s.brcvd Iset.pp expected_rcvd
+        else None
+      end
+    end
+
+  let reconstruction s =
+    let bad_data =
+      M.distinct s.csr |> List.find_opt (fun (d : wire_data) -> d.wv <> wrap d.gv)
+    in
+    match bad_data with
+    | Some d -> fail "wire: data carries w%d but truth %d" d.wv d.gv
+    | None -> (
+        match
+          M.distinct s.crs
+          |> List.find_opt (fun (a : wire_ack) -> a.wi <> wrap a.gi || a.wj <> wrap a.gj)
+        with
+        | Some a -> fail "wire: ack carries (w%d,w%d) but truth (%d,%d)" a.wi a.wj a.gi a.gj
+        | None -> None)
+
+  let ghost_view s =
+    {
+      Invariant.w = P.w;
+      na = s.g_na;
+      ns = s.g_ns;
+      nr = s.g_nr;
+      vr = s.g_vr;
+      ackd = (fun m -> Iset.mem m s.g_ackd);
+      rcvd = (fun m -> Iset.mem m s.g_rcvd);
+      sr_count = (fun m -> M.filter_count (fun (d : wire_data) -> d.gv = m) s.csr);
+      rs_count = (fun m -> M.filter_count (fun (a : wire_ack) -> a.gi <= m && m <= a.gj) s.crs);
+      horizon = P.limit + P.w + 2;
+    }
+
+  let check s =
+    match refinement s with
+    | Some _ as e -> e
+    | None -> (
+        match reconstruction s with
+        | Some _ as e -> e
+        | None -> Invariant.check (ghost_view s))
+
+  let terminal s = s.g_na >= P.limit
+  let measure s = s.g_na + s.g_ns + s.g_nr + s.g_vr
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "S{bna=%d bns=%d ackd=%a | na=%d ns=%d} R{bnr=%d bvr=%d rcvd=%a | nr=%d vr=%d} CSR=%a CRS=%a"
+      s.bna s.bns Iset.pp s.backd s.g_na s.g_ns s.bnr s.bvr Iset.pp s.brcvd s.g_nr s.g_vr
+      (M.pp (fun ppf (d : wire_data) -> Format.fprintf ppf "%d|w%d" d.gv d.wv))
+      s.csr
+      (M.pp (fun ppf (a : wire_ack) -> Format.fprintf ppf "(%d,%d)|w(%d,%d)" a.gi a.gj a.wi a.wj))
+      s.crs
+end
+
+let default ~w ?n ~limit () =
+  let n = match n with Some n -> n | None -> 2 * w in
+  (module Make (struct
+    let w = w
+    let n = n
+    let limit = limit
+  end) : Spec_types.SPEC)

@@ -1,0 +1,196 @@
+open Spec_types
+module M = Ba_channel.Multiset
+
+type wire_data = { wv : int; gv : int }
+
+type wire_ack = { wi : int; wj : int; gi : int; gj : int }
+
+type state = {
+  na : int;
+  ns : int;
+  ackd : Iset.t;
+  nr : int;
+  vr : int;
+  rcvd : Iset.t;
+  csr : wire_data M.t;
+  crs : wire_ack M.t;
+}
+
+module Make (P : sig
+  val w : int
+  val n : int
+  val limit : int
+end) =
+struct
+  let () =
+    if P.w <= 0 then invalid_arg "Ba_spec_finite: w must be positive";
+    if P.n <= 0 then invalid_arg "Ba_spec_finite: n must be positive";
+    if P.limit < 0 then invalid_arg "Ba_spec_finite: limit must be >= 0"
+
+  type nonrec state = state
+
+  let name = Printf.sprintf "blockack-V(w=%d,n=%d,limit=%d)" P.w P.n P.limit
+
+  let initial =
+    {
+      na = 0;
+      ns = 0;
+      ackd = Iset.empty;
+      nr = 0;
+      vr = 0;
+      rcvd = Iset.empty;
+      csr = M.empty;
+      crs = M.empty;
+    }
+
+  let wrap m = Ba_util.Modseq.wrap ~n:P.n m
+  let reconstruct ~ref_ wire = Ba_util.Modseq.reconstruct ~n:P.n ~ref_ wire
+
+  (* Anchors of the paper's reconstruction: the sender decodes ack numbers
+     relative to na (assertions 9, 10); the receiver decodes data numbers
+     relative to max(0, nr - w) (assertion 11). *)
+  let sender_decode s wire = reconstruct ~ref_:s.na wire
+  let receiver_decode s wire = reconstruct ~ref_:(max 0 (s.nr - P.w)) wire
+
+  let data ~gv = { wv = wrap gv; gv }
+  let ack ~gi ~gj = { wi = wrap gi; wj = wrap gj; gi; gj }
+
+  (* Action 0': wire carries ns mod n. *)
+  let send_new s =
+    if s.ns < s.na + P.w && s.ns < P.limit then
+      [ { label = Printf.sprintf "send(%d|w%d)" s.ns (wrap s.ns);
+          kind = Protocol;
+          target = { s with csr = M.add (data ~gv:s.ns) s.csr; ns = s.ns + 1 } } ]
+    else []
+
+  let rec advance_na na ackd = if Iset.mem na ackd then advance_na (na + 1) ackd else na
+
+  (* Action 1': i := f(na, wi), j := f(na, wj); then as action 1. *)
+  let recv_ack s =
+    List.map
+      (fun a ->
+        let i = sender_decode s a.wi and j = sender_decode s a.wj in
+        let ackd = Iset.add_range ~lo:i ~hi:j s.ackd in
+        let na = advance_na s.na ackd in
+        { label = Printf.sprintf "recv_ack(w%d,w%d->%d,%d)" a.wi a.wj i j;
+          kind = Protocol;
+          target = { s with crs = M.remove a s.crs; ackd; na } })
+      (M.distinct s.crs)
+
+  (* Action 2: simple timeout, resending na (wire na mod n). *)
+  let timeout s =
+    if s.na <> s.ns && M.is_empty s.csr && M.is_empty s.crs && not (Iset.mem s.nr s.rcvd)
+    then
+      [ { label = Printf.sprintf "timeout->resend(%d|w%d)" s.na (wrap s.na);
+          kind = Protocol;
+          target = { s with csr = M.add (data ~gv:s.na) s.csr } } ]
+    else []
+
+  (* Action 3': v := f(max(0, nr - w), wv); then as action 3. The duplicate
+     acknowledgment echoes the wire number (ghost = reconstructed value). *)
+  let recv_data s =
+    List.map
+      (fun d ->
+        let v = receiver_decode s d.wv in
+        let csr = M.remove d s.csr in
+        let target =
+          if v < s.nr then { s with csr; crs = M.add (ack ~gi:v ~gj:v) s.crs }
+          else { s with csr; rcvd = Iset.add v s.rcvd }
+        in
+        { label = Printf.sprintf "recv_data(w%d->%d)" d.wv v; kind = Protocol; target })
+      (M.distinct s.csr)
+
+  let advance_vr s =
+    if Iset.mem s.vr s.rcvd then
+      [ { label = Printf.sprintf "advance_vr(%d)" s.vr;
+          kind = Protocol;
+          target = { s with vr = s.vr + 1 } } ]
+    else []
+
+  let send_ack s =
+    if s.nr < s.vr then
+      [ { label = Printf.sprintf "send_ack(%d,%d)" s.nr (s.vr - 1);
+          kind = Protocol;
+          target = { s with crs = M.add (ack ~gi:s.nr ~gj:(s.vr - 1)) s.crs; nr = s.vr } } ]
+    else []
+
+  let lose s =
+    List.map
+      (fun d ->
+        { label = Printf.sprintf "lose_data(%d)" d.gv;
+          kind = Loss;
+          target = { s with csr = M.remove d s.csr } })
+      (M.distinct s.csr)
+    @ List.map
+        (fun a ->
+          { label = Printf.sprintf "lose_ack(%d,%d)" a.gi a.gj;
+            kind = Loss;
+            target = { s with crs = M.remove a s.crs } })
+        (M.distinct s.crs)
+
+  let transitions s =
+    send_new s @ recv_ack s @ timeout s @ recv_data s @ advance_vr s @ send_ack s @ lose s
+
+  (* Reconstruction soundness: decoding any in-transit message right now
+     must recover its ghost. With n >= 2w this follows from the paper's
+     assertions 9-11; with n < 2w the explorer finds a failing state. *)
+  let reconstruction_ok s =
+    let bad_data =
+      M.distinct s.csr
+      |> List.find_opt (fun d -> receiver_decode s d.wv <> d.gv)
+    in
+    match bad_data with
+    | Some d ->
+        Some
+          (Printf.sprintf "reconstruction: data wire=%d decodes to %d, truth %d (nr=%d)" d.wv
+             (receiver_decode s d.wv) d.gv s.nr)
+    | None -> (
+        let bad_ack =
+          M.distinct s.crs
+          |> List.find_opt (fun a ->
+                 sender_decode s a.wi <> a.gi || sender_decode s a.wj <> a.gj)
+        in
+        match bad_ack with
+        | Some a ->
+            Some
+              (Printf.sprintf
+                 "reconstruction: ack wire=(%d,%d) decodes to (%d,%d), truth (%d,%d) (na=%d)"
+                 a.wi a.wj (sender_decode s a.wi) (sender_decode s a.wj) a.gi a.gj s.na)
+        | None -> None)
+
+  let view s =
+    {
+      Invariant.w = P.w;
+      na = s.na;
+      ns = s.ns;
+      nr = s.nr;
+      vr = s.vr;
+      ackd = (fun m -> Iset.mem m s.ackd);
+      rcvd = (fun m -> Iset.mem m s.rcvd);
+      sr_count = (fun m -> M.filter_count (fun d -> d.gv = m) s.csr);
+      rs_count = (fun m -> M.filter_count (fun a -> a.gi <= m && m <= a.gj) s.crs);
+      horizon = P.limit + P.w + 2;
+    }
+
+  let check s =
+    match reconstruction_ok s with Some _ as e -> e | None -> Invariant.check (view s)
+
+  let terminal s = s.na >= P.limit
+  let measure s = s.na + s.ns + s.nr + s.vr
+
+  let pp ppf s =
+    Format.fprintf ppf "S{na=%d ns=%d ackd=%a} R{nr=%d vr=%d rcvd=%a} CSR=%a CRS=%a" s.na s.ns
+      Iset.pp s.ackd s.nr s.vr Iset.pp s.rcvd
+      (M.pp (fun ppf d -> Format.fprintf ppf "%d|w%d" d.gv d.wv))
+      s.csr
+      (M.pp (fun ppf a -> Format.fprintf ppf "(%d,%d)|w(%d,%d)" a.gi a.gj a.wi a.wj))
+      s.crs
+end
+
+let default ~w ?n ~limit () =
+  let n = match n with Some n -> n | None -> 2 * w in
+  (module Make (struct
+    let w = w
+    let n = n
+    let limit = limit
+  end) : Spec_types.SPEC)

@@ -1,0 +1,15 @@
+(** Section IV: block acknowledgment with the sophisticated per-message
+    timeout (action 2′).
+
+    Identical to the Section II protocol except that any outstanding,
+    unacknowledged message [i] whose copies (data or covering ack) have
+    left both channels may be retransmitted — not just [na]. This is what
+    lets the sender recover a whole lost block acknowledgment in one
+    round-trip instead of one timeout period per covered message. *)
+
+module Make (P : sig
+  val w : int
+  val limit : int
+end) : Spec_types.SPEC with type state = Ba_kernel.state
+
+val default : w:int -> limit:int -> Spec_types.spec

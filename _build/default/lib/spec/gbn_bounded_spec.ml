@@ -1,0 +1,149 @@
+open Spec_types
+module M = Ba_channel.Multiset
+
+type msg = { wire : int; ghost : int }
+
+type state = {
+  na : int;
+  ns : int;
+  nr : int;
+  csr : msg M.t;
+  crs : msg M.t;
+  violated : string option;
+}
+
+module Make (P : sig
+  val w : int
+  val n : int
+  val limit : int
+end) =
+struct
+  let () =
+    if P.w <= 0 then invalid_arg "Gbn_bounded_spec: w must be positive";
+    if P.n < P.w + 1 then invalid_arg "Gbn_bounded_spec: need n >= w + 1";
+    if P.limit < 0 then invalid_arg "Gbn_bounded_spec: limit must be >= 0"
+
+  type nonrec state = state
+
+  let name = Printf.sprintf "go-back-N-bounded(w=%d,n=%d,limit=%d)" P.w P.n P.limit
+
+  let initial = { na = 0; ns = 0; nr = 0; csr = M.empty; crs = M.empty; violated = None }
+
+  let wrap m = Ba_util.Modseq.wrap ~n:P.n m
+
+  let send_new s =
+    if s.ns < s.na + P.w && s.ns < P.limit && s.violated = None then
+      [ { label = Printf.sprintf "send(%d|w%d)" s.ns (wrap s.ns);
+          kind = Protocol;
+          target = { s with csr = M.add { wire = wrap s.ns; ghost = s.ns } s.csr; ns = s.ns + 1 } } ]
+    else []
+
+  (* Receiver: accept iff the wire number matches nr mod n; cumulative ack
+     carries the last accepted number. A non-matching message re-acks the
+     last in-order (standard go-back-N duplicate ack), if anything was
+     accepted yet. *)
+  let recv_data s =
+    List.map
+      (fun d ->
+        let csr = M.remove d s.csr in
+        let target =
+          if d.wire = wrap s.nr then begin
+            let violated =
+              if d.ghost <> s.nr && s.violated = None then
+                Some
+                  (Printf.sprintf "receiver accepted message %d as if it were %d" d.ghost s.nr)
+              else s.violated
+            in
+            let nr = s.nr + 1 in
+            { s with csr; nr; crs = M.add { wire = wrap (nr - 1); ghost = nr - 1 } s.crs; violated }
+          end
+          else if s.nr > 0 then
+            { s with csr; crs = M.add { wire = wrap (s.nr - 1); ghost = s.nr - 1 } s.crs }
+          else { s with csr }
+        in
+        { label = Printf.sprintf "recv_data(%d|w%d)" d.ghost d.wire; kind = Protocol; target })
+      (M.distinct s.csr)
+
+  (* Sender: decode wire ack k as the unique y in [na - 1, na + w - 1] with
+     y ≡ k (mod n); such y exists and is unique because n >= w + 1. Slide
+     the window when y >= na. Reorder makes the decoding wrong: a stale
+     ack's ghost differs from y. *)
+  let recv_ack s =
+    List.map
+      (fun a ->
+        let d = Ba_util.Modseq.distance ~n:P.n (wrap (s.na - 1)) a.wire in
+        let y = s.na - 1 + d in
+        let target =
+          if d >= 1 && d <= P.w then begin
+            let violated =
+              if y <> a.ghost && s.violated = None then
+                Some
+                  (Printf.sprintf "sender decoded stale ack %d as %d and slid to na=%d" a.ghost
+                     y (y + 1))
+              else s.violated
+            in
+            { s with crs = M.remove a s.crs; na = y + 1; violated }
+          end
+          else { s with crs = M.remove a s.crs }
+        in
+        { label = Printf.sprintf "recv_ack(%d|w%d)" a.ghost a.wire; kind = Protocol; target })
+      (M.distinct s.crs)
+
+  (* Conservative timeout (the strongest defensible one: both channels
+     drained) — go back N: retransmit the whole outstanding window. Even
+     with this generous guard, bounded numbers + reorder break safety. *)
+  let timeout s =
+    if s.na <> s.ns && M.is_empty s.csr && M.is_empty s.crs && s.violated = None then begin
+      let rec burst m csr =
+        if m >= s.ns then csr else burst (m + 1) (M.add { wire = wrap m; ghost = m } csr)
+      in
+      [ { label = Printf.sprintf "timeout->go_back(%d..%d)" s.na (s.ns - 1);
+          kind = Protocol;
+          target = { s with csr = burst s.na s.csr } } ]
+    end
+    else []
+
+  let lose s =
+    List.map
+      (fun d ->
+        { label = Printf.sprintf "lose_data(%d)" d.ghost;
+          kind = Loss;
+          target = { s with csr = M.remove d s.csr } })
+      (M.distinct s.csr)
+    @ List.map
+        (fun a ->
+          { label = Printf.sprintf "lose_ack(%d)" a.ghost;
+            kind = Loss;
+            target = { s with crs = M.remove a s.crs } })
+        (M.distinct s.crs)
+
+  let transitions s = send_new s @ recv_data s @ recv_ack s @ timeout s @ lose s
+
+  let check s =
+    match s.violated with
+    | Some _ as v -> v
+    | None ->
+        if s.na > s.nr then
+          Some (Printf.sprintf "safety: sender believes %d accepted, receiver accepted %d" s.na s.nr)
+        else if s.na > s.ns then Some (Printf.sprintf "safety: na=%d > ns=%d" s.na s.ns)
+        else None
+
+  let terminal s = s.na >= P.limit
+  let measure s = s.na + s.ns + s.nr
+
+  let pp ppf s =
+    Format.fprintf ppf "S{na=%d ns=%d} R{nr=%d} CSR=%a CRS=%a%s" s.na s.ns s.nr
+      (M.pp (fun ppf d -> Format.fprintf ppf "%d|w%d" d.ghost d.wire))
+      s.csr
+      (M.pp (fun ppf a -> Format.fprintf ppf "%d|w%d" a.ghost a.wire))
+      s.crs
+      (match s.violated with None -> "" | Some v -> " VIOLATED: " ^ v)
+end
+
+let default ~w ?n ~limit () =
+  let n = match n with Some n -> n | None -> w + 1 in
+  (module Make (struct
+    let w = w
+    let n = n
+    let limit = limit
+  end) : Spec_types.SPEC)

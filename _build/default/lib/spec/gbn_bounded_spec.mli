@@ -1,0 +1,39 @@
+(** The intro's strawman: classic go-back-N with cumulative acks and
+    bounded (mod-[n]) wire sequence numbers, run over channels that may
+    reorder — the combination the paper shows to be unsafe.
+
+    Ghost (true) sequence numbers travel next to wire numbers so the spec
+    can detect the two failure modes directly:
+
+    - the receiver accepts a stale data message whose wire number happens
+      to equal [nr mod n] ("wrong accept"), and
+    - the sender decodes a stale cumulative ack as a recent one and slides
+      its window past messages the receiver never accepted ("over-ack",
+      observable as [na > nr], violating the analogue of assertion 6).
+
+    With FIFO channels and [n >= w + 1] this protocol is the textbook
+    go-back-N and is safe; the explorer demonstrates that reorder alone
+    (no duplication!) breaks it, which is the paper's motivating claim. *)
+
+type msg = { wire : int; ghost : int }
+
+type state = {
+  na : int;  (** sender window base (believed acknowledged below) *)
+  ns : int;  (** next to send *)
+  nr : int;  (** receiver: next in-order sequence to accept *)
+  csr : msg Ba_channel.Multiset.t;
+  crs : msg Ba_channel.Multiset.t;  (** cumulative acks; ghost = true last-accepted *)
+  violated : string option;  (** sticky first safety violation *)
+}
+
+module Make (P : sig
+  val w : int
+
+  val n : int
+  (** wire modulus; textbook go-back-N uses [n = w + 1] *)
+
+  val limit : int
+end) : Spec_types.SPEC with type state = state
+
+val default : w:int -> ?n:int -> limit:int -> unit -> Spec_types.spec
+(** [n] defaults to [w + 1]. *)

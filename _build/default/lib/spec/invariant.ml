@@ -1,0 +1,81 @@
+type view = {
+  w : int;
+  na : int;
+  ns : int;
+  nr : int;
+  vr : int;
+  ackd : int -> bool;
+  rcvd : int -> bool;
+  sr_count : int -> int;
+  rs_count : int -> int;
+  horizon : int;
+}
+
+let fail fmt = Format.kasprintf (fun s -> Some s) fmt
+
+let forall v p describe =
+  let rec go m = if m >= v.horizon then None else if p m then go (m + 1) else describe m in
+  go 0
+
+let assertion_6 v =
+  if not (v.na <= v.nr) then fail "6: na=%d > nr=%d" v.na v.nr
+  else if not (v.nr <= v.vr) then fail "6: nr=%d > vr=%d" v.nr v.vr
+  else if not (v.vr <= v.ns) then fail "6: vr=%d > ns=%d" v.vr v.ns
+  else if not (v.ns <= v.na + v.w) then fail "6: ns=%d > na+w=%d" v.ns (v.na + v.w)
+  else None
+
+let assertion_7 v =
+  match
+    forall v
+      (fun m -> v.ackd m || m >= v.na)
+      (fun m -> fail "7: m=%d < na=%d but not ackd" m v.na)
+  with
+  | Some _ as e -> e
+  | None -> (
+      match
+        forall v
+          (fun m -> (not (v.ackd m)) || m < v.nr)
+          (fun m -> fail "7: ackd %d but m >= nr=%d" m v.nr)
+      with
+      | Some _ as e -> e
+      | None ->
+          if v.ackd v.na then fail "7: ackd[na=%d] holds" v.na
+          else begin
+            match
+              forall v
+                (fun m -> (not (v.rcvd m)) || m < v.ns)
+                (fun m -> fail "7: rcvd %d but m >= ns=%d" m v.ns)
+            with
+            | Some _ as e -> e
+            | None ->
+                forall v
+                  (fun m -> v.rcvd m || m >= v.vr)
+                  (fun m -> fail "7: m=%d < vr=%d but not rcvd" m v.vr)
+          end)
+
+let assertion_8 v =
+  match
+    forall v
+      (fun m -> v.sr_count m + v.rs_count m <= 1)
+      (fun m -> fail "8: %d copies in transit for m=%d" (v.sr_count m + v.rs_count m) m)
+  with
+  | Some _ as e -> e
+  | None -> (
+      match
+        forall v
+          (fun m ->
+            v.sr_count m = 0
+            || (m < v.ns && (not (v.ackd m)) && (m < v.nr || not (v.rcvd m))))
+          (fun m ->
+            fail "8: in-transit data %d violates (m<ns && !ackd && (m<nr || !rcvd))" m)
+      with
+      | Some _ as e -> e
+      | None ->
+          forall v
+            (fun m -> v.rs_count m = 0 || (m < v.nr && not (v.ackd m)))
+            (fun m -> fail "8: in-transit ack covers %d but not (m<nr && !ackd)" m))
+
+let check v =
+  match assertion_6 v with
+  | Some _ as e -> e
+  | None -> ( match assertion_7 v with Some _ as e -> e | None -> assertion_8 v)

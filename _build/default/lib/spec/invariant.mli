@@ -1,0 +1,35 @@
+(** The paper's system invariant: assertions 6, 7 and 8 (Section III-A)
+    plus the three top-level safety properties they imply.
+
+    The checks are written against an abstract [view] of a protocol state
+    so that every spec variant (Sections II, IV and V) shares one
+    implementation — exactly as the paper reuses the same invariant for
+    all three protocols. *)
+
+type view = {
+  w : int;  (** window size *)
+  na : int;  (** next to be acknowledged (sender) *)
+  ns : int;  (** next to send (sender) *)
+  nr : int;  (** next to accept (receiver) *)
+  vr : int;  (** upper bound of received-but-unacknowledged block *)
+  ackd : int -> bool;
+  rcvd : int -> bool;
+  sr_count : int -> int;  (** #SR m: data messages with sequence m in transit *)
+  rs_count : int -> int;  (** #RS m: acks (x, y) in transit with x <= m <= y *)
+  horizon : int;  (** check universally quantified assertions for m < horizon *)
+}
+
+val assertion_6 : view -> string option
+(** na <= nr <= vr <= ns <= na + w. *)
+
+val assertion_7 : view -> string option
+(** ackd ⊇ [0,na), ackd ⊆ [0,nr), ¬ackd na, rcvd ⊆ [0,ns), rcvd ⊇ [0,vr). *)
+
+val assertion_8 : view -> string option
+(** Single copy in transit; in-transit data m satisfies
+    m < ns ∧ ¬ackd m ∧ (m < nr ∨ ¬rcvd m); in-transit ack coverage m
+    satisfies m < nr ∧ ¬ackd m. *)
+
+val check : view -> string option
+(** Conjunction of 6, 7, 8; [None] when all hold, otherwise the first
+    failing assertion with a description. *)

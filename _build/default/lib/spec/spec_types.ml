@@ -1,0 +1,17 @@
+type kind = Protocol | Loss
+
+type 'state transition = { label : string; kind : kind; target : 'state }
+
+module type SPEC = sig
+  type state
+
+  val name : string
+  val initial : state
+  val transitions : state -> state transition list
+  val check : state -> string option
+  val terminal : state -> bool
+  val measure : state -> int
+  val pp : Format.formatter -> state -> unit
+end
+
+type spec = (module SPEC)

@@ -1,0 +1,40 @@
+(** Common vocabulary for the formal protocol specifications.
+
+    Each spec module turns one of the paper's guarded-action programs into
+    a transition system the model checker can explore: an initial state
+    and, for every state, the list of enabled transitions (including every
+    nondeterministic choice of which in-transit message to receive or
+    lose). *)
+
+type kind =
+  | Protocol  (** one of the paper's actions 0–5 / 2′ *)
+  | Loss  (** environment drops an in-transit message *)
+
+type 'state transition = { label : string; kind : kind; target : 'state }
+
+module type SPEC = sig
+  type state
+
+  val name : string
+
+  val initial : state
+
+  val transitions : state -> state transition list
+  (** All enabled transitions from [state]. Deterministic order (the
+      explorer's reports depend on it). *)
+
+  val check : state -> string option
+  (** [None] when every invariant holds; [Some msg] names the violated
+      assertion. *)
+
+  val terminal : state -> bool
+  (** Transfer complete: the sender knows every message was accepted. *)
+
+  val measure : state -> int
+  (** The paper's progress measure [na + ns + nr + vr] (or the variant's
+      analogue); must be non-decreasing along protocol transitions. *)
+
+  val pp : Format.formatter -> state -> unit
+end
+
+type spec = (module SPEC)

@@ -1,0 +1,1 @@
+lib/trace/tracer.ml: Buffer List Printf String

@@ -1,0 +1,46 @@
+type side = Sender | Receiver
+
+type event = { time : int; side : side; label : string }
+
+type t = { mutable log : event list; mutable count : int; capacity : int }
+
+let create ?(capacity = 10_000) () = { log = []; count = 0; capacity }
+
+let record t ~time ~side label =
+  t.log <- { time; side; label } :: t.log;
+  t.count <- t.count + 1;
+  if t.count > t.capacity then begin
+    (* Drop the oldest half to amortise the cost of truncation. *)
+    let keep = t.capacity / 2 in
+    t.log <- List.filteri (fun i _ -> i < keep) t.log;
+    t.count <- keep
+  end
+
+let events t = List.rev t.log
+
+let clear t =
+  t.log <- [];
+  t.count <- 0
+
+let render ?(from_time = 0) ?(until_time = max_int) t =
+  let selected =
+    List.filter (fun e -> e.time >= from_time && e.time <= until_time) (events t)
+  in
+  let col_width =
+    List.fold_left (fun acc e -> max acc (String.length e.label)) 8 selected + 2
+  in
+  let pad s = s ^ String.make (col_width - String.length s) ' ' in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%8s | %s| %s\n" "tick" (pad "sender") "receiver");
+  Buffer.add_string buf
+    (Printf.sprintf "%s-+-%s+-%s\n" (String.make 8 '-') (String.make col_width '-')
+       (String.make col_width '-'));
+  List.iter
+    (fun e ->
+      let left, right =
+        match e.side with Sender -> (pad e.label, "") | Receiver -> (pad "", e.label)
+      in
+      Buffer.add_string buf (Printf.sprintf "%8d | %s| %s\n" e.time left right))
+    selected;
+  Buffer.contents buf

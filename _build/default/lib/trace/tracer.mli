@@ -1,0 +1,33 @@
+(** Wire-level event tracing with ASCII time-sequence rendering.
+
+    Examples and debugging sessions hook a tracer into the transmit and
+    deliver paths of a simulated connection and render what happened as
+    the classic two-column protocol diagram:
+
+    {v
+      tick | sender                        | receiver
+      -----+-------------------------------+--------------------------
+         0 | DATA 0 ->                     |
+        50 |                               | -> DATA 0
+        50 |                               | <- ACK (0,0)
+       100 | ACK (0,0) <-                  |
+    v} *)
+
+type side = Sender | Receiver
+
+type event = { time : int; side : side; label : string }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds retained events (oldest dropped); default 10_000. *)
+
+val record : t -> time:int -> side:side -> string -> unit
+
+val events : t -> event list
+(** In recording order. *)
+
+val clear : t -> unit
+
+val render : ?from_time:int -> ?until_time:int -> t -> string
+(** The two-column diagram, optionally restricted to a time window. *)

@@ -1,0 +1,53 @@
+type t = { mutable words : int array; mutable cardinal : int }
+
+let word_bits = Sys.int_size
+
+let create ?(initial_capacity = 256) () =
+  { words = Array.make (max 1 ((initial_capacity / word_bits) + 1)) 0; cardinal = 0 }
+
+let ensure t i =
+  let needed = (i / word_bits) + 1 in
+  if needed > Array.length t.words then begin
+    let words = Array.make (max needed (2 * Array.length t.words)) 0 in
+    Array.blit t.words 0 words 0 (Array.length t.words);
+    t.words <- words
+  end
+
+let set t i =
+  if i < 0 then invalid_arg "Bitset.set: negative index";
+  ensure t i;
+  let w = i / word_bits and b = i mod word_bits in
+  if t.words.(w) land (1 lsl b) = 0 then begin
+    t.words.(w) <- t.words.(w) lor (1 lsl b);
+    t.cardinal <- t.cardinal + 1
+  end
+
+let unset t i =
+  if i >= 0 && i / word_bits < Array.length t.words then begin
+    let w = i / word_bits and b = i mod word_bits in
+    if t.words.(w) land (1 lsl b) <> 0 then begin
+      t.words.(w) <- t.words.(w) land lnot (1 lsl b);
+      t.cardinal <- t.cardinal - 1
+    end
+  end
+
+let mem t i =
+  i >= 0
+  && i / word_bits < Array.length t.words
+  && t.words.(i / word_bits) land (1 lsl (i mod word_bits)) <> 0
+
+let cardinal t = t.cardinal
+
+let iter f t =
+  Array.iteri
+    (fun w word ->
+      if word <> 0 then
+        for b = 0 to word_bits - 1 do
+          if word land (1 lsl b) <> 0 then f ((w * word_bits) + b)
+        done)
+    t.words
+
+let max_set t =
+  let best = ref None in
+  iter (fun i -> best := Some i) t;
+  !best

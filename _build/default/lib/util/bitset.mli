@@ -1,0 +1,21 @@
+(** Growable bit set over non-negative integers.
+
+    Models the paper's unbounded boolean arrays [ackd] and [rcvd] in the
+    unbounded-sequence-number protocol of Section II. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+val set : t -> int -> unit
+val unset : t -> int -> unit
+val mem : t -> int -> bool
+(** [mem t i] is false for any [i] never set (including beyond capacity). *)
+
+val cardinal : t -> int
+(** Number of set bits. *)
+
+val max_set : t -> int option
+(** Largest set bit, if any. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate over set bits in increasing order. *)

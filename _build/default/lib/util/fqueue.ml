@@ -1,0 +1,24 @@
+type 'a t = { front : 'a list; back : 'a list; length : int }
+
+let empty = { front = []; back = []; length = 0 }
+let is_empty t = t.length = 0
+let length t = t.length
+
+let push x t = { t with back = x :: t.back; length = t.length + 1 }
+
+let normalize t =
+  match t.front with [] -> { t with front = List.rev t.back; back = [] } | _ :: _ -> t
+
+let pop t =
+  let t = normalize t in
+  match t.front with
+  | [] -> None
+  | x :: front -> Some (x, { t with front; length = t.length - 1 })
+
+let peek t =
+  let t = normalize t in
+  match t.front with [] -> None | x :: _ -> Some x
+
+let of_list xs = { front = xs; back = []; length = List.length xs }
+let to_list t = t.front @ List.rev t.back
+let fold f acc t = List.fold_left f acc (to_list t)

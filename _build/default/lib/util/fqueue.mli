@@ -1,0 +1,21 @@
+(** Purely functional FIFO queue (two-list representation, amortised
+    O(1) push/pop).
+
+    General-purpose persistent companion to [Stdlib.Queue] for code that
+    wants to keep queues inside immutable values (e.g. spec states or
+    snapshots). The formal channel model itself uses
+    {!Ba_channel.Multiset} because the paper's channels are unordered. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+val push : 'a -> 'a t -> 'a t
+val pop : 'a t -> ('a * 'a t) option
+val peek : 'a t -> 'a option
+val of_list : 'a list -> 'a t
+val to_list : 'a t -> 'a list
+(** Front-to-back order. *)
+
+val fold : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc

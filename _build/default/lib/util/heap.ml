@@ -1,0 +1,88 @@
+type 'a entry = { value : 'a; stamp : int }
+
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a entry array;
+  mutable size : int;
+  mutable next_stamp : int;
+}
+
+let create ?(capacity = 16) ~cmp () =
+  { cmp; data = [||]; size = 0; next_stamp = 0 } |> fun t ->
+  ignore capacity;
+  t
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+(* Entry order: user comparison first, insertion stamp breaks ties. *)
+let entry_cmp t a b =
+  let c = t.cmp a.value b.value in
+  if c <> 0 then c else compare a.stamp b.stamp
+
+let grow t entry =
+  let capacity = max 16 (2 * Array.length t.data) in
+  let data = Array.make capacity entry in
+  Array.blit t.data 0 data 0 t.size;
+  t.data <- data
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_cmp t t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && entry_cmp t t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.size && entry_cmp t t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t value =
+  let entry = { value; stamp = t.next_stamp } in
+  t.next_stamp <- t.next_stamp + 1;
+  if t.size = Array.length t.data then grow t entry;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0
+    end;
+    Some top.value
+  end
+
+let peek t = if t.size = 0 then None else Some t.data.(0).value
+
+let clear t =
+  t.size <- 0;
+  t.data <- [||]
+
+let to_sorted_list t =
+  let copy =
+    {
+      cmp = t.cmp;
+      data = Array.sub t.data 0 t.size;
+      size = t.size;
+      next_stamp = t.next_stamp;
+    }
+  in
+  let rec drain acc = match pop copy with None -> List.rev acc | Some v -> drain (v :: acc) in
+  drain []

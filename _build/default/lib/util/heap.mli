@@ -1,0 +1,26 @@
+(** Binary min-heap, the priority queue behind the simulation engine.
+
+    Elements are ordered by a user comparison supplied at creation; ties
+    are broken by insertion order (FIFO), which the event queue relies on
+    for deterministic scheduling. *)
+
+type 'a t
+
+val create : ?capacity:int -> cmp:('a -> 'a -> int) -> unit -> 'a t
+(** [create ~cmp ()] is an empty heap. [cmp] must be a total order;
+    smaller elements pop first. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum, FIFO among equals. *)
+
+val peek : 'a t -> 'a option
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive: contents in pop order. *)

@@ -1,0 +1,22 @@
+let wrap ~n m =
+  let r = m mod n in
+  if r < 0 then r + n else r
+
+(* Paper equations (13)/(14): with x <= y < x + n,
+   (y div n) = (x div n)      when (y mod n) >= (x mod n)
+   (y div n) = (x div n) + 1  when (y mod n) <  (x mod n). *)
+let reconstruct ~n ~ref_:x ym =
+  assert (n > 0);
+  assert (0 <= ym && ym < n);
+  assert (x >= 0);
+  let xm = x mod n in
+  if ym >= xm then ((x / n) * n) + ym else (((x / n) + 1) * n) + ym
+
+let succ ~n m = wrap ~n (m + 1)
+let add ~n a b = wrap ~n (a + b)
+let sub ~n a b = wrap ~n (a - b)
+let distance ~n a b = wrap ~n (b - a)
+
+let in_window ~n ~lo ~size m =
+  assert (size <= n);
+  distance ~n lo m < size

@@ -1,0 +1,33 @@
+(** Modular sequence-number arithmetic (paper, Section V).
+
+    The finite-sequence-number protocol transmits [y mod n] instead of the
+    unbounded sequence number [y]. A receiver holding a reference value [x]
+    with the guarantee [x <= y < x + n] can reconstruct [y] exactly — this
+    is the paper's function [f] built from equations (13) and (14).
+
+    All functions require [n > 0]. *)
+
+val reconstruct : n:int -> ref_:int -> int -> int
+(** [reconstruct ~n ~ref_:x ym] is the unique [y] with [y mod n = ym] and
+    [x <= y < x + n]. This is the paper's [f(x, y)] where only
+    [y mod n = ym] is known. Requires [0 <= ym < n] and [x >= 0]. *)
+
+val wrap : n:int -> int -> int
+(** [wrap ~n m] is [m mod n], mapped into [0, n) even for negative [m]. *)
+
+val succ : n:int -> int -> int
+(** Increment modulo [n]. *)
+
+val add : n:int -> int -> int -> int
+(** Addition modulo [n]. *)
+
+val sub : n:int -> int -> int -> int
+(** Subtraction modulo [n], result in [0, n). *)
+
+val in_window : n:int -> lo:int -> size:int -> int -> bool
+(** [in_window ~n ~lo ~size m] tests whether wire number [m] falls in the
+    half-open modular window [lo, lo + size) of width [size <= n]. *)
+
+val distance : n:int -> int -> int -> int
+(** [distance ~n a b] is the forward distance from [a] to [b] modulo [n]:
+    the unique [d] in [0, n) with [(a + d) mod n = b]. *)

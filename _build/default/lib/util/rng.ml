@@ -1,0 +1,82 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: expands one 64-bit seed into the four xoshiro words. *)
+let splitmix64 state =
+  let ( +% ) = Int64.add and ( *% ) = Int64.mul in
+  state := !state +% 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.logxor z (Int64.shift_right_logical z 30) *% 0xBF58476D1CE4E5B9L in
+  let z = Int64.logxor z (Int64.shift_right_logical z 27) *% 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t = create (Int64.to_int (bits64 t) land max_int)
+
+(* Non-negative 61-bit value: [1 lsl 61] is still a valid OCaml int, so
+   the rejection bound below cannot overflow. *)
+let bit_width = 61
+let bits t = Int64.to_int (Int64.shift_right_logical (bits64 t) (64 - bit_width))
+
+let int t bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let max = 1 lsl bit_width in
+  let limit = max - (max mod bound) in
+  let rec draw () =
+    let v = bits t in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound = bound *. (float_of_int (bits t) /. float_of_int (1 lsl bit_width))
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = if p <= 0. then false else if p >= 1. then true else float t 1.0 < p
+
+let exponential t mean =
+  let u = float t 1.0 in
+  let u = if u <= 0. then epsilon_float else u in
+  -.mean *. log u
+
+let geometric t p =
+  if p >= 1. then 0
+  else if p <= 0. then invalid_arg "Rng.geometric: p must be positive"
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0. then epsilon_float else u in
+    int_of_float (Float.floor (log u /. log (1. -. p)))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,95 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable min : float;
+  mutable max : float;
+  samples : float Queue.t;
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; samples = Queue.create () }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.min then t.min <- x;
+  if x > t.max then t.max <- x;
+  Queue.add x t.samples
+
+let count t = t.n
+let mean t = if t.n = 0 then 0. else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+
+let sorted_samples t =
+  let a = Array.make t.n 0. in
+  let i = ref 0 in
+  Queue.iter
+    (fun x ->
+      a.(!i) <- x;
+      incr i)
+    t.samples;
+  Array.sort compare a;
+  a
+
+let percentile_of_sorted a q =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if n = 1 then a.(0)
+  else begin
+    let pos = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+  end
+
+let samples t = List.of_seq (Queue.to_seq t.samples)
+
+let percentile t q = percentile_of_sorted (sorted_samples t) q
+
+let summary t =
+  if t.n = 0 then invalid_arg "Stats.summary: empty";
+  let a = sorted_samples t in
+  {
+    count = t.n;
+    mean = mean t;
+    stddev = stddev t;
+    min = t.min;
+    max = t.max;
+    p50 = percentile_of_sorted a 0.5;
+    p90 = percentile_of_sorted a 0.9;
+    p99 = percentile_of_sorted a 0.99;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f p50=%.3f p90=%.3f p99=%.3f max=%.3f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+
+let mean_of xs =
+  match xs with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let ci95 xs =
+  let n = List.length xs in
+  let m = mean_of xs in
+  if n < 2 then (m, 0.)
+  else begin
+    let var = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.)) 0. xs /. float_of_int (n - 1) in
+    (m, 1.96 *. sqrt (var /. float_of_int n))
+  end

@@ -1,0 +1,43 @@
+(** Descriptive statistics for experiment reporting. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type t
+(** A running accumulator (Welford) that also retains samples so that
+    percentiles can be computed at summary time. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** 0 when empty. *)
+
+val variance : t -> float
+(** Sample variance (n-1 denominator); 0 when fewer than two samples. *)
+
+val stddev : t -> float
+
+val samples : t -> float list
+(** All samples in insertion order. *)
+
+val percentile : t -> float -> float
+(** [percentile t q] with [q] in [0, 1]; linear interpolation between
+    order statistics. Raises [Invalid_argument] when empty. *)
+
+val summary : t -> summary
+(** Raises [Invalid_argument] when empty. *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val mean_of : float list -> float
+val ci95 : float list -> float * float
+(** Mean and 95% normal-approximation half-width over a sample list. *)

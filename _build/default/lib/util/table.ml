@@ -1,0 +1,61 @@
+type align = Left | Right
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' || c = 'e' || c = '%' || c = 'x') s
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let render ?aligns ~headers rows =
+  let arity = List.length headers in
+  let normalize row =
+    let row = if List.length row > arity then List.filteri (fun i _ -> i < arity) row else row in
+    row @ List.init (arity - List.length row) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      headers
+  in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = arity -> a
+    | Some _ | None ->
+        (* Default: a column is right-aligned when every body cell looks numeric. *)
+        List.mapi
+          (fun i _ ->
+            let numeric =
+              rows <> [] && List.for_all (fun row -> let c = List.nth row i in c = "" || looks_numeric c) rows
+            in
+            if numeric then Right else Left)
+          headers
+  in
+  let line cells =
+    String.concat "  "
+      (List.map2 (fun (w, a) c -> pad a w c) (List.combine widths aligns) cells)
+  in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (line headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print ?aligns ~headers rows = print_string (render ?aligns ~headers rows)
+
+let fmt_float ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x

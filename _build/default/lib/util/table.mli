@@ -1,0 +1,18 @@
+(** Aligned ASCII tables for experiment reports.
+
+    Every experiment in [bench/main.ml] and the CLI tools prints its rows
+    through this module so the output matches EXPERIMENTS.md. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> headers:string list -> string list list -> string
+(** [render ~headers rows] lays the table out with a header rule. All rows
+    must have the same arity as [headers]; missing cells are padded empty.
+    Numeric-looking columns default to right alignment unless [aligns] is
+    given. *)
+
+val print : ?aligns:align list -> headers:string list -> string list list -> unit
+(** [render] followed by [print_string]. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting used across reports (default 3 decimals). *)

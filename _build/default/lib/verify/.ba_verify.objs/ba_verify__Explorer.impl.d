@@ -1,0 +1,1 @@
+lib/verify/explorer.ml: Array Ba_model Format Hashtbl List Option Printf Queue

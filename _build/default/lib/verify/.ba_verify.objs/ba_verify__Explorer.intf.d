@@ -1,0 +1,1 @@
+lib/verify/explorer.mli: Ba_model Format

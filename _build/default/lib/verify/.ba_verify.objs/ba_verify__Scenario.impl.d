@@ -1,0 +1,1 @@
+lib/verify/scenario.ml: Ba_model Format List String

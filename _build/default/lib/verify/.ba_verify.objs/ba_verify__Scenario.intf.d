@@ -1,0 +1,1 @@
+lib/verify/scenario.mli: Ba_model Format

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Ba_baselines Ba_proto Ba_sim List Option Queue Seq

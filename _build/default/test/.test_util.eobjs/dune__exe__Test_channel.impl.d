@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Ba_channel Ba_sim Ba_util Hashtbl List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ba_proto Ba_sim Blockack List Option Printf QCheck QCheck_alcotest Queue Seq String

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Ba_baselines Ba_channel Ba_proto Ba_util Blockack List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Ba_channel Ba_experiments Ba_proto Ba_sim Ba_trace Blockack List Printf QCheck QCheck_alcotest Queue String

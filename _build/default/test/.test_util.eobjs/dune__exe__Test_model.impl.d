@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Ba_model Ba_util Ba_verify Format List Printf QCheck QCheck_alcotest String

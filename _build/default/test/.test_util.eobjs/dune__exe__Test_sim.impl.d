@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Ba_sim Ba_util Lazy List

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ba_util Hashtbl Int64 List Option Printf QCheck QCheck_alcotest String

@@ -1,0 +1,3 @@
+  $ ../../bin/ba_check.exe --spec section2 -w 1 --limit 2
+  $ ../../bin/ba_check.exe --spec section5 -w 2 -n 3 --limit 6
+  $ ../../bin/ba_check.exe --spec gbn -w 2 --limit 6 2>&1 | head -7

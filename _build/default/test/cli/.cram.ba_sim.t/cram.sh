@@ -1,0 +1,3 @@
+  $ ../../bin/ba_sim.exe -p blockack-multi -m 50 --delay 50 -w 4
+  $ ../../bin/ba_sim.exe -p go-back-n -m 100 -j 60 -l 0.05 -n 17 -w 16 --rto 400 >/dev/null 2>&1
+  $ ../../bin/ba_diagram.exe -m 2 --kill-first-ack --simple

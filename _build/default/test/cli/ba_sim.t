@@ -1,0 +1,34 @@
+A small deterministic lossless transfer:
+
+  $ ../../bin/ba_sim.exe -p blockack-multi -m 50 --delay 50 -w 4
+  seed 42: blockack-multi: completed in 1300 ticks — 50/50 delivered (dup=0 ooo=0 bad=0), data sent=50 dropped=0 reord=0, acks=50 dropped=0, retx=0, goodput=38.462/ktick, ack-ovh=0.2500, eff=1.000
+    latency: n=50 mean=50.000 sd=0.000 min=50.000 p50=50.000 p90=50.000 p99=50.000 max=50.000
+
+Exit status is 1 when a run is incorrect — bounded go-back-N over a
+reordering link wedges or corrupts (output elided, status checked):
+
+  $ ../../bin/ba_sim.exe -p go-back-n -m 100 -j 60 -l 0.05 -n 17 -w 16 --rto 400 >/dev/null 2>&1
+  [1]
+
+The time-sequence diagram tool renders the F3 recovery scenario:
+
+  $ ../../bin/ba_diagram.exe -m 2 --kill-first-ack --simple
+      tick | sender                      | receiver
+  ---------+-----------------------------+-----------------------------
+         0 | DATA 0 ->                   | 
+         0 | DATA 1 ->                   | 
+        50 |                             | -> DATA 0
+        50 |                             | -> DATA 1
+        70 |                             | <- ACK (0,1)
+        70 |                             | <- ACK (0,1)  ** KILLED **
+        70 |                             | deliver "m:0:jh90"
+        70 |                             | deliver "m:1:lpht"
+       220 | DATA 0 ->                   | 
+       270 |                             | -> DATA 0
+       270 |                             | <- ACK (0,0)
+       320 | ACK (0,0) <-                | 
+       440 | DATA 1 ->                   | 
+       490 |                             | -> DATA 1
+       490 |                             | <- ACK (1,1)
+       540 | ACK (1,1) <-                | 
+  transfer of 2 messages complete

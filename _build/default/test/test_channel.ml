@@ -1,0 +1,294 @@
+(* Tests for delay distributions, the lossy/reordering link and the
+   formal multiset channel. *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+module Dist = Ba_channel.Dist
+module Link = Ba_channel.Link
+module M = Ba_channel.Multiset
+module Engine = Ba_sim.Engine
+
+(* ------------------------------------------------------------------ *)
+(* Dist *)
+
+let test_dist_constant () =
+  let rng = Ba_util.Rng.create 1 in
+  for _ = 1 to 20 do
+    check Alcotest.int "constant" 42 (Dist.sample (Dist.Constant 42) rng)
+  done;
+  check Alcotest.int "max" 42 (Dist.max_delay (Dist.Constant 42));
+  check (Alcotest.float 1e-9) "mean" 42. (Dist.mean (Dist.Constant 42))
+
+let test_dist_uniform_bounds () =
+  let rng = Ba_util.Rng.create 2 in
+  let d = Dist.Uniform (10, 20) in
+  for _ = 1 to 1_000 do
+    let v = Dist.sample d rng in
+    if v < 10 || v > 20 then Alcotest.failf "uniform out of bounds: %d" v
+  done;
+  check Alcotest.int "max" 20 (Dist.max_delay d);
+  check (Alcotest.float 1e-9) "mean" 15. (Dist.mean d)
+
+let test_dist_texp_capped () =
+  let rng = Ba_util.Rng.create 3 in
+  let d = Dist.Truncated_exp { mean = 30.; cap = 100 } in
+  for _ = 1 to 5_000 do
+    let v = Dist.sample d rng in
+    if v < 0 || v > 100 then Alcotest.failf "texp out of bounds: %d" v
+  done;
+  check Alcotest.int "max" 100 (Dist.max_delay d)
+
+let test_dist_validation () =
+  let rng = Ba_util.Rng.create 1 in
+  Alcotest.check_raises "negative constant" (Invalid_argument "Dist: negative delay") (fun () ->
+      ignore (Dist.sample (Dist.Constant (-1)) rng));
+  Alcotest.check_raises "bad uniform" (Invalid_argument "Dist: bad uniform range") (fun () ->
+      ignore (Dist.sample (Dist.Uniform (5, 2)) rng))
+
+(* ------------------------------------------------------------------ *)
+(* Link *)
+
+let test_link_delivers_all_lossless () =
+  let e = Engine.create () in
+  let got = ref [] in
+  let l = Link.create e ~delay:(Dist.Constant 10) ~deliver:(fun m -> got := m :: !got) () in
+  for i = 0 to 99 do
+    Link.send l i
+  done;
+  Engine.run e;
+  check Alcotest.int "all delivered" 100 (List.length !got);
+  let s = Link.stats l in
+  check Alcotest.int "sent" 100 s.Link.sent;
+  check Alcotest.int "delivered" 100 s.Link.delivered;
+  check Alcotest.int "dropped" 0 s.Link.dropped
+
+let test_link_constant_delay_preserves_order () =
+  let e = Engine.create () in
+  let got = ref [] in
+  let l = Link.create e ~delay:(Dist.Constant 10) ~deliver:(fun m -> got := m :: !got) () in
+  for i = 0 to 49 do
+    Link.send l i
+  done;
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "FIFO under constant delay"
+    (List.init 50 (fun i -> i))
+    (List.rev !got);
+  check Alcotest.int "no reorder counted" 0 (Link.stats l).Link.reordered
+
+let test_link_loss_all () =
+  let e = Engine.create () in
+  let got = ref 0 in
+  let l = Link.create e ~loss:1.0 ~deliver:(fun _ -> incr got) () in
+  for i = 0 to 9 do
+    Link.send l i
+  done;
+  Engine.run e;
+  check Alcotest.int "nothing delivered" 0 !got;
+  check Alcotest.int "all dropped" 10 (Link.stats l).Link.dropped
+
+let test_link_loss_rate () =
+  let e = Engine.create ~seed:5 () in
+  let l = Link.create e ~loss:0.25 ~deliver:(fun _ -> ()) () in
+  let n = 20_000 in
+  for i = 0 to n - 1 do
+    Link.send l i
+  done;
+  Engine.run e;
+  let rate = float_of_int (Link.stats l).Link.dropped /. float_of_int n in
+  if abs_float (rate -. 0.25) > 0.02 then Alcotest.failf "loss rate %f too far from 0.25" rate
+
+let test_link_jitter_reorders () =
+  let e = Engine.create ~seed:9 () in
+  let l = Link.create e ~delay:(Dist.Uniform (1, 100)) ~deliver:(fun _ -> ()) () in
+  for i = 0 to 499 do
+    Link.send l i
+  done;
+  Engine.run e;
+  check Alcotest.bool "jitter produced reorder" true ((Link.stats l).Link.reordered > 0)
+
+let test_link_fault_hook () =
+  let e = Engine.create () in
+  let got = ref [] in
+  let l = Link.create e ~delay:(Dist.Constant 1) ~deliver:(fun m -> got := m :: !got) () in
+  Link.set_fault l (fun m -> if m mod 2 = 0 then Link.Drop else Link.Deliver);
+  for i = 0 to 9 do
+    Link.send l i
+  done;
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "odd survive" [ 1; 3; 5; 7; 9 ] (List.sort compare !got);
+  Link.clear_fault l;
+  Link.send l 2;
+  Engine.run e;
+  check Alcotest.bool "hook cleared" true (List.mem 2 !got)
+
+let test_link_in_flight () =
+  let e = Engine.create () in
+  let l = Link.create e ~delay:(Dist.Constant 50) ~deliver:(fun _ -> ()) () in
+  Link.send l 1;
+  Link.send l 2;
+  check Alcotest.int "two in flight" 2 (Link.in_flight l);
+  Engine.run e;
+  check Alcotest.int "none in flight" 0 (Link.in_flight l)
+
+let test_link_max_delay () =
+  let e = Engine.create () in
+  let l = Link.create e ~delay:(Dist.Uniform (3, 77)) ~deliver:(fun _ -> ()) () in
+  check Alcotest.int "bound exposed" 77 (Link.max_delay l)
+
+let test_link_rejects_bad_loss () =
+  let e = Engine.create () in
+  Alcotest.check_raises "loss > 1" (Invalid_argument "Link.create: loss must be in [0,1]")
+    (fun () -> ignore (Link.create e ~loss:1.5 ~deliver:(fun (_ : int) -> ()) ()))
+
+(* Bottleneck queue *)
+
+let test_bottleneck_paces_delivery () =
+  let e = Engine.create () in
+  let times = ref [] in
+  let l =
+    Link.create e ~delay:(Dist.Constant 0) ~bottleneck:(10, 100)
+      ~deliver:(fun m -> times := (m, Engine.now e) :: !times)
+      ()
+  in
+  for i = 0 to 4 do
+    Link.send l i
+  done;
+  Engine.run e;
+  (* One message every 10 ticks, FIFO. *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "service pacing"
+    [ (0, 10); (1, 20); (2, 30); (3, 40); (4, 50) ]
+    (List.rev !times)
+
+let test_bottleneck_tail_drop () =
+  let e = Engine.create () in
+  let got = ref 0 in
+  let l =
+    Link.create e ~delay:(Dist.Constant 1) ~bottleneck:(10, 3) ~deliver:(fun _ -> incr got) ()
+  in
+  (* Burst of 10 into a queue of 3 (plus 1 in service): 4 survive. *)
+  for i = 0 to 9 do
+    Link.send l i
+  done;
+  check Alcotest.int "queue full" 3 (Link.queue_length l);
+  Engine.run e;
+  check Alcotest.int "survivors" 4 !got;
+  check Alcotest.int "tail drops counted" 6 (Link.stats l).Link.queue_dropped;
+  check Alcotest.int "random drops separate" 0 (Link.stats l).Link.dropped
+
+let test_bottleneck_drains_then_idles () =
+  let e = Engine.create () in
+  let got = ref 0 in
+  let l =
+    Link.create e ~delay:(Dist.Constant 5) ~bottleneck:(10, 8) ~deliver:(fun _ -> incr got) ()
+  in
+  Link.send l 1;
+  Engine.run e;
+  check Alcotest.int "first batch" 1 !got;
+  (* After idling, a later send still works. *)
+  Link.send l 2;
+  Engine.run e;
+  check Alcotest.int "second batch" 2 !got
+
+let test_bottleneck_validation () =
+  let e = Engine.create () in
+  Alcotest.check_raises "bad bottleneck"
+    (Invalid_argument "Link.create: bottleneck needs positive service time and capacity")
+    (fun () -> ignore (Link.create e ~bottleneck:(0, 5) ~deliver:(fun (_ : int) -> ()) ()))
+
+(* ------------------------------------------------------------------ *)
+(* Multiset *)
+
+let test_multiset_basic () =
+  let m = M.empty in
+  check Alcotest.bool "empty" true (M.is_empty m);
+  let m = M.add 3 (M.add 1 (M.add 3 m)) in
+  check Alcotest.int "cardinal" 3 (M.cardinal m);
+  check Alcotest.int "count 3" 2 (M.count 3 m);
+  check Alcotest.bool "mem" true (M.mem 1 m);
+  check (Alcotest.list Alcotest.int) "distinct sorted" [ 1; 3 ] (M.distinct m);
+  check (Alcotest.list Alcotest.int) "elements with multiplicity" [ 1; 3; 3 ] (M.elements m)
+
+let test_multiset_remove () =
+  let m = M.of_list [ 5; 5; 7 ] in
+  let m = M.remove 5 m in
+  check Alcotest.int "one occurrence removed" 1 (M.count 5 m);
+  let m = M.remove 5 m in
+  check Alcotest.bool "gone" false (M.mem 5 m);
+  let m = M.remove 99 m in
+  check Alcotest.int "remove absent is noop" 1 (M.cardinal m)
+
+let test_multiset_canonical_equality () =
+  let a = M.add 1 (M.add 2 M.empty) and b = M.add 2 (M.add 1 M.empty) in
+  check Alcotest.bool "order-insensitive equality" true (a = b);
+  check Alcotest.bool "same hash" true (Hashtbl.hash a = Hashtbl.hash b)
+
+let test_multiset_predicates () =
+  let m = M.of_list [ 2; 4; 4; 6 ] in
+  check Alcotest.bool "for_all even" true (M.for_all (fun x -> x mod 2 = 0) m);
+  check Alcotest.bool "exists > 5" true (M.exists (fun x -> x > 5) m);
+  check Alcotest.int "filter_count" 3 (M.filter_count (fun x -> x >= 4) m)
+
+let test_multiset_fold () =
+  let m = M.of_list [ 1; 1; 2 ] in
+  let total = M.fold (fun x k acc -> acc + (x * k)) m 0 in
+  check Alcotest.int "weighted fold" 4 total
+
+let prop_multiset_matches_sorted_list =
+  QCheck.Test.make ~name:"multiset elements = sorted inserts minus removes" ~count:300
+    QCheck.(pair (list (int_bound 20)) (list (int_bound 20)))
+    (fun (adds, removes) ->
+      let m = List.fold_left (fun m x -> M.add x m) M.empty adds in
+      let m = List.fold_left (fun m x -> M.remove x m) m removes in
+      let reference =
+        List.fold_left
+          (fun acc x ->
+            let rec remove_one = function
+              | [] -> []
+              | y :: rest -> if y = x then rest else y :: remove_one rest
+            in
+            remove_one acc)
+          (List.sort compare adds) removes
+      in
+      M.elements m = List.sort compare reference)
+
+let () =
+  Alcotest.run "ba_channel"
+    [
+      ( "dist",
+        [
+          Alcotest.test_case "constant" `Quick test_dist_constant;
+          Alcotest.test_case "uniform bounds" `Quick test_dist_uniform_bounds;
+          Alcotest.test_case "texp capped" `Quick test_dist_texp_capped;
+          Alcotest.test_case "validation" `Quick test_dist_validation;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivers all lossless" `Quick test_link_delivers_all_lossless;
+          Alcotest.test_case "constant delay preserves order" `Quick
+            test_link_constant_delay_preserves_order;
+          Alcotest.test_case "loss all" `Quick test_link_loss_all;
+          Alcotest.test_case "loss rate" `Slow test_link_loss_rate;
+          Alcotest.test_case "jitter reorders" `Quick test_link_jitter_reorders;
+          Alcotest.test_case "fault hook" `Quick test_link_fault_hook;
+          Alcotest.test_case "in flight" `Quick test_link_in_flight;
+          Alcotest.test_case "max delay" `Quick test_link_max_delay;
+          Alcotest.test_case "rejects bad loss" `Quick test_link_rejects_bad_loss;
+          Alcotest.test_case "bottleneck paces delivery" `Quick test_bottleneck_paces_delivery;
+          Alcotest.test_case "bottleneck tail drop" `Quick test_bottleneck_tail_drop;
+          Alcotest.test_case "bottleneck drains then idles" `Quick
+            test_bottleneck_drains_then_idles;
+          Alcotest.test_case "bottleneck validation" `Quick test_bottleneck_validation;
+        ] );
+      ( "multiset",
+        [
+          Alcotest.test_case "basic" `Quick test_multiset_basic;
+          Alcotest.test_case "remove" `Quick test_multiset_remove;
+          Alcotest.test_case "canonical equality" `Quick test_multiset_canonical_equality;
+          Alcotest.test_case "predicates" `Quick test_multiset_predicates;
+          Alcotest.test_case "fold" `Quick test_multiset_fold;
+          qcheck prop_multiset_matches_sorted_list;
+        ] );
+    ]

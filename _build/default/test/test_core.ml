@@ -1,0 +1,545 @@
+(* Unit tests for the blockack core library: codec, sender, receiver,
+   per-message-timer sender, window guard, configuration, workload and the
+   connection facade. The sender/receiver tests wire the endpoints to
+   hand-rolled transmit functions so every wire interaction is visible. *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+module Engine = Ba_sim.Engine
+module Wire = Ba_proto.Wire
+module Config = Blockack.Config
+module Seqcodec = Blockack.Seqcodec
+
+let ack_t = Alcotest.testable Wire.pp_ack ( = )
+
+(* ------------------------------------------------------------------ *)
+(* Proto_config *)
+
+let test_config_defaults () =
+  let c = Config.default in
+  check Alcotest.int "window" 16 c.Config.window;
+  check Alcotest.bool "unbounded wire" true (c.Config.wire_modulus = None)
+
+let test_config_validation () =
+  Alcotest.check_raises "bad window" (Invalid_argument "Proto_config: window must be positive")
+    (fun () -> ignore (Config.make ~window:0 ()));
+  Alcotest.check_raises "bad modulus" (Invalid_argument "Proto_config: wire modulus 8 < window+1=9")
+    (fun () -> ignore (Config.make ~window:8 ~wire_modulus:(Some 8) ()));
+  ignore (Config.make ~window:8 ~wire_modulus:(Some 9) ())
+
+(* ------------------------------------------------------------------ *)
+(* Workload *)
+
+let test_workload_roundtrip () =
+  for i = 0 to 50 do
+    let p = Ba_proto.Workload.payload ~seed:3 ~size:32 i in
+    check (Alcotest.option Alcotest.int) "index roundtrip" (Some i) (Ba_proto.Workload.index_of p);
+    check Alcotest.int "size respected" 32 (String.length p)
+  done
+
+let test_workload_deterministic () =
+  check Alcotest.string "same (seed,i) same payload"
+    (Ba_proto.Workload.payload ~seed:9 ~size:40 7)
+    (Ba_proto.Workload.payload ~seed:9 ~size:40 7);
+  check Alcotest.bool "different i different payload" true
+    (Ba_proto.Workload.payload ~seed:9 ~size:40 7 <> Ba_proto.Workload.payload ~seed:9 ~size:40 8)
+
+let test_workload_supplier () =
+  let next = Ba_proto.Workload.supplier ~seed:1 ~size:16 ~count:3 in
+  check Alcotest.bool "first three" true
+    (next () <> None && next () <> None && next () <> None);
+  check (Alcotest.option Alcotest.string) "then exhausted" None (next ());
+  check (Alcotest.option Alcotest.string) "stays exhausted" None (next ())
+
+let test_workload_index_of_garbage () =
+  check (Alcotest.option Alcotest.int) "garbage" None (Ba_proto.Workload.index_of "hello");
+  check (Alcotest.option Alcotest.int) "truncated" None (Ba_proto.Workload.index_of "m:12")
+
+let prop_workload_roundtrip =
+  QCheck.Test.make ~name:"payload index roundtrips for any (seed,size,i)" ~count:300
+    QCheck.(triple (int_bound 1000) (int_range 0 64) (int_bound 10_000))
+    (fun (seed, size, i) ->
+      Ba_proto.Workload.index_of (Ba_proto.Workload.payload ~seed ~size i) = Some i)
+
+(* ------------------------------------------------------------------ *)
+(* Seqcodec *)
+
+let test_codec_identity_when_unbounded () =
+  let c = Seqcodec.create ~window:4 ~wire_modulus:None in
+  check Alcotest.int "encode id" 12345 (Seqcodec.encode c 12345);
+  check Alcotest.int "decode id" 777 (Seqcodec.decode_ack c ~na:0 777);
+  check Alcotest.int "span" 5 (Seqcodec.span c ~lo:3 ~hi:7);
+  check Alcotest.int "shift" 10 (Seqcodec.shift c 7 3)
+
+let test_codec_modular_roundtrip () =
+  let w = 4 in
+  let c = Seqcodec.create ~window:w ~wire_modulus:(Some (2 * w)) in
+  (* Acks decode correctly across the whole legal band [na, na+w). *)
+  for na = 0 to 40 do
+    for seq = na to na + w - 1 do
+      check Alcotest.int "ack roundtrip" seq (Seqcodec.decode_ack c ~na (Seqcodec.encode c seq))
+    done
+  done;
+  (* Data decodes across the receiver band [nr-w, nr+w). *)
+  for nr = 0 to 40 do
+    for seq = max 0 (nr - w) to nr + w - 1 do
+      check Alcotest.int "data roundtrip" seq (Seqcodec.decode_data c ~nr (Seqcodec.encode c seq))
+    done
+  done
+
+let test_codec_rejects_small_modulus () =
+  Alcotest.check_raises "n < 2w"
+    (Invalid_argument "Seqcodec.create: modulus 7 < 2*window=8 loses information") (fun () ->
+      ignore (Seqcodec.create ~window:4 ~wire_modulus:(Some 7)))
+
+let test_codec_span_wraparound () =
+  let c = Seqcodec.create ~window:4 ~wire_modulus:(Some 8) in
+  check Alcotest.int "wrapping span" 3 (Seqcodec.span c ~lo:7 ~hi:1);
+  check Alcotest.int "single" 1 (Seqcodec.span c ~lo:5 ~hi:5);
+  check Alcotest.int "shift wraps" 1 (Seqcodec.shift c 7 2)
+
+let prop_codec_stale_acks_land_outside_window =
+  (* Any acknowledgment for an already-acknowledged message (below na but
+     within one window, as invariant 8 guarantees) must decode outside
+     [na, na + w): the sender ignores it rather than mis-marking. *)
+  QCheck.Test.make ~name:"stale acks never decode into the window" ~count:1000
+    QCheck.(triple (int_range 1 32) (int_bound 1000) (int_range 1 32))
+    (fun (w, na, age) ->
+      QCheck.assume (age <= w && na - age >= 0);
+      let c = Seqcodec.create ~window:w ~wire_modulus:(Some (2 * w)) in
+      let stale = na - age in
+      let decoded = Seqcodec.decode_ack c ~na (Seqcodec.encode c stale) in
+      decoded < na || decoded >= na + w)
+
+(* ------------------------------------------------------------------ *)
+(* Direct sender/receiver wiring helpers *)
+
+type pipe = {
+  engine : Engine.t;
+  sent_data : Wire.data Queue.t;  (* captured sender output *)
+  sent_acks : Wire.ack Queue.t;  (* captured receiver output *)
+  delivered : string Queue.t;
+}
+
+let make_pipe () =
+  {
+    engine = Engine.create ();
+    sent_data = Queue.create ();
+    sent_acks = Queue.create ();
+    delivered = Queue.create ();
+  }
+
+let config_w4 = Config.make ~window:4 ~rto:100 ~wire_modulus:(Some 8) ()
+
+let payloads n = Ba_proto.Workload.supplier ~seed:0 ~size:8 ~count:n
+
+let drain q = List.of_seq (Seq.unfold (fun () -> Option.map (fun x -> (x, ())) (Queue.take_opt q)) ())
+
+(* ------------------------------------------------------------------ *)
+(* Sender (Section II) *)
+
+let test_sender_pump_fills_window () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 10)
+  in
+  Blockack.Sender.pump s;
+  check Alcotest.int "window filled" 4 (Queue.length p.sent_data);
+  check Alcotest.int "outstanding" 4 (Blockack.Sender.outstanding s);
+  check Alcotest.int "ns" 4 (Blockack.Sender.ns s);
+  check Alcotest.int "na" 0 (Blockack.Sender.na s);
+  check Alcotest.bool "not done" false (Blockack.Sender.is_done s)
+
+let test_sender_block_ack_advances () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 10)
+  in
+  Blockack.Sender.pump s;
+  Queue.clear p.sent_data;
+  (* One block ack covers 0..2; the window slides and refills. *)
+  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 2 };
+  check Alcotest.int "na" 3 (Blockack.Sender.na s);
+  check Alcotest.int "refilled" 3 (Queue.length p.sent_data);
+  check Alcotest.int "ns" 7 (Blockack.Sender.ns s)
+
+let test_sender_out_of_order_ack_blocks () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 10)
+  in
+  Blockack.Sender.pump s;
+  (* Ack for 2..3 arrives before the ack for 0..1: na must not move. *)
+  Blockack.Sender.on_ack s { Wire.lo = Seqcodec.encode (Seqcodec.create ~window:4 ~wire_modulus:(Some 8)) 2; hi = 3 };
+  check Alcotest.int "na blocked" 0 (Blockack.Sender.na s);
+  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 1 };
+  check Alcotest.int "na jumps over the gap" 4 (Blockack.Sender.na s)
+
+let test_sender_duplicate_ack_ignored () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 10)
+  in
+  Blockack.Sender.pump s;
+  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 1 };
+  let na = Blockack.Sender.na s in
+  (* The same ack again: already below na, must be a no-op. *)
+  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 1 };
+  check Alcotest.int "na unchanged" na (Blockack.Sender.na s)
+
+let test_sender_timeout_resends_na () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 4)
+  in
+  Blockack.Sender.pump s;
+  Queue.clear p.sent_data;
+  Engine.run ~until:150 p.engine;
+  let resent = drain p.sent_data in
+  check Alcotest.int "exactly one retransmission" 1 (List.length resent);
+  check Alcotest.int "it is na" 0 (List.hd resent).Wire.seq;
+  check Alcotest.int "counted" 1 (Blockack.Sender.retransmissions s)
+
+let test_sender_timer_stops_when_idle () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 2)
+  in
+  Blockack.Sender.pump s;
+  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 1 };
+  check Alcotest.bool "done" true (Blockack.Sender.is_done s);
+  Queue.clear p.sent_data;
+  Engine.run ~until:1_000 p.engine;
+  check Alcotest.int "no spurious retransmission" 0 (Queue.length p.sent_data)
+
+let test_sender_wire_encoding () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 10)
+  in
+  Blockack.Sender.pump s;
+  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 3 };
+  let wires = List.map (fun d -> d.Wire.seq) (drain p.sent_data) in
+  (* Sequences 0..7 modulo 8. *)
+  check (Alcotest.list Alcotest.int) "mod-8 wire numbers" [ 0; 1; 2; 3; 4; 5; 6; 7 ] wires
+
+(* ------------------------------------------------------------------ *)
+(* Receiver *)
+
+let make_receiver ?(config = config_w4) p =
+  Blockack.Receiver.create p.engine config
+    ~tx:(fun a -> Queue.add a p.sent_acks)
+    ~deliver:(fun m -> Queue.add m p.delivered)
+
+let data ~seq i = { Wire.seq; payload = Ba_proto.Workload.payload ~seed:0 ~size:8 i }
+
+let test_receiver_in_order () =
+  let p = make_pipe () in
+  let r = make_receiver p in
+  Blockack.Receiver.on_data r (data ~seq:0 0);
+  Blockack.Receiver.on_data r (data ~seq:1 1);
+  check Alcotest.int "two delivered" 2 (Queue.length p.delivered);
+  check (Alcotest.list ack_t) "one ack per message"
+    [ { Wire.lo = 0; hi = 0 }; { Wire.lo = 1; hi = 1 } ]
+    (drain p.sent_acks);
+  check Alcotest.int "nr" 2 (Blockack.Receiver.nr r)
+
+let test_receiver_buffers_out_of_order () =
+  let p = make_pipe () in
+  let r = make_receiver p in
+  Blockack.Receiver.on_data r (data ~seq:2 2);
+  Blockack.Receiver.on_data r (data ~seq:1 1);
+  check Alcotest.int "nothing delivered yet" 0 (Queue.length p.delivered);
+  check Alcotest.int "no ack yet" 0 (Queue.length p.sent_acks);
+  check Alcotest.int "buffered" 2 (Blockack.Receiver.buffered r);
+  Blockack.Receiver.on_data r (data ~seq:0 0);
+  check Alcotest.int "all delivered in order" 3 (Queue.length p.delivered);
+  check (Alcotest.list ack_t) "one block ack covers the run" [ { Wire.lo = 0; hi = 2 } ]
+    (drain p.sent_acks);
+  check
+    (Alcotest.list Alcotest.string)
+    "application order"
+    [
+      Ba_proto.Workload.payload ~seed:0 ~size:8 0;
+      Ba_proto.Workload.payload ~seed:0 ~size:8 1;
+      Ba_proto.Workload.payload ~seed:0 ~size:8 2;
+    ]
+    (drain p.delivered)
+
+let test_receiver_dup_of_accepted_is_reacked () =
+  let p = make_pipe () in
+  let r = make_receiver p in
+  Blockack.Receiver.on_data r (data ~seq:0 0);
+  Queue.clear p.sent_acks;
+  Blockack.Receiver.on_data r (data ~seq:0 0);
+  check Alcotest.int "not redelivered" 1 (Queue.length p.delivered);
+  check (Alcotest.list ack_t) "singleton re-ack" [ { Wire.lo = 0; hi = 0 } ] (drain p.sent_acks);
+  check Alcotest.int "dup counter" 1 (Blockack.Receiver.dup_acks_sent r)
+
+let test_receiver_dup_of_buffered_is_silent () =
+  let p = make_pipe () in
+  let r = make_receiver p in
+  Blockack.Receiver.on_data r (data ~seq:2 2);
+  Blockack.Receiver.on_data r (data ~seq:2 2);
+  check Alcotest.int "no acks for unackable dup" 0 (Queue.length p.sent_acks);
+  check Alcotest.int "buffered once" 1 (Blockack.Receiver.buffered r)
+
+let test_receiver_modular_wraparound () =
+  let p = make_pipe () in
+  let r = make_receiver p in
+  (* Push nr to 6, then deliver wire numbers that wrap past the modulus. *)
+  for i = 0 to 9 do
+    Blockack.Receiver.on_data r (data ~seq:(i mod 8) i)
+  done;
+  check Alcotest.int "all ten delivered" 10 (Queue.length p.delivered);
+  check Alcotest.int "nr" 10 (Blockack.Receiver.nr r)
+
+let test_receiver_coalesce () =
+  let p = make_pipe () in
+  let config = Config.make ~window:4 ~rto:200 ~wire_modulus:(Some 8) ~ack_coalesce:10 () in
+  let r = make_receiver ~config p in
+  Blockack.Receiver.on_data r (data ~seq:0 0);
+  Blockack.Receiver.on_data r (data ~seq:1 1);
+  Blockack.Receiver.on_data r (data ~seq:2 2);
+  check Alcotest.int "acks held back" 0 (Queue.length p.sent_acks);
+  Engine.run ~until:20 p.engine;
+  check (Alcotest.list ack_t) "one coalesced block" [ { Wire.lo = 0; hi = 2 } ]
+    (drain p.sent_acks);
+  check Alcotest.int "all delivered at flush" 3 (Queue.length p.delivered)
+
+let test_receiver_flush_forces_pending () =
+  let p = make_pipe () in
+  let config = Config.make ~window:4 ~rto:200 ~wire_modulus:(Some 8) ~ack_coalesce:1_000 () in
+  let r = make_receiver ~config p in
+  Blockack.Receiver.on_data r (data ~seq:0 0);
+  Blockack.Receiver.flush r;
+  check Alcotest.int "flushed" 1 (Queue.length p.sent_acks);
+  Engine.run ~until:2_000 p.engine;
+  check Alcotest.int "no double flush" 1 (Queue.length p.sent_acks)
+
+(* ------------------------------------------------------------------ *)
+(* Sender_multi (Section IV) *)
+
+let test_multi_individual_timers () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender_multi.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 4)
+  in
+  Blockack.Sender_multi.pump s;
+  Queue.clear p.sent_data;
+  (* Ack only message 1: timers 0, 2, 3 stay armed; 1's is cancelled. *)
+  Blockack.Sender_multi.on_ack s { Wire.lo = 1; hi = 1 };
+  Engine.run ~until:150 p.engine;
+  let resent = List.map (fun d -> d.Wire.seq) (drain p.sent_data) in
+  check (Alcotest.list Alcotest.int) "burst resend of unacked" [ 0; 2; 3 ] resent;
+  check Alcotest.int "three retransmissions" 3 (Blockack.Sender_multi.retransmissions s)
+
+let test_multi_lost_block_ack_recovery_is_burst () =
+  (* All four are outstanding and their (lost) acks never arrive: all four
+     timers fire within one timeout period — not serialized. *)
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender_multi.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 4)
+  in
+  Blockack.Sender_multi.pump s;
+  Queue.clear p.sent_data;
+  Engine.run ~until:101 p.engine;
+  check Alcotest.int "all four resent within one rto" 4 (Queue.length p.sent_data)
+
+let test_multi_ack_stops_timer () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender_multi.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 2)
+  in
+  Blockack.Sender_multi.pump s;
+  Blockack.Sender_multi.on_ack s { Wire.lo = 0; hi = 1 };
+  Queue.clear p.sent_data;
+  Engine.run ~until:1_000 p.engine;
+  check Alcotest.int "no retransmissions after full ack" 0 (Queue.length p.sent_data);
+  check Alcotest.bool "done" true (Blockack.Sender_multi.is_done s)
+
+let test_multi_done_only_when_exhausted_and_acked () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender_multi.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 6)
+  in
+  Blockack.Sender_multi.pump s;
+  check Alcotest.bool "not done while outstanding" false (Blockack.Sender_multi.is_done s);
+  Blockack.Sender_multi.on_ack s { Wire.lo = 0; hi = 3 };
+  Blockack.Sender_multi.on_ack s { Wire.lo = 4; hi = 5 };
+  check Alcotest.bool "done after final ack" true (Blockack.Sender_multi.is_done s)
+
+(* ------------------------------------------------------------------ *)
+(* Window_guard *)
+
+let test_guard_unrestricted_initially () =
+  let e = Engine.create () in
+  let g = Blockack.Window_guard.create e in
+  check Alcotest.int "no cap" max_int (Blockack.Window_guard.frontier g)
+
+let test_guard_caps_and_expires () =
+  let e = Engine.create () in
+  let g = Blockack.Window_guard.create e in
+  Blockack.Window_guard.note_retransmission g ~seq:10 ~window:4 ~hold_for:50;
+  check Alcotest.int "cap at seq+w" 14 (Blockack.Window_guard.frontier g);
+  Blockack.Window_guard.note_retransmission g ~seq:5 ~window:4 ~hold_for:50;
+  check Alcotest.int "lowest cap wins" 9 (Blockack.Window_guard.frontier g);
+  ignore (Engine.schedule e ~delay:60 (fun () -> ()));
+  Engine.run e;
+  check Alcotest.int "expired" max_int (Blockack.Window_guard.frontier g)
+
+let test_guard_retry_fires_at_expiry () =
+  let e = Engine.create () in
+  let g = Blockack.Window_guard.create e in
+  Blockack.Window_guard.note_retransmission g ~seq:0 ~window:4 ~hold_for:30;
+  let fired_at = ref (-1) in
+  Blockack.Window_guard.when_blocked g (fun () -> fired_at := Engine.now e);
+  (* Second registration while armed must not double-fire. *)
+  let second = ref 0 in
+  Blockack.Window_guard.when_blocked g (fun () -> incr second);
+  Engine.run e;
+  check Alcotest.int "retry at expiry" 30 !fired_at;
+  check Alcotest.int "no duplicate retry" 0 !second
+
+let test_sender_respects_frontier () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 20)
+  in
+  Blockack.Sender.pump s;
+  (* Force a timeout-driven retransmission of 0, then ack 0..3: without
+     the guard the window would jump to 8; the frontier caps it at 0+4. *)
+  Engine.run ~until:100 p.engine;
+  Queue.clear p.sent_data;
+  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 3 };
+  check Alcotest.int "pump capped at frontier" 4 (Blockack.Sender.ns s);
+  (* After the hold expires the window reopens to na + w. *)
+  Engine.run ~until:250 p.engine;
+  check Alcotest.int "window reopened later" 8 (Blockack.Sender.ns s)
+
+(* ------------------------------------------------------------------ *)
+(* Connection facade *)
+
+let test_connection_roundtrip () =
+  let received = ref [] in
+  let conn =
+    Blockack.Connection.create ~on_receive:(fun m -> received := m :: !received) ()
+  in
+  List.iter (Blockack.Connection.send conn) [ "alpha"; "beta"; "gamma" ];
+  Blockack.Connection.run conn;
+  check (Alcotest.list Alcotest.string) "in order" [ "alpha"; "beta"; "gamma" ]
+    (List.rev !received);
+  check Alcotest.bool "idle" true (Blockack.Connection.idle conn);
+  let st = Blockack.Connection.stats conn in
+  check Alcotest.int "submitted" 3 st.Blockack.Connection.submitted;
+  check Alcotest.int "delivered" 3 st.Blockack.Connection.delivered
+
+let test_connection_lossy () =
+  let received = ref 0 in
+  let conn =
+    Blockack.Connection.create ~seed:5 ~data_loss:0.3 ~ack_loss:0.3
+      ~timeout_style:Blockack.Connection.Simple ~on_receive:(fun _ -> incr received) ()
+  in
+  for i = 1 to 200 do
+    Blockack.Connection.send conn (Printf.sprintf "msg-%d" i)
+  done;
+  Blockack.Connection.run conn;
+  check Alcotest.int "all delivered despite loss" 200 !received;
+  let st = Blockack.Connection.stats conn in
+  check Alcotest.bool "there were retransmissions" true
+    (st.Blockack.Connection.retransmissions > 0);
+  check Alcotest.bool "there were drops" true (st.Blockack.Connection.data_dropped > 0)
+
+let test_connection_incremental_sends () =
+  let received = ref [] in
+  let conn =
+    Blockack.Connection.create ~on_receive:(fun m -> received := m :: !received) ()
+  in
+  Blockack.Connection.send conn "first";
+  Blockack.Connection.run conn;
+  check Alcotest.bool "first delivered" true (List.mem "first" !received);
+  Blockack.Connection.send conn "second";
+  Blockack.Connection.run conn;
+  check (Alcotest.list Alcotest.string) "both, in order" [ "first"; "second" ]
+    (List.rev !received)
+
+let () =
+  Alcotest.run "blockack_core"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "defaults" `Quick test_config_defaults;
+          Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_workload_roundtrip;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "supplier" `Quick test_workload_supplier;
+          Alcotest.test_case "index_of garbage" `Quick test_workload_index_of_garbage;
+          qcheck prop_workload_roundtrip;
+        ] );
+      ( "seqcodec",
+        [
+          Alcotest.test_case "identity when unbounded" `Quick test_codec_identity_when_unbounded;
+          Alcotest.test_case "modular roundtrip" `Quick test_codec_modular_roundtrip;
+          Alcotest.test_case "rejects small modulus" `Quick test_codec_rejects_small_modulus;
+          Alcotest.test_case "span wraparound" `Quick test_codec_span_wraparound;
+          qcheck prop_codec_stale_acks_land_outside_window;
+        ] );
+      ( "sender",
+        [
+          Alcotest.test_case "pump fills window" `Quick test_sender_pump_fills_window;
+          Alcotest.test_case "block ack advances" `Quick test_sender_block_ack_advances;
+          Alcotest.test_case "out-of-order ack blocks" `Quick test_sender_out_of_order_ack_blocks;
+          Alcotest.test_case "duplicate ack ignored" `Quick test_sender_duplicate_ack_ignored;
+          Alcotest.test_case "timeout resends na" `Quick test_sender_timeout_resends_na;
+          Alcotest.test_case "timer stops when idle" `Quick test_sender_timer_stops_when_idle;
+          Alcotest.test_case "wire encoding" `Quick test_sender_wire_encoding;
+        ] );
+      ( "receiver",
+        [
+          Alcotest.test_case "in order" `Quick test_receiver_in_order;
+          Alcotest.test_case "buffers out of order" `Quick test_receiver_buffers_out_of_order;
+          Alcotest.test_case "dup of accepted re-acked" `Quick
+            test_receiver_dup_of_accepted_is_reacked;
+          Alcotest.test_case "dup of buffered silent" `Quick test_receiver_dup_of_buffered_is_silent;
+          Alcotest.test_case "modular wraparound" `Quick test_receiver_modular_wraparound;
+          Alcotest.test_case "coalesce" `Quick test_receiver_coalesce;
+          Alcotest.test_case "flush forces pending" `Quick test_receiver_flush_forces_pending;
+        ] );
+      ( "sender_multi",
+        [
+          Alcotest.test_case "individual timers" `Quick test_multi_individual_timers;
+          Alcotest.test_case "lost block ack recovers in burst" `Quick
+            test_multi_lost_block_ack_recovery_is_burst;
+          Alcotest.test_case "ack stops timer" `Quick test_multi_ack_stops_timer;
+          Alcotest.test_case "done condition" `Quick test_multi_done_only_when_exhausted_and_acked;
+        ] );
+      ( "window_guard",
+        [
+          Alcotest.test_case "unrestricted initially" `Quick test_guard_unrestricted_initially;
+          Alcotest.test_case "caps and expires" `Quick test_guard_caps_and_expires;
+          Alcotest.test_case "retry at expiry" `Quick test_guard_retry_fires_at_expiry;
+          Alcotest.test_case "sender respects frontier" `Quick test_sender_respects_frontier;
+        ] );
+      ( "connection",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_connection_roundtrip;
+          Alcotest.test_case "lossy" `Quick test_connection_lossy;
+          Alcotest.test_case "incremental sends" `Quick test_connection_incremental_sends;
+        ] );
+    ]

@@ -1,0 +1,550 @@
+(* Tests for the extension modules: the payload source, the RTT
+   estimator, adaptive timeouts, the Section VI slot-reuse sender, the
+   tracer, and shape checks over the experiment tables. *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+module Engine = Ba_sim.Engine
+module Wire = Ba_proto.Wire
+module Config = Blockack.Config
+module Harness = Ba_proto.Harness
+module E = Ba_experiments.Experiments
+
+(* ------------------------------------------------------------------ *)
+(* Source *)
+
+let test_source_passthrough () =
+  let items = ref [ "a"; "b" ] in
+  let supplier () =
+    match !items with
+    | [] -> None
+    | x :: rest ->
+        items := rest;
+        Some x
+  in
+  let s = Ba_proto.Source.create supplier in
+  check (Alcotest.option Alcotest.string) "first" (Some "a") (Ba_proto.Source.next s);
+  check (Alcotest.option Alcotest.string) "second" (Some "b") (Ba_proto.Source.next s);
+  check (Alcotest.option Alcotest.string) "empty" None (Ba_proto.Source.next s)
+
+let test_source_exhausted_does_not_lose () =
+  let items = ref [ "x" ] in
+  let supplier () =
+    match !items with
+    | [] -> None
+    | x :: rest ->
+        items := rest;
+        Some x
+  in
+  let s = Ba_proto.Source.create supplier in
+  (* The exhaustion probe pulls "x" into the lookahead slot... *)
+  check Alcotest.bool "not exhausted" false (Ba_proto.Source.exhausted s);
+  (* ...and next must return it, not skip it. *)
+  check (Alcotest.option Alcotest.string) "buffered item survives" (Some "x")
+    (Ba_proto.Source.next s);
+  check Alcotest.bool "now exhausted" true (Ba_proto.Source.exhausted s)
+
+let test_source_replenished () =
+  let items = ref [] in
+  let supplier () =
+    match !items with
+    | [] -> None
+    | x :: rest ->
+        items := rest;
+        Some x
+  in
+  let s = Ba_proto.Source.create supplier in
+  check Alcotest.bool "exhausted while empty" true (Ba_proto.Source.exhausted s);
+  items := [ "later" ];
+  check Alcotest.bool "sees new data" false (Ba_proto.Source.exhausted s);
+  check (Alcotest.option Alcotest.string) "delivers it" (Some "later") (Ba_proto.Source.next s)
+
+(* ------------------------------------------------------------------ *)
+(* Rtt_estimator *)
+
+let test_rtt_initial () =
+  let e = Blockack.Rtt_estimator.create ~initial_rto:500 () in
+  check Alcotest.int "initial rto" 500 (Blockack.Rtt_estimator.rto e);
+  check Alcotest.int "no samples" 0 (Blockack.Rtt_estimator.samples e)
+
+let test_rtt_first_sample () =
+  let e = Blockack.Rtt_estimator.create ~initial_rto:500 () in
+  Blockack.Rtt_estimator.observe e 100;
+  (* RFC 6298 init: srtt = 100, rttvar = 50, rto = 100 + 200 = 300. *)
+  check (Alcotest.float 1e-9) "srtt" 100. (Blockack.Rtt_estimator.srtt e);
+  check (Alcotest.float 1e-9) "rttvar" 50. (Blockack.Rtt_estimator.rttvar e);
+  check Alcotest.int "rto" 300 (Blockack.Rtt_estimator.rto e)
+
+let test_rtt_converges () =
+  let e = Blockack.Rtt_estimator.create ~initial_rto:10_000 () in
+  for _ = 1 to 200 do
+    Blockack.Rtt_estimator.observe e 100
+  done;
+  (* Constant samples: srtt -> 100, rttvar -> 0, rto -> ~100. *)
+  check Alcotest.bool "srtt near 100" true (abs_float (Blockack.Rtt_estimator.srtt e -. 100.) < 1.);
+  check Alcotest.bool "rto near srtt" true (Blockack.Rtt_estimator.rto e < 120)
+
+let test_rtt_clamping () =
+  let e = Blockack.Rtt_estimator.create ~floor:200 ~ceiling:400 ~initial_rto:1000 () in
+  check Alcotest.int "initial clamped to ceiling" 400 (Blockack.Rtt_estimator.rto e);
+  for _ = 1 to 50 do
+    Blockack.Rtt_estimator.observe e 1
+  done;
+  check Alcotest.int "floor respected" 200 (Blockack.Rtt_estimator.rto e)
+
+let test_rtt_backoff () =
+  let e = Blockack.Rtt_estimator.create ~ceiling:1000 ~initial_rto:300 () in
+  Blockack.Rtt_estimator.backoff e;
+  check Alcotest.int "doubled" 600 (Blockack.Rtt_estimator.rto e);
+  Blockack.Rtt_estimator.backoff e;
+  check Alcotest.int "ceiling caps" 1000 (Blockack.Rtt_estimator.rto e)
+
+let test_rtt_validation () =
+  Alcotest.check_raises "bad floor" (Invalid_argument "Rtt_estimator.create: floor must be positive")
+    (fun () -> ignore (Blockack.Rtt_estimator.create ~floor:0 ~initial_rto:10 ()));
+  let e = Blockack.Rtt_estimator.create ~initial_rto:10 () in
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Rtt_estimator.observe: negative sample") (fun () ->
+      Blockack.Rtt_estimator.observe e (-1))
+
+let test_adaptive_sender_tracks_rtt () =
+  (* Grossly over-estimated initial rto; the sender's estimate must come
+     down to the real round trip (~100-200) after a lossless run. *)
+  let config = Config.make ~window:16 ~rto:5_000 ~adaptive_rto:true () in
+  let engine = Engine.create ~seed:4 () in
+  let sender = ref None and receiver = ref None in
+  let delay = Ba_channel.Dist.Uniform (40, 60) in
+  let data_link =
+    Ba_channel.Link.create engine ~delay
+      ~deliver:(fun d -> match !receiver with Some r -> Blockack.Receiver.on_data r d | None -> ())
+      ()
+  in
+  let ack_link =
+    Ba_channel.Link.create engine ~delay
+      ~deliver:(fun a ->
+        match !sender with Some s -> Blockack.Sender_multi.on_ack s a | None -> ())
+      ()
+  in
+  let next = Ba_proto.Workload.supplier ~seed:1 ~size:16 ~count:300 in
+  let s =
+    Blockack.Sender_multi.create engine config ~tx:(Ba_channel.Link.send data_link)
+      ~next_payload:next
+  in
+  let r =
+    Blockack.Receiver.create engine config ~tx:(Ba_channel.Link.send ack_link)
+      ~deliver:(fun _ -> ())
+  in
+  sender := Some s;
+  receiver := Some r;
+  Blockack.Sender_multi.pump s;
+  Engine.run engine;
+  check Alcotest.bool "done" true (Blockack.Sender_multi.is_done s);
+  check Alcotest.bool "rto adapted down" true (Blockack.Sender_multi.rto_now s < 400);
+  match Blockack.Sender_multi.srtt s with
+  | Some srtt -> check Alcotest.bool "srtt plausible" true (srtt > 60. && srtt < 200.)
+  | None -> Alcotest.fail "estimator should be active"
+
+let test_adaptive_correct_under_loss () =
+  let config = Config.make ~window:16 ~rto:250 ~adaptive_rto:true () in
+  List.iter
+    (fun seed ->
+      let r =
+        Harness.run Blockack.Protocols.multi ~seed ~messages:300 ~config ~data_loss:0.15
+          ~ack_loss:0.15 ~data_delay:(Ba_channel.Dist.Uniform (20, 80))
+          ~ack_delay:(Ba_channel.Dist.Uniform (20, 80)) ()
+      in
+      if not (Harness.correct r) then Alcotest.failf "seed %d incorrect" seed)
+    [ 1; 2; 3; 4; 5 ]
+
+(* ------------------------------------------------------------------ *)
+(* Reuse sender *)
+
+let reuse_config = Config.make ~window:4 ~rto:200 ~wire_modulus:(Some 16) ()
+
+let test_reuse_runs_ahead_of_gaps () =
+  let engine = Engine.create () in
+  let sent = Queue.create () in
+  let s =
+    Blockack.Reuse_sender.create engine reuse_config ~lead:8
+      ~tx:(fun d -> Queue.add d sent)
+      ~next_payload:(Ba_proto.Workload.supplier ~seed:0 ~size:8 ~count:20)
+  in
+  Blockack.Reuse_sender.pump s;
+  check Alcotest.int "window of 4 sent" 4 (Queue.length sent);
+  (* Ack 1..3 but not 0: a classic sender would be stuck at 4 in flight
+     ending at seq 3; the reuse sender pushes on to seq 7. *)
+  Blockack.Reuse_sender.on_ack s { Wire.lo = 1; hi = 3 };
+  check Alcotest.int "unacked budget refilled" 4 (Blockack.Reuse_sender.outstanding s);
+  check Alcotest.int "ran ahead" 7 (Blockack.Reuse_sender.ns s);
+  check Alcotest.int "na still blocked" 0 (Blockack.Reuse_sender.na s);
+  (* The lead bound stops it at na + lead = 8 even with budget. *)
+  Blockack.Reuse_sender.on_ack s { Wire.lo = 4; hi = 6 };
+  check Alcotest.int "lead bound caps ns" 8 (Blockack.Reuse_sender.ns s);
+  (* Acking 0 releases everything. *)
+  Blockack.Reuse_sender.on_ack s { Wire.lo = 0; hi = 0 };
+  check Alcotest.int "na jumps the whole run" 7 (Blockack.Reuse_sender.na s)
+
+let test_reuse_requires_lead_ge_window () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "lead < window"
+    (Invalid_argument "Reuse_sender.create: lead must be >= window") (fun () ->
+      ignore
+        (Blockack.Reuse_sender.create engine reuse_config ~lead:2
+           ~tx:(fun _ -> ())
+           ~next_payload:(fun () -> None)))
+
+let test_reuse_protocol_correct_e2e () =
+  let config = Config.make ~window:8 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:80 () in
+  List.iter
+    (fun (seed, loss) ->
+      let r =
+        Harness.run (Blockack.Protocols.reuse ()) ~seed ~messages:400 ~config ~data_loss:loss
+          ~ack_loss:loss ~data_delay:(Ba_channel.Dist.Uniform (20, 80))
+          ~ack_delay:(Ba_channel.Dist.Uniform (20, 80)) ()
+      in
+      if not (Harness.correct r) then Alcotest.failf "seed %d loss %.2f incorrect" seed loss)
+    [ (1, 0.); (2, 0.1); (3, 0.25); (4, 0.25) ]
+
+let test_reuse_beats_plain_under_loss () =
+  let plain_config = Config.make ~window:8 ~rto:300 ~wire_modulus:(Some 16) ~max_transit:60 () in
+  let reuse_config = Config.make ~window:8 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:60 () in
+  let delay = Ba_channel.Dist.Uniform (40, 60) in
+  let run proto config =
+    (Harness.run proto ~seed:5 ~messages:800 ~config ~data_loss:0.1 ~ack_loss:0.1
+       ~data_delay:delay ~ack_delay:delay ())
+      .Harness.ticks
+  in
+  let plain = run Blockack.Protocols.multi plain_config in
+  let reuse = run (Blockack.Protocols.reuse ()) reuse_config in
+  check Alcotest.bool
+    (Printf.sprintf "reuse (%d) faster than plain (%d)" reuse plain)
+    true (reuse < plain)
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic (AIMD) window *)
+
+let test_dynamic_window_ramps_and_halves () =
+  let config = Config.make ~window:16 ~rto:200 ~dynamic_window:true () in
+  let engine = Engine.create () in
+  let sent = Queue.create () in
+  let s =
+    Blockack.Sender_multi.create engine config
+      ~tx:(fun d -> Queue.add d sent)
+      ~next_payload:(Ba_proto.Workload.supplier ~seed:0 ~size:8 ~count:100)
+  in
+  Blockack.Sender_multi.pump s;
+  check Alcotest.int "starts at cwnd=1" 1 (Queue.length sent);
+  check Alcotest.int "cwnd initial" 1 (Blockack.Sender_multi.cwnd s);
+  (* Each full-cwnd acknowledgment grows the window by one. *)
+  Blockack.Sender_multi.on_ack s { Wire.lo = 0; hi = 0 };
+  check Alcotest.int "cwnd after first ack" 2 (Blockack.Sender_multi.cwnd s);
+  Blockack.Sender_multi.on_ack s { Wire.lo = 1; hi = 2 };
+  check Alcotest.int "cwnd grows" 3 (Blockack.Sender_multi.cwnd s);
+  Blockack.Sender_multi.on_ack s { Wire.lo = 3; hi = 5 };
+  check Alcotest.int "cwnd=4" 4 (Blockack.Sender_multi.cwnd s);
+  (* Silence: timers expire, multiplicative decrease kicks in. *)
+  Queue.clear sent;
+  Ba_sim.Engine.run ~until:(Ba_sim.Engine.now engine + 250) engine;
+  check Alcotest.bool "halved on timeout" true (Blockack.Sender_multi.cwnd s <= 2)
+
+let test_dynamic_window_correct_over_bottleneck () =
+  let config = Config.make ~window:64 ~rto:400 ~dynamic_window:true () in
+  let r =
+    Harness.run Blockack.Protocols.multi ~seed:3 ~messages:500 ~config
+      ~data_delay:(Ba_channel.Dist.Constant 50) ~ack_delay:(Ba_channel.Dist.Constant 50)
+      ~data_bottleneck:(10, 10) ()
+  in
+  check Alcotest.bool "correct" true (Harness.correct r)
+
+let test_fixed_oversized_window_collapses_on_bottleneck () =
+  (* The congestion-collapse half of ablation A2, pinned as a test. *)
+  let run ~dynamic =
+    let config = Config.make ~window:32 ~rto:400 ~dynamic_window:dynamic () in
+    Harness.run Blockack.Protocols.multi ~seed:3 ~messages:300 ~config
+      ~data_delay:(Ba_channel.Dist.Constant 50) ~ack_delay:(Ba_channel.Dist.Constant 50)
+      ~data_bottleneck:(10, 10) ~deadline:1_000_000 ()
+  in
+  let fixed = run ~dynamic:false in
+  let aimd = run ~dynamic:true in
+  check Alcotest.bool "AIMD completes" true aimd.Harness.completed;
+  check Alcotest.bool "AIMD avoids the retransmission storm" true
+    (aimd.Harness.retransmissions * 10 < max 1 fixed.Harness.retransmissions)
+
+(* ------------------------------------------------------------------ *)
+(* Tracer *)
+
+let test_tracer_records_and_renders () =
+  let t = Ba_trace.Tracer.create () in
+  Ba_trace.Tracer.record t ~time:0 ~side:Ba_trace.Tracer.Sender "DATA 0 ->";
+  Ba_trace.Tracer.record t ~time:50 ~side:Ba_trace.Tracer.Receiver "-> DATA 0";
+  check Alcotest.int "two events" 2 (List.length (Ba_trace.Tracer.events t));
+  let rendered = Ba_trace.Tracer.render t in
+  check Alcotest.bool "mentions both" true
+    (String.length rendered > 0
+    && String.index_opt rendered 'D' <> None
+    && List.length (String.split_on_char '\n' rendered) >= 4)
+
+let test_tracer_time_window () =
+  let t = Ba_trace.Tracer.create () in
+  List.iter
+    (fun time -> Ba_trace.Tracer.record t ~time ~side:Ba_trace.Tracer.Sender "x")
+    [ 10; 20; 30; 40 ];
+  let windowed = Ba_trace.Tracer.render ~from_time:15 ~until_time:35 t in
+  let lines = List.length (String.split_on_char '\n' windowed) in
+  (* header + rule + 2 events + trailing newline *)
+  check Alcotest.int "window filters" 5 lines
+
+let test_tracer_capacity () =
+  let t = Ba_trace.Tracer.create ~capacity:10 () in
+  for i = 1 to 100 do
+    Ba_trace.Tracer.record t ~time:i ~side:Ba_trace.Tracer.Sender "e"
+  done;
+  check Alcotest.bool "bounded" true (List.length (Ba_trace.Tracer.events t) <= 10);
+  Ba_trace.Tracer.clear t;
+  check Alcotest.int "cleared" 0 (List.length (Ba_trace.Tracer.events t))
+
+(* ------------------------------------------------------------------ *)
+(* Duplex with piggybacked acknowledgments *)
+
+let test_duplex_bidirectional_in_order () =
+  let got_a = ref [] and got_b = ref [] in
+  let d =
+    Blockack.Duplex.create ~seed:8 ~loss:0.1
+      ~on_receive_a:(fun m -> got_a := m :: !got_a)
+      ~on_receive_b:(fun m -> got_b := m :: !got_b)
+      ()
+  in
+  for i = 1 to 100 do
+    Blockack.Duplex.send (Blockack.Duplex.a d) (Printf.sprintf "a->b %d" i);
+    Blockack.Duplex.send (Blockack.Duplex.b d) (Printf.sprintf "b->a %d" i)
+  done;
+  Blockack.Duplex.run d;
+  check Alcotest.bool "idle" true (Blockack.Duplex.idle d);
+  check
+    (Alcotest.list Alcotest.string)
+    "A received B's stream in order"
+    (List.init 100 (fun i -> Printf.sprintf "b->a %d" (i + 1)))
+    (List.rev !got_a);
+  check
+    (Alcotest.list Alcotest.string)
+    "B received A's stream in order"
+    (List.init 100 (fun i -> Printf.sprintf "a->b %d" (i + 1)))
+    (List.rev !got_b)
+
+let test_duplex_piggybacks () =
+  (* Piggybacking needs traffic in flight when acknowledgments arise, so
+     drive a paced conversation (one message every 20 ticks each way)
+     rather than a single burst — with bursts both windows are full
+     exactly when acks are pending, and nothing can carry them. *)
+  let d =
+    (* Hold acks slightly longer than the app's 20-tick pacing so the
+       next data frame can pick them up. *)
+    Blockack.Duplex.create ~seed:3 ~piggyback_hold:25
+      ~on_receive_a:(fun _ -> ())
+      ~on_receive_b:(fun _ -> ())
+      ()
+  in
+  let engine = Blockack.Duplex.engine d in
+  for i = 1 to 200 do
+    ignore
+      (Ba_sim.Engine.schedule engine ~delay:(i * 20) (fun () ->
+           Blockack.Duplex.send (Blockack.Duplex.a d) (Printf.sprintf "a%d" i);
+           Blockack.Duplex.send (Blockack.Duplex.b d) (Printf.sprintf "b%d" i)))
+  done;
+  Blockack.Duplex.run d;
+  check Alcotest.bool "idle" true (Blockack.Duplex.idle d);
+  let sa = Blockack.Duplex.stats (Blockack.Duplex.a d) in
+  check Alcotest.bool
+    (Printf.sprintf "most acks ride on data (piggy=%d pure=%d)"
+       sa.Blockack.Duplex.piggybacked_acks sa.Blockack.Duplex.pure_ack_frames)
+    true
+    (sa.Blockack.Duplex.piggybacked_acks > sa.Blockack.Duplex.pure_ack_frames);
+  check Alcotest.int "no retransmissions lossless" 0 sa.Blockack.Duplex.retransmissions;
+  (* The acknowledgment channel is then nearly free. *)
+  check Alcotest.bool "frame overhead below 25%" true
+    (sa.Blockack.Duplex.frames_sent * 100 < sa.Blockack.Duplex.data_frames * 125)
+
+let test_duplex_one_sided_still_acks () =
+  (* No reverse data: every ack must eventually go out as a pure frame. *)
+  let got = ref 0 in
+  let d =
+    Blockack.Duplex.create ~seed:4
+      ~on_receive_a:(fun _ -> ())
+      ~on_receive_b:(fun _ -> incr got)
+      ()
+  in
+  for i = 1 to 50 do
+    Blockack.Duplex.send (Blockack.Duplex.a d) (string_of_int i)
+  done;
+  Blockack.Duplex.run d;
+  check Alcotest.int "all delivered" 50 !got;
+  check Alcotest.bool "idle" true (Blockack.Duplex.idle d);
+  let sb = Blockack.Duplex.stats (Blockack.Duplex.b d) in
+  check Alcotest.bool "B sent pure acks" true (sb.Blockack.Duplex.pure_ack_frames > 0);
+  check Alcotest.int "B sent no data" 0 sb.Blockack.Duplex.data_frames
+
+let test_duplex_lossy_both_ways () =
+  let d =
+    Blockack.Duplex.create ~seed:11 ~loss:0.2
+      ~config:(Blockack.Config.make ~window:8 ~rto:400 ~wire_modulus:(Some 16) ())
+      ~on_receive_a:(fun _ -> ())
+      ~on_receive_b:(fun _ -> ())
+      ()
+  in
+  for i = 1 to 150 do
+    Blockack.Duplex.send (Blockack.Duplex.a d) (Printf.sprintf "x%d" i);
+    if i mod 3 = 0 then Blockack.Duplex.send (Blockack.Duplex.b d) (Printf.sprintf "y%d" i)
+  done;
+  Blockack.Duplex.run d;
+  check Alcotest.bool "completes under loss" true (Blockack.Duplex.idle d)
+
+let prop_duplex_always_correct =
+  QCheck.Test.make ~name:"duplex delivers both directions in order for any seed/loss" ~count:20
+    QCheck.(pair (int_range 1 100_000) (int_bound 20))
+    (fun (seed, loss_pct) ->
+      let loss = float_of_int loss_pct /. 100. in
+      let got_a = ref [] and got_b = ref [] in
+      let d =
+        Blockack.Duplex.create ~seed ~loss
+          ~on_receive_a:(fun m -> got_a := m :: !got_a)
+          ~on_receive_b:(fun m -> got_b := m :: !got_b)
+          ()
+      in
+      let n = 60 in
+      for i = 1 to n do
+        Blockack.Duplex.send (Blockack.Duplex.a d) (Printf.sprintf "a%d" i);
+        if i mod 2 = 0 then Blockack.Duplex.send (Blockack.Duplex.b d) (Printf.sprintf "b%d" i)
+      done;
+      Blockack.Duplex.run ~until:10_000_000 d;
+      Blockack.Duplex.idle d
+      && List.rev !got_b = List.init n (fun i -> Printf.sprintf "a%d" (i + 1))
+      && List.rev !got_a = List.init (n / 2) (fun i -> Printf.sprintf "b%d" (2 * (i + 1))))
+
+let prop_engine_fires_in_time_order =
+  QCheck.Test.make ~name:"engine fires any schedule in nondecreasing time order" ~count:200
+    QCheck.(list (int_bound 500))
+    (fun delays ->
+      let e = Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun d -> ignore (Ba_sim.Engine.schedule e ~delay:d (fun () -> fired := Engine.now e :: !fired)))
+        delays;
+      Engine.run e;
+      let times = List.rev !fired in
+      List.length times = List.length delays
+      && List.sort compare times = times
+      && List.sort compare times = List.sort compare delays)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment tables: structural sanity + headline shapes (quick mode). *)
+
+let row_count t = List.length t.E.rows
+
+let test_tables_well_formed () =
+  List.iter
+    (fun t ->
+      check Alcotest.bool (t.E.id ^ " has rows") true (row_count t > 0);
+      let arity = List.length t.E.headers in
+      List.iter
+        (fun row -> check Alcotest.int (t.E.id ^ " row arity") arity (List.length row))
+        t.E.rows)
+    (E.all ~quick:true)
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_t1_shape () =
+  let t = E.t1_intro_scenario () in
+  match t.E.rows with
+  | [ gbn; ba ] ->
+      check Alcotest.bool "gbn violated" true (contains ~needle:"VIOLATED" (List.nth gbn 2));
+      check Alcotest.string "blockack safe" "safe" (List.nth ba 2)
+  | _ -> Alcotest.fail "T1 must have exactly two rows"
+
+let test_t2_shape () =
+  let t = E.t2_verification ~quick:true in
+  List.iter
+    (fun row -> check Alcotest.string "every row matches the paper" "as proven" (List.nth row 5))
+    t.E.rows
+
+let test_f3_shape () =
+  let t = E.f3_recovery_time ~quick:true in
+  (* Simple recovery time grows with b; multi stays flat. *)
+  let nth_int row i = int_of_string (List.nth row i) in
+  let simples = List.map (fun r -> nth_int r 1) t.E.rows in
+  let multis = List.map (fun r -> nth_int r 2) t.E.rows in
+  check Alcotest.bool "simple grows" true (List.nth simples (List.length simples - 1) > List.hd simples * 2);
+  let mmin = List.fold_left min max_int multis and mmax = List.fold_left max 0 multis in
+  check Alcotest.bool "multi flat" true (mmax - mmin < 200)
+
+let test_f5_shape () =
+  let t = E.f5_slot_reuse ~quick:true in
+  (* At the highest loss the reuse gain must be positive. *)
+  let last = List.nth t.E.rows (row_count t - 1) in
+  let gain = List.nth last 3 in
+  check Alcotest.bool "positive gain under loss" true (gain.[0] = '+' && gain <> "+0%")
+
+let () =
+  Alcotest.run "extras"
+    [
+      ( "source",
+        [
+          Alcotest.test_case "passthrough" `Quick test_source_passthrough;
+          Alcotest.test_case "exhausted does not lose" `Quick test_source_exhausted_does_not_lose;
+          Alcotest.test_case "replenished" `Quick test_source_replenished;
+        ] );
+      ( "rtt_estimator",
+        [
+          Alcotest.test_case "initial" `Quick test_rtt_initial;
+          Alcotest.test_case "first sample" `Quick test_rtt_first_sample;
+          Alcotest.test_case "converges" `Quick test_rtt_converges;
+          Alcotest.test_case "clamping" `Quick test_rtt_clamping;
+          Alcotest.test_case "backoff" `Quick test_rtt_backoff;
+          Alcotest.test_case "validation" `Quick test_rtt_validation;
+          Alcotest.test_case "adaptive sender tracks rtt" `Quick test_adaptive_sender_tracks_rtt;
+          Alcotest.test_case "adaptive correct under loss" `Quick test_adaptive_correct_under_loss;
+        ] );
+      ( "reuse",
+        [
+          Alcotest.test_case "runs ahead of gaps" `Quick test_reuse_runs_ahead_of_gaps;
+          Alcotest.test_case "lead >= window required" `Quick test_reuse_requires_lead_ge_window;
+          Alcotest.test_case "correct end to end" `Quick test_reuse_protocol_correct_e2e;
+          Alcotest.test_case "beats plain under loss" `Quick test_reuse_beats_plain_under_loss;
+        ] );
+      ( "dynamic_window",
+        [
+          Alcotest.test_case "ramps and halves" `Quick test_dynamic_window_ramps_and_halves;
+          Alcotest.test_case "correct over bottleneck" `Quick
+            test_dynamic_window_correct_over_bottleneck;
+          Alcotest.test_case "fixed oversized window collapses" `Quick
+            test_fixed_oversized_window_collapses_on_bottleneck;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "records and renders" `Quick test_tracer_records_and_renders;
+          Alcotest.test_case "time window" `Quick test_tracer_time_window;
+          Alcotest.test_case "capacity bound" `Quick test_tracer_capacity;
+        ] );
+      ( "duplex",
+        [
+          Alcotest.test_case "bidirectional in order" `Quick test_duplex_bidirectional_in_order;
+          Alcotest.test_case "piggybacks acks on data" `Quick test_duplex_piggybacks;
+          Alcotest.test_case "one-sided still acks" `Quick test_duplex_one_sided_still_acks;
+          Alcotest.test_case "lossy both ways" `Quick test_duplex_lossy_both_ways;
+          qcheck prop_duplex_always_correct;
+          qcheck prop_engine_fires_in_time_order;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "tables well formed" `Quick test_tables_well_formed;
+          Alcotest.test_case "T1 shape" `Quick test_t1_shape;
+          Alcotest.test_case "T2 shape" `Quick test_t2_shape;
+          Alcotest.test_case "F3 shape" `Quick test_f3_shape;
+          Alcotest.test_case "F5 shape" `Quick test_f5_shape;
+        ] );
+    ]
+
+let _ = qcheck

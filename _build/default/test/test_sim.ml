@@ -1,0 +1,240 @@
+(* Tests for the discrete-event engine and timers. *)
+
+let check = Alcotest.check
+
+module Engine = Ba_sim.Engine
+module Timer = Ba_sim.Timer
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_starts_at_zero () =
+  let e = Engine.create () in
+  check Alcotest.int "t=0" 0 (Engine.now e)
+
+let test_engine_event_order () =
+  let e = Engine.create () in
+  let order = ref [] in
+  ignore (Engine.schedule e ~delay:30 (fun () -> order := 3 :: !order));
+  ignore (Engine.schedule e ~delay:10 (fun () -> order := 1 :: !order));
+  ignore (Engine.schedule e ~delay:20 (fun () -> order := 2 :: !order));
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "time order" [ 1; 2; 3 ] (List.rev !order);
+  check Alcotest.int "clock at last event" 30 (Engine.now e)
+
+let test_engine_same_time_fifo () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    ignore (Engine.schedule e ~delay:10 (fun () -> order := i :: !order))
+  done;
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "FIFO at same tick" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_engine_nested_schedule () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore
+    (Engine.schedule e ~delay:5 (fun () ->
+         fired := ("outer", Engine.now e) :: !fired;
+         ignore (Engine.schedule e ~delay:7 (fun () -> fired := ("inner", Engine.now e) :: !fired))));
+  Engine.run e;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "nested event fires later"
+    [ ("outer", 5); ("inner", 12) ]
+    (List.rev !fired)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  check Alcotest.bool "pending before" true (Engine.is_pending h);
+  Engine.cancel h;
+  check Alcotest.bool "not pending after" false (Engine.is_pending h);
+  Engine.run e;
+  check Alcotest.bool "cancelled did not fire" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule e ~delay:10 (fun () -> fired := 10 :: !fired));
+  ignore (Engine.schedule e ~delay:100 (fun () -> fired := 100 :: !fired));
+  Engine.run ~until:50 e;
+  check (Alcotest.list Alcotest.int) "only early event" [ 10 ] (List.rev !fired);
+  check Alcotest.int "clock advanced to horizon" 50 (Engine.now e);
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "late event after resume" [ 10; 100 ] (List.rev !fired)
+
+let test_engine_max_events () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for _ = 1 to 10 do
+    ignore (Engine.schedule e ~delay:1 (fun () -> incr count))
+  done;
+  Engine.run ~max_events:4 e;
+  check Alcotest.int "budget respected" 4 !count
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  for i = 1 to 10 do
+    ignore (Engine.schedule e ~delay:i (fun () ->
+        incr count;
+        if !count = 3 then Engine.stop e))
+  done;
+  Engine.run e;
+  check Alcotest.int "stopped mid-run" 3 !count;
+  Engine.run e;
+  check Alcotest.int "resumable" 10 !count
+
+let test_engine_step () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  ignore (Engine.schedule e ~delay:1 (fun () -> incr fired));
+  ignore (Engine.schedule e ~delay:2 (fun () -> incr fired));
+  check Alcotest.bool "step fires one" true (Engine.step e);
+  check Alcotest.int "one fired" 1 !fired;
+  check Alcotest.bool "step fires second" true (Engine.step e);
+  check Alcotest.bool "empty returns false" false (Engine.step e)
+
+let test_engine_past_schedule_rejected () =
+  let e = Engine.create () in
+  ignore (Engine.schedule e ~delay:10 (fun () -> ()));
+  Engine.run e;
+  Alcotest.check_raises "past time" (Invalid_argument "Engine.schedule_at: time in the past")
+    (fun () -> ignore (Engine.schedule_at e ~at:5 (fun () -> ())));
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> ignore (Engine.schedule e ~delay:(-1) (fun () -> ())))
+
+let test_engine_pending_count () =
+  let e = Engine.create () in
+  let h1 = Engine.schedule e ~delay:10 (fun () -> ()) in
+  let _h2 = Engine.schedule e ~delay:20 (fun () -> ()) in
+  check Alcotest.int "two pending" 2 (Engine.pending_events e);
+  Engine.cancel h1;
+  check Alcotest.int "one pending after cancel" 1 (Engine.pending_events e);
+  Engine.run e;
+  check Alcotest.int "none pending after run" 0 (Engine.pending_events e)
+
+let test_engine_determinism () =
+  let trace seed =
+    let e = Engine.create ~seed () in
+    let log = ref [] in
+    let rec churn () =
+      if Engine.now e < 500 then begin
+        let d = 1 + Ba_util.Rng.int (Engine.rng e) 20 in
+        log := (Engine.now e, d) :: !log;
+        ignore (Engine.schedule e ~delay:d churn)
+      end
+    in
+    churn ();
+    Engine.run e;
+    !log
+  in
+  check Alcotest.bool "same seed same trace" true (trace 5 = trace 5);
+  check Alcotest.bool "different seed different trace" true (trace 5 <> trace 6)
+
+(* ------------------------------------------------------------------ *)
+(* Timer *)
+
+let test_timer_fires_once () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let t = Timer.create e ~duration:25 (fun () -> incr fired) in
+  Timer.start t;
+  Engine.run e;
+  check Alcotest.int "fired once" 1 !fired;
+  check Alcotest.int "at duration" 25 (Engine.now e)
+
+let test_timer_restart_extends () =
+  let e = Engine.create () in
+  let fired_at = ref (-1) in
+  let t = Timer.create e ~duration:30 (fun () -> fired_at := Engine.now e) in
+  Timer.start t;
+  ignore (Engine.schedule e ~delay:20 (fun () -> Timer.start t));
+  Engine.run e;
+  check Alcotest.int "restart pushed expiry" 50 !fired_at
+
+let test_timer_stop () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let t = Timer.create e ~duration:10 (fun () -> fired := true) in
+  Timer.start t;
+  Timer.stop t;
+  Engine.run e;
+  check Alcotest.bool "stopped" false !fired;
+  check Alcotest.bool "not armed" false (Timer.is_armed t)
+
+let test_timer_start_for () =
+  let e = Engine.create () in
+  let fired_at = ref (-1) in
+  let t = Timer.create e ~duration:100 (fun () -> fired_at := Engine.now e) in
+  Timer.start_for t 7;
+  Engine.run e;
+  check Alcotest.int "one-off duration" 7 !fired_at;
+  check Alcotest.int "default unchanged" 100 (Timer.duration t)
+
+let test_timer_set_duration () =
+  let e = Engine.create () in
+  let fired_at = ref (-1) in
+  let t = Timer.create e ~duration:100 (fun () -> fired_at := Engine.now e) in
+  Timer.set_duration t 40;
+  Timer.start t;
+  Engine.run e;
+  check Alcotest.int "new duration" 40 !fired_at
+
+let test_timer_remaining () =
+  let e = Engine.create () in
+  let t = Timer.create e ~duration:50 (fun () -> ()) in
+  check (Alcotest.option Alcotest.int) "stopped: none" None (Timer.remaining t);
+  Timer.start t;
+  check (Alcotest.option Alcotest.int) "full remaining" (Some 50) (Timer.remaining t);
+  ignore
+    (Engine.schedule e ~delay:20 (fun () ->
+         check (Alcotest.option Alcotest.int) "partial remaining" (Some 30) (Timer.remaining t)));
+  Engine.run e
+
+let test_timer_rearm_in_callback () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec t =
+    lazy
+      (Timer.create e ~duration:10 (fun () ->
+           incr count;
+           if !count < 3 then Timer.start (Lazy.force t)))
+  in
+  Timer.start (Lazy.force t);
+  Engine.run e;
+  check Alcotest.int "periodic rearm" 3 !count;
+  check Alcotest.int "final time" 30 (Engine.now e)
+
+let () =
+  Alcotest.run "ba_sim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "starts at zero" `Quick test_engine_starts_at_zero;
+          Alcotest.test_case "event order" `Quick test_engine_event_order;
+          Alcotest.test_case "same-time FIFO" `Quick test_engine_same_time_fifo;
+          Alcotest.test_case "nested schedule" `Quick test_engine_nested_schedule;
+          Alcotest.test_case "cancel" `Quick test_engine_cancel;
+          Alcotest.test_case "until" `Quick test_engine_until;
+          Alcotest.test_case "max_events" `Quick test_engine_max_events;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "past schedule rejected" `Quick test_engine_past_schedule_rejected;
+          Alcotest.test_case "pending count" `Quick test_engine_pending_count;
+          Alcotest.test_case "determinism" `Quick test_engine_determinism;
+        ] );
+      ( "timer",
+        [
+          Alcotest.test_case "fires once" `Quick test_timer_fires_once;
+          Alcotest.test_case "restart extends" `Quick test_timer_restart_extends;
+          Alcotest.test_case "stop" `Quick test_timer_stop;
+          Alcotest.test_case "start_for" `Quick test_timer_start_for;
+          Alcotest.test_case "set_duration" `Quick test_timer_set_duration;
+          Alcotest.test_case "remaining" `Quick test_timer_remaining;
+          Alcotest.test_case "rearm in callback" `Quick test_timer_rearm_in_callback;
+        ] );
+    ]
