@@ -20,7 +20,7 @@ let transmit s =
   match s.current with
   | None -> ()
   | Some payload ->
-      s.tx { Wire.seq = s.bit; payload };
+      s.tx (Wire.make_data ~seq:s.bit ~payload);
       Ba_sim.Timer.start s.timer
 
 let pump s =
@@ -56,7 +56,7 @@ let create_sender engine config ~tx ~next_payload =
   in
   Lazy.force s
 
-let sender_on_ack s { Wire.lo; hi = _ } =
+let sender_on_ack s { Wire.lo; hi = _; check = _ } =
   if s.current <> None && lo = s.bit then begin
     s.current <- None;
     s.bit <- 1 - s.bit;
@@ -68,13 +68,13 @@ let create_receiver _engine config ~tx ~deliver =
   Config.validate config;
   { r_tx = tx; r_deliver = deliver; expected = 0 }
 
-let receiver_on_data r { Wire.seq; payload } =
+let receiver_on_data r { Wire.seq; payload; check = _ } =
   if seq = r.expected then begin
     r.r_deliver payload;
     r.expected <- 1 - r.expected
   end;
   (* Ack the bit we saw, whether fresh or duplicate. *)
-  r.r_tx { Wire.lo = seq; hi = seq }
+  r.r_tx (Wire.make_ack ~lo:seq ~hi:seq)
 
 let protocol : Ba_proto.Protocol.t =
   (module struct

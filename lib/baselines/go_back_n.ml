@@ -30,7 +30,7 @@ let transmit s seq =
   match Ba_util.Ring_buffer.get s.buffer seq with
   | None -> invalid_arg "Go_back_n.transmit: no buffered payload"
   | Some payload ->
-      s.tx { Wire.seq = encode s.config seq; payload };
+      s.tx (Wire.make_data ~seq:(encode s.config seq) ~payload);
       Ba_sim.Timer.start s.timer
 
 let outstanding s = s.ns - s.na
@@ -87,7 +87,7 @@ let decode_cumulative s wire =
       let d = Ba_util.Modseq.distance ~n (Ba_util.Modseq.wrap ~n (s.na - 1)) wire in
       if d >= 1 && d <= s.config.Config.window then Some (s.na - 1 + d) else None
 
-let sender_on_ack s { Wire.hi; lo = _ } =
+let sender_on_ack s { Wire.hi; lo = _; check = _ } =
   match decode_cumulative s hi with
   | None -> ()
   | Some y ->
@@ -115,7 +115,10 @@ let create_receiver _engine config ~tx ~deliver =
   Config.validate config;
   { r_config = config; r_tx = tx; r_deliver = deliver; nr = 0 }
 
-let receiver_on_data r { Wire.seq; payload } =
+(* The textbook receiver trusts every frame as-is: no checksum check, so
+   an in-flight corruption is delivered verbatim — one of the
+   misbehaviours the chaos campaign demonstrates. *)
+let receiver_on_data r { Wire.seq; payload; check = _ } =
   let matches =
     match r.r_config.Config.wire_modulus with
     | None -> seq = r.nr
@@ -125,12 +128,12 @@ let receiver_on_data r { Wire.seq; payload } =
     r.r_deliver payload;
     r.nr <- r.nr + 1;
     let w = encode r.r_config (r.nr - 1) in
-    r.r_tx { Wire.lo = w; hi = w }
+    r.r_tx (Wire.make_ack ~lo:w ~hi:w)
   end
   else if r.nr > 0 then begin
     (* Out of order: discard and re-acknowledge the last in-order one. *)
     let w = encode r.r_config (r.nr - 1) in
-    r.r_tx { Wire.lo = w; hi = w }
+    r.r_tx (Wire.make_ack ~lo:w ~hi:w)
   end
 
 let sender_pump = pump

@@ -24,14 +24,19 @@ let create_receiver _engine config ~tx ~deliver =
   }
 
 (* Every reception is acknowledged with a singleton (v, v), then in-order
-   payloads are drained to the application. *)
-let receiver_on_data r { Wire.seq; payload } =
+   payloads are drained to the application. Corrupt frames are discarded
+   up front, like the block-ack receiver: selective repeat is one of the
+   "robust" baselines in the chaos campaign. *)
+let receiver_on_data r d =
+  if not (Wire.data_ok d) then ()
+  else begin
+  let { Wire.seq; payload; check = _ } = d in
   let v = Blockack.Seqcodec.decode_data r.codec ~nr:r.nr seq in
   let wire = Blockack.Seqcodec.encode r.codec v in
-  if v < r.nr then r.tx { Wire.lo = wire; hi = wire }
+  if v < r.nr then r.tx (Wire.make_ack ~lo:wire ~hi:wire)
   else if v < r.nr + r.window then begin
     if not (Ba_util.Ring_buffer.mem r.buffer v) then Ba_util.Ring_buffer.set r.buffer v payload;
-    r.tx { Wire.lo = wire; hi = wire };
+    r.tx (Wire.make_ack ~lo:wire ~hi:wire);
     while Ba_util.Ring_buffer.mem r.buffer r.nr do
       (match Ba_util.Ring_buffer.get r.buffer r.nr with
       | Some p ->
@@ -40,6 +45,7 @@ let receiver_on_data r { Wire.seq; payload } =
       | None -> ());
       r.nr <- r.nr + 1
     done
+  end
   end
 
 let protocol : Ba_proto.Protocol.t =

@@ -40,7 +40,7 @@ let try_transmit s seq =
     | None -> invalid_arg "Stenning.try_transmit: no buffered payload"
     | Some payload ->
         note_slot_use s seq;
-        s.tx { Wire.seq = Blockack.Seqcodec.encode s.codec seq; payload });
+        s.tx (Wire.make_data ~seq:(Blockack.Seqcodec.encode s.codec seq) ~payload));
     true
   end
   else false
@@ -129,7 +129,7 @@ let stop_timer s seq =
       Ba_util.Ring_buffer.remove s.timers seq
   | None -> ()
 
-let sender_on_ack s { Wire.lo; hi = _ } =
+let sender_on_ack s { Wire.lo; hi = _; check = _ } =
   let seq = Blockack.Seqcodec.decode_ack s.codec ~na:s.na lo in
   if seq >= s.na && seq < s.ns then begin
     Ba_util.Ring_buffer.set s.acked seq ();

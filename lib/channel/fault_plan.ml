@@ -1,0 +1,118 @@
+type verdict = Deliver | Drop | Duplicate of int | Corrupt | Delay of int
+
+type gilbert_elliott = {
+  p_enter_bad : float;
+  p_exit_bad : float;
+  loss_good : float;
+  loss_bad : float;
+}
+
+type outage = { from_tick : int; until_tick : int }
+
+type t = {
+  bursty : gilbert_elliott option;
+  duplicate : float;
+  copies : int;
+  corrupt : float;
+  delay_spike : (float * int) option;
+  outages : outage list;
+}
+
+let none =
+  { bursty = None; duplicate = 0.; copies = 2; corrupt = 0.; delay_spike = None; outages = [] }
+
+let check_prob what p =
+  if p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Fault_plan: %s probability %g outside [0,1]" what p)
+
+let validate t =
+  (match t.bursty with
+  | None -> ()
+  | Some g ->
+      check_prob "p_enter_bad" g.p_enter_bad;
+      check_prob "p_exit_bad" g.p_exit_bad;
+      check_prob "loss_good" g.loss_good;
+      check_prob "loss_bad" g.loss_bad;
+      if g.p_exit_bad = 0. && g.p_enter_bad > 0. && g.loss_bad >= 1. then
+        invalid_arg "Fault_plan: absorbing bad state with total loss never delivers again");
+  check_prob "duplicate" t.duplicate;
+  check_prob "corrupt" t.corrupt;
+  if t.copies < 2 then invalid_arg "Fault_plan: copies must be >= 2";
+  (match t.delay_spike with
+  | Some (p, d) ->
+      check_prob "delay_spike" p;
+      if d < 0 then invalid_arg "Fault_plan: negative delay spike"
+  | None -> ());
+  List.iter
+    (fun o ->
+      if o.from_tick < 0 || o.until_tick <= o.from_tick then
+        invalid_arg "Fault_plan: outage needs 0 <= from_tick < until_tick")
+    t.outages
+
+let make ?bursty ?(duplicate = 0.) ?(copies = 2) ?(corrupt = 0.) ?delay_spike ?(outages = [])
+    () =
+  let t = { bursty; duplicate; copies; corrupt; delay_spike; outages } in
+  validate t;
+  t
+
+let in_outage t ~now =
+  List.exists (fun o -> now >= o.from_tick && now < o.until_tick) t.outages
+
+let quiesced_after t = List.fold_left (fun acc o -> max acc o.until_tick) 0 t.outages
+
+let pp ppf t =
+  let parts = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  (match t.bursty with
+  | Some g ->
+      add "ge(%.3f->%.3f,l=%.2f/%.2f)" g.p_enter_bad g.p_exit_bad g.loss_good g.loss_bad
+  | None -> ());
+  if t.duplicate > 0. then add "dup(%.2fx%d)" t.duplicate t.copies;
+  if t.corrupt > 0. then add "corr(%.2f)" t.corrupt;
+  (match t.delay_spike with Some (p, d) -> add "spike(%.2f,+%d)" p d | None -> ());
+  List.iter (fun o -> add "out[%d,%d)" o.from_tick o.until_tick) t.outages;
+  match !parts with
+  | [] -> Format.pp_print_string ppf "none"
+  | parts -> Format.pp_print_string ppf (String.concat "+" (List.rev parts))
+
+type burst_stats = { steps : int; bad_entries : int; bad_steps : int }
+
+type instance = {
+  plan : t;
+  rng : Ba_util.Rng.t;
+  mutable in_bad : bool;
+  mutable steps : int;
+  mutable bad_entries : int;
+  mutable bad_steps : int;
+}
+
+let instantiate plan ~rng =
+  validate plan;
+  { plan; rng; in_bad = false; steps = 0; bad_entries = 0; bad_steps = 0 }
+
+let plan i = i.plan
+
+let ge_step i g =
+  (if i.in_bad then begin
+     if Ba_util.Rng.bernoulli i.rng g.p_exit_bad then i.in_bad <- false
+   end
+   else if Ba_util.Rng.bernoulli i.rng g.p_enter_bad then begin
+     i.in_bad <- true;
+     i.bad_entries <- i.bad_entries + 1
+   end);
+  if i.in_bad then i.bad_steps <- i.bad_steps + 1;
+  Ba_util.Rng.bernoulli i.rng (if i.in_bad then g.loss_bad else g.loss_good)
+
+let decide i =
+  i.steps <- i.steps + 1;
+  let p = i.plan in
+  let lost = match p.bursty with Some g -> ge_step i g | None -> false in
+  if lost then Drop
+  else if p.duplicate > 0. && Ba_util.Rng.bernoulli i.rng p.duplicate then Duplicate p.copies
+  else if p.corrupt > 0. && Ba_util.Rng.bernoulli i.rng p.corrupt then Corrupt
+  else
+    match p.delay_spike with
+    | Some (prob, extra) when Ba_util.Rng.bernoulli i.rng prob -> Delay extra
+    | Some _ | None -> Deliver
+
+let burst_stats i = { steps = i.steps; bad_entries = i.bad_entries; bad_steps = i.bad_steps }

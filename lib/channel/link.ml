@@ -1,4 +1,9 @@
-type 'a verdict = Deliver | Drop
+type verdict = Fault_plan.verdict =
+  | Deliver
+  | Drop
+  | Duplicate of int
+  | Corrupt
+  | Delay of int
 
 type stats = {
   sent : int;
@@ -6,6 +11,9 @@ type stats = {
   dropped : int;
   queue_dropped : int;
   reordered : int;
+  duplicated : int;
+  corrupted : int;
+  outage_drops : int;
 }
 
 type 'a t = {
@@ -14,9 +22,11 @@ type 'a t = {
   delay : Dist.t;
   bottleneck : (int * int) option;  (* service time, queue capacity *)
   deliver : 'a -> unit;
+  corrupt : ('a -> 'a) option;
   rng : Ba_util.Rng.t;
-  mutable fault : ('a -> 'a verdict) option;
-  queue : ('a * int) Queue.t;  (* message, send index *)
+  mutable fault : ('a -> verdict) option;
+  mutable plan : Fault_plan.instance option;
+  queue : ('a * int * int) Queue.t;  (* message, send index, extra delay *)
   mutable serving : bool;
   mutable in_flight : int;
   mutable sent : int;
@@ -24,11 +34,14 @@ type 'a t = {
   mutable dropped : int;
   mutable queue_dropped : int;
   mutable reordered : int;
+  mutable duplicated : int;
+  mutable corrupted : int;
+  mutable outage_drops : int;
   mutable send_index : int;
   mutable max_delivered_index : int;
 }
 
-let create engine ?(loss = 0.) ?(delay = Dist.Constant 1) ?bottleneck ~deliver () =
+let create engine ?(loss = 0.) ?(delay = Dist.Constant 1) ?bottleneck ?corrupt ~deliver () =
   if loss < 0. || loss > 1. then invalid_arg "Link.create: loss must be in [0,1]";
   (match bottleneck with
   | Some (service, capacity) when service <= 0 || capacity <= 0 ->
@@ -40,8 +53,10 @@ let create engine ?(loss = 0.) ?(delay = Dist.Constant 1) ?bottleneck ~deliver (
     delay;
     bottleneck;
     deliver;
+    corrupt;
     rng = Ba_util.Rng.split (Ba_sim.Engine.rng engine);
     fault = None;
+    plan = None;
     queue = Queue.create ();
     serving = false;
     in_flight = 0;
@@ -50,14 +65,17 @@ let create engine ?(loss = 0.) ?(delay = Dist.Constant 1) ?bottleneck ~deliver (
     dropped = 0;
     queue_dropped = 0;
     reordered = 0;
+    duplicated = 0;
+    corrupted = 0;
+    outage_drops = 0;
     send_index = 0;
     max_delivered_index = -1;
   }
 
 (* Propagation stage: the per-message random delay after any queueing. *)
-let propagate t msg index =
+let propagate t msg index extra =
   t.in_flight <- t.in_flight + 1;
-  let delay = Dist.sample t.delay t.rng in
+  let delay = Dist.sample t.delay t.rng + extra in
   ignore
     (Ba_sim.Engine.schedule t.engine ~delay (fun () ->
          t.in_flight <- t.in_flight - 1;
@@ -69,33 +87,71 @@ let propagate t msg index =
 let rec serve t service_time =
   match Queue.take_opt t.queue with
   | None -> t.serving <- false
-  | Some (msg, index) ->
+  | Some (msg, index, extra) ->
       t.serving <- true;
       ignore
         (Ba_sim.Engine.schedule t.engine ~delay:service_time (fun () ->
-             propagate t msg index;
+             propagate t msg index extra;
              serve t service_time))
+
+(* One surviving copy enters the (optional) bottleneck and then the
+   propagation stage. *)
+let admit t msg index extra =
+  match t.bottleneck with
+  | None -> propagate t msg index extra
+  | Some (service_time, capacity) ->
+      if Queue.length t.queue >= capacity then t.queue_dropped <- t.queue_dropped + 1
+      else begin
+        Queue.add (msg, index, extra) t.queue;
+        if not t.serving then serve t service_time
+      end
 
 let send t msg =
   t.sent <- t.sent + 1;
   let index = t.send_index in
   t.send_index <- t.send_index + 1;
-  let fault_verdict = match t.fault with None -> Deliver | Some f -> f msg in
-  let lost = Ba_util.Rng.bernoulli t.rng t.loss in
-  match (fault_verdict, lost) with
-  | Drop, _ | _, true -> t.dropped <- t.dropped + 1
-  | Deliver, false -> (
-      match t.bottleneck with
-      | None -> propagate t msg index
-      | Some (service_time, capacity) ->
-          if Queue.length t.queue >= capacity then t.queue_dropped <- t.queue_dropped + 1
-          else begin
-            Queue.add (msg, index) t.queue;
-            if not t.serving then serve t service_time
-          end)
+  let in_outage =
+    match t.plan with
+    | Some inst -> Fault_plan.in_outage (Fault_plan.plan inst) ~now:(Ba_sim.Engine.now t.engine)
+    | None -> false
+  in
+  if in_outage then t.outage_drops <- t.outage_drops + 1
+  else begin
+    (* The scripted hook takes precedence; the plan fills in when the
+       hook passes. Independent Bernoulli loss applies on top of both. *)
+    let verdict =
+      match t.fault with
+      | Some f -> (
+          match f msg with
+          | Deliver -> ( match t.plan with Some inst -> Fault_plan.decide inst | None -> Deliver)
+          | v -> v)
+      | None -> ( match t.plan with Some inst -> Fault_plan.decide inst | None -> Deliver)
+    in
+    if Ba_util.Rng.bernoulli t.rng t.loss then t.dropped <- t.dropped + 1
+    else
+      match verdict with
+      | Drop -> t.dropped <- t.dropped + 1
+      | Deliver -> admit t msg index 0
+      | Delay extra -> admit t msg index (max 0 extra)
+      | Duplicate copies ->
+          let copies = max 1 copies in
+          t.duplicated <- t.duplicated + (copies - 1);
+          for _ = 1 to copies do
+            admit t msg index 0
+          done
+      | Corrupt ->
+          t.corrupted <- t.corrupted + 1;
+          let mangled = match t.corrupt with Some f -> f msg | None -> msg in
+          admit t mangled index 0
+  end
 
 let set_fault t f = t.fault <- Some f
 let clear_fault t = t.fault <- None
+
+let set_plan t plan = t.plan <- Some (Fault_plan.instantiate plan ~rng:(Ba_util.Rng.split t.rng))
+let clear_plan t = t.plan <- None
+let plan t = Option.map Fault_plan.plan t.plan
+
 let in_flight t = t.in_flight + Queue.length t.queue + if t.serving then 1 else 0
 let queue_length t = Queue.length t.queue
 let max_delay t = Dist.max_delay t.delay
@@ -107,6 +163,9 @@ let stats t =
     dropped = t.dropped;
     queue_dropped = t.queue_dropped;
     reordered = t.reordered;
+    duplicated = t.duplicated;
+    corrupted = t.corrupted;
+    outage_drops = t.outage_drops;
   }
 
 let loss t = t.loss

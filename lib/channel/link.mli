@@ -1,25 +1,42 @@
-(** Simulated unidirectional link: loses and reorders, never duplicates.
+(** Simulated unidirectional link: loses, reorders, and — under an
+    adversarial {!Fault_plan} — duplicates, corrupts, delays and blacks
+    out.
 
-    This is the paper's channel model under the discrete-event engine:
-    each message independently suffers Bernoulli loss and a random delay
-    drawn from a bounded distribution. Independent delays mean later
-    messages can overtake earlier ones — exactly "message disorder". The
-    link never duplicates (the paper's channels are sets; at most one
-    copy of a sent message is ever in transit).
+    The baseline is the paper's channel model under the discrete-event
+    engine: each message independently suffers Bernoulli loss and a
+    random delay drawn from a bounded distribution. Independent delays
+    mean later messages can overtake earlier ones — exactly "message
+    disorder". With no fault plan installed the link never duplicates
+    (the paper's channels are sets; at most one copy of a sent message
+    is ever in transit).
 
-    A programmable fault hook supports scripted experiments (e.g. "drop
-    the third acknowledgment") on top of the random loss. *)
+    Two programmable layers sit on top of the random loss:
+    {ul
+    {- a scripted fault hook ({!set_fault}) for deterministic
+       experiments ("drop the third acknowledgment"), now returning a
+       full {!verdict};}
+    {- a randomized {!Fault_plan} ({!set_plan}) for chaos campaigns:
+       bursty Gilbert-Elliott loss, duplication, corruption, delay
+       spikes and scheduled outages.}} *)
 
 type 'a t
 
-type 'a verdict = Deliver | Drop
+type verdict = Fault_plan.verdict =
+  | Deliver
+  | Drop
+  | Duplicate of int  (** deliver this many copies in total *)
+  | Corrupt  (** deliver one mangled copy (see [create]'s [corrupt]) *)
+  | Delay of int  (** deliver after this many extra ticks *)
 
 type stats = {
   sent : int;
-  delivered : int;
-  dropped : int;  (** random loss + fault-hook drops *)
+  delivered : int;  (** arrivals, counting every duplicate copy *)
+  dropped : int;  (** random loss + fault-verdict drops *)
   queue_dropped : int;  (** tail drops at the bottleneck queue *)
   reordered : int;  (** deliveries overtaken by a later-sent message *)
+  duplicated : int;  (** extra copies injected by [Duplicate] verdicts *)
+  corrupted : int;  (** messages mangled by [Corrupt] verdicts *)
+  outage_drops : int;  (** sends discarded during a scheduled outage *)
 }
 
 val create :
@@ -27,6 +44,7 @@ val create :
   ?loss:float ->
   ?delay:Dist.t ->
   ?bottleneck:int * int ->
+  ?corrupt:('a -> 'a) ->
   deliver:('a -> unit) ->
   unit ->
   'a t
@@ -39,24 +57,41 @@ val create :
     per [service_time] ticks from a FIFO queue of at most
     [queue_capacity]; arrivals to a full queue are tail-dropped (counted
     in [queue_dropped]). This makes loss *load-dependent*, which is what
-    variable-window (congestion-control) experiments need. *)
+    variable-window (congestion-control) experiments need.
+
+    [corrupt] mangles a message when a [Corrupt] verdict fires (it
+    should damage the payload so a checksum can catch it). Without it,
+    [Corrupt] still counts in [stats] but delivers the message
+    unharmed. *)
 
 val queue_length : 'a t -> int
 (** Messages waiting at the bottleneck (0 when none configured). *)
 
 val send : 'a t -> 'a -> unit
 
-val set_fault : 'a t -> ('a -> 'a verdict) -> unit
-(** Install a hook consulted at send time after random loss; [Drop]
-    discards the message (counted in [dropped]). *)
+val set_fault : 'a t -> ('a -> verdict) -> unit
+(** Install a scripted hook consulted at send time. A non-[Deliver]
+    verdict takes precedence over the fault plan; independent Bernoulli
+    loss still applies on top. *)
 
 val clear_fault : 'a t -> unit
+
+val set_plan : 'a t -> Fault_plan.t -> unit
+(** Install (or replace) a randomized fault plan; the instance draws
+    from a fresh split of the link's random stream. Outage windows are
+    checked against engine time on every send and counted in
+    [outage_drops]; other verdicts come from {!Fault_plan.decide}. *)
+
+val clear_plan : 'a t -> unit
+
+val plan : 'a t -> Fault_plan.t option
 
 val in_flight : 'a t -> int
 (** Messages currently in transit. *)
 
 val max_delay : 'a t -> int
-(** The delay distribution's bound — what a conservative timeout needs. *)
+(** The delay distribution's bound — what a conservative timeout needs.
+    Note a fault plan's delay spikes can exceed it. *)
 
 val stats : 'a t -> stats
 val loss : 'a t -> float

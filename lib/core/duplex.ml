@@ -76,7 +76,7 @@ let tx_ack ~piggyback_hold ~wire_modulus e (a : Ba_proto.Wire.ack) =
     | Some p when succ_wire p.Ba_proto.Wire.hi = a.Ba_proto.Wire.lo ->
         Option.iter Ba_sim.Timer.stop e.ack_timer;
         e.pending_ack <- None;
-        { Ba_proto.Wire.lo = p.Ba_proto.Wire.lo; hi = a.Ba_proto.Wire.hi }
+        Ba_proto.Wire.make_ack ~lo:p.Ba_proto.Wire.lo ~hi:a.Ba_proto.Wire.hi
     | Some _ ->
         flush_pure_ack e;
         a
@@ -102,7 +102,7 @@ let on_frame e frame =
   (match frame.seq with
   | Some seq ->
       Option.iter
-        (fun r -> Receiver.on_data r { Ba_proto.Wire.seq; payload = frame.payload })
+        (fun r -> Receiver.on_data r (Ba_proto.Wire.make_data ~seq ~payload:frame.payload))
         e.receiver
   | None -> ());
   match frame.pack with

@@ -9,11 +9,12 @@ type t = {
   mutable vr : int;
   mutable acks_sent : int;
   mutable dup_acks_sent : int;
+  mutable corrupt_dropped : int;
 }
 
 let send_ack t ~lo ~hi =
   t.acks_sent <- t.acks_sent + 1;
-  t.tx { Ba_proto.Wire.lo = Seqcodec.encode t.codec lo; hi = Seqcodec.encode t.codec hi }
+  t.tx (Ba_proto.Wire.make_ack ~lo:(Seqcodec.encode t.codec lo) ~hi:(Seqcodec.encode t.codec hi))
 
 (* Action 5: acknowledge the run [nr, vr) in one block and hand its
    payloads to the application in order. *)
@@ -49,13 +50,21 @@ let create engine config ~tx ~deliver =
         vr = 0;
         acks_sent = 0;
         dup_acks_sent = 0;
+        corrupt_dropped = 0;
       }
   in
   Lazy.force t
 
 (* Actions 3 + 4: record the reception, extend the contiguous run, and
-   either flush immediately or leave the run open for coalescing. *)
-let on_data t { Ba_proto.Wire.seq; payload } =
+   either flush immediately or leave the run open for coalescing. A
+   frame that fails its checksum is discarded before any of that — it
+   must neither be delivered nor acknowledged (the sender's timer will
+   retransmit it), and its header cannot be trusted enough even to
+   re-ack. *)
+let on_data t d =
+  if not (Ba_proto.Wire.data_ok d) then t.corrupt_dropped <- t.corrupt_dropped + 1
+  else begin
+  let { Ba_proto.Wire.seq; payload; check = _ } = d in
   let v = Seqcodec.decode_data t.codec ~nr:t.nr seq in
   if v < t.nr then begin
     (* Already accepted: its acknowledgment must have been lost; re-ack. *)
@@ -73,9 +82,11 @@ let on_data t { Ba_proto.Wire.seq; payload } =
     end
   end
   (* v >= nr + w cannot come from a conforming sender; drop defensively. *)
+  end
 
 let nr t = t.nr
 let vr t = t.vr
 let buffered t = Ba_util.Ring_buffer.occupancy t.buffer
 let acks_sent t = t.acks_sent
 let dup_acks_sent t = t.dup_acks_sent
+let corrupt_dropped t = t.corrupt_dropped

@@ -38,5 +38,9 @@ val dup_acks_sent : t -> int
 (** Singleton re-acknowledgments of old duplicates (subset of
     [acks_sent]). *)
 
+val corrupt_dropped : t -> int
+(** Data frames discarded because their checksum failed
+    ({!Ba_proto.Wire.data_ok}): never delivered, never acknowledged. *)
+
 val flush : t -> unit
 (** Force out any pending coalesced acknowledgment now. *)

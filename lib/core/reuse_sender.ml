@@ -32,7 +32,7 @@ and transmit t seq =
   match Ba_util.Ring_buffer.get t.buffer seq with
   | None -> invalid_arg "Reuse_sender.transmit: no buffered payload"
   | Some payload ->
-      t.tx { Ba_proto.Wire.seq = Seqcodec.encode t.codec seq; payload };
+      t.tx (Ba_proto.Wire.make_data ~seq:(Seqcodec.encode t.codec seq) ~payload);
       let timer =
         match Ba_util.Ring_buffer.get t.timers seq with
         | Some timer -> timer
@@ -99,7 +99,10 @@ let stop_timer t seq =
       Ba_util.Ring_buffer.remove t.timers seq
   | None -> ()
 
-let on_ack t { Ba_proto.Wire.lo; hi } =
+let on_ack t a =
+  if not (Ba_proto.Wire.ack_ok a) then ()
+  else begin
+  let { Ba_proto.Wire.lo; hi; check = _ } = a in
   let count = Seqcodec.span t.codec ~lo ~hi in
   for k = 0 to count - 1 do
     let wire = Seqcodec.shift t.codec lo k in
@@ -118,6 +121,7 @@ let on_ack t { Ba_proto.Wire.lo; hi } =
     t.na <- t.na + 1
   done;
   pump t
+  end
 
 let na t = t.na
 let ns t = t.ns

@@ -18,7 +18,7 @@ let transmit t seq =
   match Ba_util.Ring_buffer.get t.buffer seq with
   | None -> invalid_arg "Sender.transmit: no buffered payload"
   | Some payload ->
-      t.tx { Ba_proto.Wire.seq = Seqcodec.encode t.codec seq; payload };
+      t.tx (Ba_proto.Wire.make_data ~seq:(Seqcodec.encode t.codec seq) ~payload);
       Ba_sim.Timer.start t.timer
 
 let outstanding t = t.ns - t.na
@@ -78,8 +78,13 @@ let create engine config ~tx ~next_payload =
 (* Action 1: mark every covered sequence number that is still
    outstanding, then slide na over the acknowledged prefix. Stale
    duplicates (covering already-acknowledged messages) decode outside
-   [na, ns) and are ignored. *)
-let on_ack t { Ba_proto.Wire.lo; hi } =
+   [na, ns) and are ignored; a corrupted acknowledgment is ignored
+   entirely — acting on a mangled range could acknowledge data the
+   receiver never accepted. *)
+let on_ack t a =
+  if not (Ba_proto.Wire.ack_ok a) then ()
+  else begin
+  let { Ba_proto.Wire.lo; hi; check = _ } = a in
   let count = Seqcodec.span t.codec ~lo ~hi in
   for k = 0 to count - 1 do
     let wire = Seqcodec.shift t.codec lo k in
@@ -93,6 +98,7 @@ let on_ack t { Ba_proto.Wire.lo; hi } =
   done;
   if outstanding t = 0 then Ba_sim.Timer.stop t.timer;
   pump t
+  end
 
 let na t = t.na
 let ns t = t.ns

@@ -14,6 +14,7 @@ type t = {
   mutable na : int;
   mutable ns : int;
   mutable retransmissions : int;
+  mutable corrupt_acks_dropped : int;
   (* AIMD congestion window (dynamic_window mode): cwnd counts messages,
      ack_credit accumulates fractional additive increase. *)
   mutable cwnd : int;
@@ -66,6 +67,15 @@ let rec on_timeout t seq =
   if seq >= t.na && seq < t.ns && not (Ba_util.Ring_buffer.mem t.acked seq) then begin
     t.retransmissions <- t.retransmissions + 1;
     on_loss_signal t;
+    (* Karn's algorithm, second half: the rule above (sample_rtt) only
+       excludes tainted samples, so during an outage the estimator would
+       otherwise keep its stale pre-outage rto and every *newly* pumped
+       message would retransmit at that collapsed value forever. Back off
+       the shared estimate too, but only when the oldest outstanding
+       message expires — w simultaneous per-message expiries must not
+       compound into a 2^w backoff. The next genuine sample rebuilds the
+       rto from srtt/rttvar as usual. *)
+    if seq = t.na then Option.iter Rtt_estimator.backoff t.estimator;
     let retx = Option.value ~default:0 (Ba_util.Ring_buffer.get t.resent seq) in
     Ba_util.Ring_buffer.set t.resent seq (retx + 1);
     (* With unbounded wire numbers decode is exact and no hold is needed. *)
@@ -79,7 +89,7 @@ and transmit t seq =
   match Ba_util.Ring_buffer.get t.buffer seq with
   | None -> invalid_arg "Sender_multi.transmit: no buffered payload"
   | Some payload ->
-      t.tx { Ba_proto.Wire.seq = Seqcodec.encode t.codec seq; payload };
+      t.tx (Ba_proto.Wire.make_data ~seq:(Seqcodec.encode t.codec seq) ~payload);
       let timer =
         match Ba_util.Ring_buffer.get t.timers seq with
         | Some timer -> timer
@@ -147,6 +157,7 @@ let create engine config ~tx ~next_payload =
     na = 0;
     ns = 0;
     retransmissions = 0;
+    corrupt_acks_dropped = 0;
     cwnd = 1;
     ack_credit = 0;
   }
@@ -176,7 +187,15 @@ let sample_rtt t seq =
         | None -> ()
       end
 
-let on_ack t { Ba_proto.Wire.lo; hi } =
+(* A corrupted acknowledgment is discarded outright: a mangled block
+   range could cover messages the receiver never accepted, which is a
+   safety violation, not just waste. Duplicated acknowledgments are
+   harmless — every covered position is already guarded by the
+   [na <= seq < ns && not acked] test below. *)
+let on_ack t a =
+  if not (Ba_proto.Wire.ack_ok a) then t.corrupt_acks_dropped <- t.corrupt_acks_dropped + 1
+  else begin
+  let { Ba_proto.Wire.lo; hi; check = _ } = a in
   let count = Seqcodec.span t.codec ~lo ~hi in
   for k = 0 to count - 1 do
     let wire = Seqcodec.shift t.codec lo k in
@@ -195,10 +214,12 @@ let on_ack t { Ba_proto.Wire.lo; hi } =
   done;
   on_progress t (t.na - na_before);
   pump t
+  end
 
 let na t = t.na
 let ns t = t.ns
 let retransmissions t = t.retransmissions
+let corrupt_acks_dropped t = t.corrupt_acks_dropped
 let acked_total t = t.na
 
 let rto_now t = base_rto t

@@ -27,6 +27,12 @@ val ns : t -> int
 val outstanding : t -> int
 val is_done : t -> bool
 val retransmissions : t -> int
+
+val corrupt_acks_dropped : t -> int
+(** Acknowledgments discarded because their checksum failed
+    ({!Ba_proto.Wire.ack_ok}); acting on a mangled block range could
+    acknowledge data the receiver never accepted. *)
+
 val acked_total : t -> int
 
 val rto_now : t -> int

@@ -71,6 +71,14 @@ val a3_fairness : quick:bool -> table
 (** Extension ablation: two flows sharing the bottleneck; AIMD converges
     to an even split where oversized fixed windows fight. *)
 
+val c1_chaos_matrix : quick:bool -> table
+(** Robustness matrix: block acknowledgment and the four baselines, each
+    swept through every {!Ba_verify.Chaos} fault class (bursty loss,
+    duplication, corruption, outages, reordering). Cells count safety
+    violations and stuck runs; the robust protocols are expected to be
+    clean everywhere, bounded go-back-N to break under reorder, and the
+    unvalidated baselines to deliver corrupted payloads. *)
+
 val all : quick:bool -> table list
 (** All experiments in presentation order. *)
 

@@ -11,8 +11,13 @@ type result = {
   data_dropped : int;
   data_queue_dropped : int;
   data_reordered : int;
+  data_duplicated : int;
+  data_corrupted : int;
+  data_outage_drops : int;
   acks_sent : int;
   acks_dropped : int;
+  acks_corrupted : int;
+  ack_outage_drops : int;
   retransmissions : int;
   goodput : float;
   latency : Ba_util.Stats.summary option;
@@ -30,7 +35,7 @@ type setup = {
 let run (module P : Protocol.S) ?(seed = 42) ?(messages = 1000) ?(payload_size = 32)
     ?(config = Proto_config.default) ?(data_loss = 0.) ?(ack_loss = 0.)
     ?(data_delay = Ba_channel.Dist.Uniform (40, 60)) ?(ack_delay = Ba_channel.Dist.Uniform (40, 60))
-    ?data_bottleneck ?deadline ?on_setup () =
+    ?data_bottleneck ?data_plan ?ack_plan ?deadline ?on_setup () =
   Proto_config.validate config;
   let engine = Ba_sim.Engine.create ~seed () in
   let deadline =
@@ -80,17 +85,21 @@ let run (module P : Protocol.S) ?(seed = 42) ?(messages = 1000) ?(payload_size =
   in
   let data_link =
     Ba_channel.Link.create engine ~loss:data_loss ~delay:data_delay ?bottleneck:data_bottleneck
+      ~corrupt:Wire.corrupt_data
       ~deliver:(fun d ->
         match !receiver with Some r -> P.receiver_on_data r d | None -> ())
       ()
   in
   let ack_link =
     Ba_channel.Link.create engine ~loss:ack_loss ~delay:ack_delay
+      ~corrupt:Wire.corrupt_ack
       ~deliver:(fun a ->
         (match !sender with Some s -> P.sender_on_ack s a | None -> ());
         check_done ())
       ()
   in
+  Option.iter (Ba_channel.Link.set_plan data_link) data_plan;
+  Option.iter (Ba_channel.Link.set_plan ack_link) ack_plan;
   let next_payload = Workload.supplier ~seed ~size:payload_size ~count:messages in
   let next_payload () =
     match next_payload () with
@@ -133,8 +142,13 @@ let run (module P : Protocol.S) ?(seed = 42) ?(messages = 1000) ?(payload_size =
     data_dropped = dstats.Ba_channel.Link.dropped;
     data_queue_dropped = dstats.Ba_channel.Link.queue_dropped;
     data_reordered = dstats.Ba_channel.Link.reordered;
+    data_duplicated = dstats.Ba_channel.Link.duplicated;
+    data_corrupted = dstats.Ba_channel.Link.corrupted;
+    data_outage_drops = dstats.Ba_channel.Link.outage_drops;
     acks_sent = astats.Ba_channel.Link.sent;
     acks_dropped = astats.Ba_channel.Link.dropped;
+    acks_corrupted = astats.Ba_channel.Link.corrupted;
+    ack_outage_drops = astats.Ba_channel.Link.outage_drops;
     retransmissions = P.sender_retransmissions s;
     goodput = (if ticks = 0 then 0. else float_of_int !delivered *. 1000. /. float_of_int ticks);
     latency = (if Ba_util.Stats.count latency_stats = 0 then None else Some (Ba_util.Stats.summary latency_stats));

@@ -20,8 +20,13 @@ type result = {
   data_dropped : int;
   data_queue_dropped : int;  (** tail drops at the data-link bottleneck *)
   data_reordered : int;  (** wire-level overtakings on the data link *)
+  data_duplicated : int;  (** extra copies injected by a fault plan *)
+  data_corrupted : int;  (** wire-level corruptions injected on the data link *)
+  data_outage_drops : int;  (** data frames lost to scheduled outages *)
   acks_sent : int;
   acks_dropped : int;
+  acks_corrupted : int;  (** wire-level corruptions injected on the ack link *)
+  ack_outage_drops : int;  (** acks lost to scheduled outages *)
   retransmissions : int;
   goodput : float;  (** delivered payloads per 1000 ticks *)
   latency : Ba_util.Stats.summary option;
@@ -53,6 +58,8 @@ val run :
   ?data_delay:Ba_channel.Dist.t ->
   ?ack_delay:Ba_channel.Dist.t ->
   ?data_bottleneck:int * int ->
+  ?data_plan:Ba_channel.Fault_plan.t ->
+  ?ack_plan:Ba_channel.Fault_plan.t ->
   ?deadline:int ->
   ?on_setup:(setup -> unit) ->
   unit ->
@@ -60,7 +67,15 @@ val run :
 (** Defaults: [seed = 42], [messages = 1000], [payload_size = 32],
     [config = Proto_config.default], no loss, delay [Uniform (40, 60)]
     both ways, deadline scaled to the workload. The run stops early as
-    soon as the transfer completes. *)
+    soon as the transfer completes.
+
+    [data_plan] / [ack_plan] install composable {!Ba_channel.Fault_plan}
+    adversaries on the respective links (bursty loss, duplication,
+    corruption, outages); the plans' randomness is derived from the
+    link's seeded stream, so a run is a pure function of [seed]. Both
+    links mangle messages with {!Wire.corrupt_data} /
+    {!Wire.corrupt_ack} when a plan asks for a [Corrupt] verdict, so
+    robust endpoints can detect and discard them by checksum. *)
 
 val pp_result : Format.formatter -> result -> unit
 

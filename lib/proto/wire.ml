@@ -1,6 +1,48 @@
-type data = { seq : int; payload : string }
+type data = { seq : int; payload : string; check : int }
 
-type ack = { lo : int; hi : int }
+type ack = { lo : int; hi : int; check : int }
+
+(* FNV-1a over the payload bytes, folded with the header numbers (offset
+   basis truncated to OCaml's 63-bit int). The simulation never needs
+   cryptographic strength — only that the single byte flips and header
+   perturbations [corrupt_data]/[corrupt_ack] inject are always caught. *)
+let fnv_prime = 0x100000001b3
+let fnv_offset = 0x3bf29ce484222325
+
+let fnv_byte h b = (h lxor b) * fnv_prime land max_int
+
+let fnv_int h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := fnv_byte !h ((v lsr (shift * 8)) land 0xff)
+  done;
+  !h
+
+let data_checksum ~seq ~payload =
+  let h = ref (fnv_int fnv_offset seq) in
+  String.iter (fun c -> h := fnv_byte !h (Char.code c)) payload;
+  !h
+
+let ack_checksum ~lo ~hi = fnv_int (fnv_int fnv_offset lo) hi
+
+let make_data ~seq ~payload = { seq; payload; check = data_checksum ~seq ~payload }
+let make_ack ~lo ~hi = { lo; hi; check = ack_checksum ~lo ~hi }
+
+let data_ok (d : data) = d.check = data_checksum ~seq:d.seq ~payload:d.payload
+let ack_ok (a : ack) = a.check = ack_checksum ~lo:a.lo ~hi:a.hi
+
+(* Deterministic mangling for the link's [Corrupt] verdict: damage the
+   message without touching the stored checksum, so validation fails.
+   An empty payload leaves only the header to flip. *)
+let corrupt_data (d : data) =
+  if String.length d.payload = 0 then { d with seq = d.seq lxor 1 }
+  else begin
+    let b = Bytes.of_string d.payload in
+    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
+    { d with payload = Bytes.to_string b }
+  end
+
+let corrupt_ack (a : ack) = { a with hi = a.hi lxor 1 }
 
 let data_header_bytes = 8
 let ack_bytes_block = 8

@@ -4,11 +4,42 @@
     depending on the protocol's configuration) and an opaque payload.
     Acknowledgments carry the paper's pair [(lo, hi)]; protocols that use
     single-number acks (go-back-N, selective repeat) set [lo = hi], which
-    also gives a uniform basis for byte accounting. *)
+    also gives a uniform basis for byte accounting.
 
-type data = { seq : int; payload : string }
+    Both message kinds additionally carry a frame checksum, standing in
+    for a link-layer FCS. The paper's channel model has no corruption,
+    so the checksum is not part of its protocol — it exists so the
+    adversarial channel ({!Ba_channel.Fault_plan}) can flip bits and the
+    robust endpoints can discard the damage instead of delivering it.
+    Construct messages with {!make_data}/{!make_ack} (which compute the
+    checksum) and validate arrivals with {!data_ok}/{!ack_ok}. Like a
+    hardware FCS, the checksum is excluded from the byte-overhead
+    accounting below. *)
 
-type ack = { lo : int; hi : int }
+type data = { seq : int; payload : string; check : int }
+
+type ack = { lo : int; hi : int; check : int }
+
+val make_data : seq:int -> payload:string -> data
+val make_ack : lo:int -> hi:int -> ack
+
+val data_ok : data -> bool
+(** The stored checksum matches the contents; receivers must discard
+    (and never deliver or acknowledge) a failing frame. *)
+
+val ack_ok : ack -> bool
+(** Senders must ignore a failing acknowledgment — acting on a mangled
+    block range could acknowledge data the receiver never accepted. *)
+
+val data_checksum : seq:int -> payload:string -> int
+val ack_checksum : lo:int -> hi:int -> int
+
+val corrupt_data : data -> data
+(** Deterministically damage the frame without fixing up its checksum
+    (flips a payload bit, or the sequence number when the payload is
+    empty) — the mangle function links install for [Corrupt] verdicts. *)
+
+val corrupt_ack : ack -> ack
 
 val data_header_bytes : int
 (** Fixed per-data-message header cost used for overhead accounting. *)

@@ -1,0 +1,158 @@
+module Fault_plan = Ba_channel.Fault_plan
+module Harness = Ba_proto.Harness
+
+type fault_class = Bursty_loss | Duplication | Corruption | Outage | Reorder
+
+let all_classes = [ Bursty_loss; Duplication; Corruption; Outage; Reorder ]
+
+let class_name = function
+  | Bursty_loss -> "bursty-loss"
+  | Duplication -> "duplication"
+  | Corruption -> "corruption"
+  | Outage -> "outage"
+  | Reorder -> "reorder"
+
+let class_of_name = function
+  | "bursty-loss" -> Some Bursty_loss
+  | "duplication" -> Some Duplication
+  | "corruption" -> Some Corruption
+  | "outage" -> Some Outage
+  | "reorder" -> Some Reorder
+  | _ -> None
+
+(* The schedules vary with the seed — outage windows shift, duplicate
+   fan-out alternates — so a 50-seed sweep is 50 different adversaries,
+   not one adversary with 50 dice rolls. Everything stays a pure
+   function of (class, seed). *)
+let plans_for fault ~seed =
+  match fault with
+  | Bursty_loss ->
+      let ge =
+        { Fault_plan.p_enter_bad = 0.04; p_exit_bad = 0.25; loss_good = 0.01; loss_bad = 0.9 }
+      in
+      ( Fault_plan.make ~bursty:ge (),
+        Fault_plan.make
+          ~bursty:{ ge with Fault_plan.p_enter_bad = 0.02; loss_bad = 0.7 }
+          () )
+  | Duplication ->
+      let copies = 2 + (seed mod 2) in
+      ( Fault_plan.make ~duplicate:0.15 ~copies (),
+        Fault_plan.make ~duplicate:0.1 ~copies:2 () )
+  | Corruption ->
+      (Fault_plan.make ~corrupt:0.15 (), Fault_plan.make ~corrupt:0.1 ())
+  | Outage ->
+      (* One dark window opening one-to-several round trips into the
+         transfer — early enough that even a short campaign run is still
+         in flight — and long enough that a sender without timer backoff
+         would pointlessly hammer the link. Both directions go dark
+         together, like a real link cut. *)
+      let from_tick = 150 + (97 * (seed mod 7)) in
+      let until_tick = from_tick + 1200 + (150 * (seed mod 3)) in
+      let out = [ { Fault_plan.from_tick; until_tick } ] in
+      (Fault_plan.make ~outages:out (), Fault_plan.make ~outages:out ())
+  | Reorder ->
+      (* Delay spikes several windows long: late copies overtake, stale
+         acknowledgments arrive after the window has moved on — the
+         ambiguity the paper's introduction builds its case on. *)
+      ( Fault_plan.make ~delay_spike:(0.3, 350) (),
+        Fault_plan.make ~delay_spike:(0.15, 250) () )
+
+type failure = {
+  seed : int;
+  fault : fault_class;
+  data_plan : Fault_plan.t;
+  ack_plan : Fault_plan.t;
+  result : Harness.result;
+}
+
+type class_report = {
+  fault : fault_class;
+  runs : int;
+  unsafe : int;
+  incomplete : int;
+  first_failure : failure option;
+}
+
+type report = { protocol : string; classes : class_report list }
+
+let safe (r : Harness.result) =
+  r.Harness.duplicates = 0 && r.Harness.misordered = 0 && r.Harness.corrupted = 0
+
+(* The reorder adversary spikes one-way delay up to 60 + 350 = 410
+   ticks. The paper's timeout rule is only sound when
+   [rto > 2 * max_transit], so the audited configurations declare that
+   timing honestly — otherwise every windowed protocol "fails" for the
+   uninteresting reason that its timing assumption was violated, not
+   because of its sequence-number logic. Go-back-N gets the same honest
+   timing: its w+1 modulus is what breaks under reordering, exactly the
+   introduction's argument. *)
+let robust_config =
+  Ba_proto.Proto_config.make ~window:16 ~wire_modulus:(Some 32) ~rto:1000 ~max_transit:410
+    ~adaptive_rto:true ()
+
+let gbn_config =
+  Ba_proto.Proto_config.make ~window:16 ~wire_modulus:(Some 17) ~rto:1000 ~max_transit:410 ()
+
+(* Near-FIFO base links (constant delay): all reordering, loss and
+   mangling comes from the injected fault plan, so each class tests
+   exactly one adversary. In particular bounded go-back-N — sound on
+   FIFO channels — survives every class except the one that actually
+   reorders. *)
+let run_one ?(messages = 60) ?(config = robust_config) protocol fault ~seed =
+  let data_plan, ack_plan = plans_for fault ~seed in
+  let delay = Ba_channel.Dist.Constant 50 in
+  let result =
+    Harness.run protocol ~seed ~messages ~config ~data_delay:delay ~ack_delay:delay ~data_plan
+      ~ack_plan ()
+  in
+  if safe result && result.Harness.completed then None
+  else Some { seed; fault; data_plan; ack_plan; result }
+
+let default_seeds = List.init 50 (fun i -> i + 1)
+
+let run_campaign ?messages ?config ?(seeds = default_seeds) ?(classes = all_classes) protocol =
+  let (module P : Ba_proto.Protocol.S) = protocol in
+  let audit fault =
+    let unsafe = ref 0 and incomplete = ref 0 and first = ref None in
+    List.iter
+      (fun seed ->
+        match run_one ?messages ?config protocol fault ~seed with
+        | None -> ()
+        | Some f ->
+            if not (safe f.result) then incr unsafe;
+            if not f.result.Harness.completed then incr incomplete;
+            (* Seeds are swept in the caller's order; track the smallest
+               failing one regardless. *)
+            (match !first with
+            | Some g when g.seed <= f.seed -> ()
+            | Some _ | None -> first := Some f))
+      seeds;
+    {
+      fault;
+      runs = List.length seeds;
+      unsafe = !unsafe;
+      incomplete = !incomplete;
+      first_failure = !first;
+    }
+  in
+  { protocol = P.name; classes = List.map audit classes }
+
+let clean r = List.for_all (fun c -> c.unsafe = 0 && c.incomplete = 0) r.classes
+
+let pp_failure ppf f =
+  Format.fprintf ppf "@[<v>seed=%d fault=%s@,data: %a@,ack:  %a@,%a@]" f.seed
+    (class_name f.fault) Fault_plan.pp f.data_plan Fault_plan.pp f.ack_plan Harness.pp_result
+    f.result
+
+let pp_class_report ppf c =
+  Format.fprintf ppf "%-12s %3d runs  unsafe=%-3d incomplete=%-3d %s" (class_name c.fault)
+    c.runs c.unsafe c.incomplete
+    (if c.unsafe = 0 && c.incomplete = 0 then "ok" else "FAIL");
+  match c.first_failure with
+  | None -> ()
+  | Some f -> Format.fprintf ppf "@,  first failure: @[<v>%a@]" pp_failure f
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s:@,%a@]" r.protocol
+    (Format.pp_print_list pp_class_report)
+    r.classes

@@ -1,0 +1,94 @@
+(** Chaos campaign: sweep seeds and adversarial fault plans through the
+    experiment harness and check the two properties the paper promises.
+
+    - {b Safety}: whatever the channel does — bursty loss, duplication,
+      corruption, outages, reordering — a robust protocol must never
+      deliver a duplicate, out of order, or a corrupted payload.
+    - {b Recovery}: once the scheduled faults quiesce, the transfer must
+      still complete (under outages this leans on the sender's
+      {!Blockack.Rtt_estimator.backoff} to stop hammering a dark link).
+
+    Each (seed, fault class) pair fully determines the run, so the
+    campaign can report the minimal failing seed together with the fault
+    schedule needed to replay it. *)
+
+type fault_class =
+  | Bursty_loss  (** Gilbert-Elliott burst losses on both links *)
+  | Duplication  (** probabilistic duplication (the set-channel's blind spot) *)
+  | Corruption  (** payload/header mangling, caught only by checksums *)
+  | Outage  (** scheduled dark windows on both links *)
+  | Reorder  (** heavy delay spikes, so copies overtake each other *)
+
+val all_classes : fault_class list
+
+val class_name : fault_class -> string
+val class_of_name : string -> fault_class option
+(** Lower-case names: ["bursty-loss"], ["duplication"], ["corruption"],
+    ["outage"], ["reorder"]. *)
+
+val plans_for : fault_class -> seed:int -> Ba_channel.Fault_plan.t * Ba_channel.Fault_plan.t
+(** [(data_plan, ack_plan)] for one run. The plans vary with [seed]
+    (outage timing, duplicate fan-out) so a sweep explores more than one
+    schedule, and both are pure data: print them with
+    {!Ba_channel.Fault_plan.pp} to get the replay key. *)
+
+type failure = {
+  seed : int;
+  fault : fault_class;
+  data_plan : Ba_channel.Fault_plan.t;
+  ack_plan : Ba_channel.Fault_plan.t;
+  result : Ba_proto.Harness.result;
+}
+
+type class_report = {
+  fault : fault_class;
+  runs : int;
+  unsafe : int;  (** runs that violated safety *)
+  incomplete : int;  (** runs that missed the recovery deadline *)
+  first_failure : failure option;  (** minimal failing seed, if any *)
+}
+
+type report = { protocol : string; classes : class_report list }
+
+val safe : Ba_proto.Harness.result -> bool
+(** Zero duplicates, misordering and corruption delivered. (Weaker than
+    {!Ba_proto.Harness.correct}: an unfinished run can still be safe.) *)
+
+val run_one :
+  ?messages:int ->
+  ?config:Ba_proto.Proto_config.t ->
+  Ba_proto.Protocol.t ->
+  fault_class ->
+  seed:int ->
+  failure option
+(** One (protocol, fault class, seed) run; [Some f] when safety or
+    recovery was violated. *)
+
+val run_campaign :
+  ?messages:int ->
+  ?config:Ba_proto.Proto_config.t ->
+  ?seeds:int list ->
+  ?classes:fault_class list ->
+  Ba_proto.Protocol.t ->
+  report
+(** Sweep [seeds] (default [1..50]) across [classes] (default
+    {!all_classes}) with [messages] payloads per run (default 60). The
+    default config is {!robust_config}. *)
+
+val clean : report -> bool
+(** No unsafe and no incomplete run anywhere in the report. *)
+
+val robust_config : Ba_proto.Proto_config.t
+(** The configuration the robust protocols are audited under: window 16,
+    wire modulus 32 ([2w], the paper's bound), adaptive RTO so outages
+    exercise timer backoff. *)
+
+val gbn_config : Ba_proto.Proto_config.t
+(** The textbook go-back-N configuration: same window but the classic
+    [w + 1] modulus, whose decode ambiguity the reorder campaign
+    exposes. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+(** Replay key: seed, class, both plans, and the run's result line. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -34,11 +34,11 @@ let test_gbn_sender_window_and_cumulative_ack () =
   P.sender_pump s;
   check (Alcotest.list Alcotest.int) "window burst" [ 0; 1; 2; 3 ] (wire_seqs sent);
   (* Cumulative ack 2 releases 0..2 and refills. *)
-  P.sender_on_ack s { Wire.lo = 2; hi = 2 };
+  P.sender_on_ack s (Wire.make_ack ~lo:(2) ~hi:(2));
   check Alcotest.int "outstanding after ack" 4 (P.sender_outstanding s);
   check (Alcotest.list Alcotest.int) "refill" [ 4; 5; 6 ] (wire_seqs sent);
   (* A stale (lower) cumulative ack is ignored. *)
-  P.sender_on_ack s { Wire.lo = 1; hi = 1 };
+  P.sender_on_ack s (Wire.make_ack ~lo:(1) ~hi:(1));
   check Alcotest.int "stale cumulative ignored" 4 (P.sender_outstanding s)
 
 let test_gbn_sender_goes_back_n () =
@@ -50,7 +50,7 @@ let test_gbn_sender_goes_back_n () =
     P.create_sender engine config ~tx:(fun d -> Queue.add d sent) ~next_payload:(payloads 4)
   in
   P.sender_pump s;
-  P.sender_on_ack s { Wire.lo = 0; hi = 0 };
+  P.sender_on_ack s (Wire.make_ack ~lo:(0) ~hi:(0));
   Queue.clear sent;
   Engine.run ~until:150 engine;
   (* The whole outstanding window 1..3 is retransmitted, oldest first. *)
@@ -67,16 +67,16 @@ let test_gbn_receiver_in_order_only () =
       ~tx:(fun a -> Queue.add a acks)
       ~deliver:(fun p -> Queue.add p delivered)
   in
-  P.receiver_on_data r { Wire.seq = 0; payload = payload 0 };
-  check (Alcotest.list ack_t) "ack 0" [ { Wire.lo = 0; hi = 0 } ] (drain acks);
+  P.receiver_on_data r (Wire.make_data ~seq:(0) ~payload:(payload 0));
+  check (Alcotest.list ack_t) "ack 0" [ (Wire.make_ack ~lo:(0) ~hi:(0)) ] (drain acks);
   (* Out of order: discarded, last in-order re-acked. *)
-  P.receiver_on_data r { Wire.seq = 2; payload = payload 2 };
-  check (Alcotest.list ack_t) "dup ack 0" [ { Wire.lo = 0; hi = 0 } ] (drain acks);
+  P.receiver_on_data r (Wire.make_data ~seq:(2) ~payload:(payload 2));
+  check (Alcotest.list ack_t) "dup ack 0" [ (Wire.make_ack ~lo:(0) ~hi:(0)) ] (drain acks);
   check Alcotest.int "nothing buffered or delivered" 1 (Queue.length delivered);
   (* The gap arrives; 2 is still gone (no buffer) and must be resent. *)
-  P.receiver_on_data r { Wire.seq = 1; payload = payload 1 };
+  P.receiver_on_data r (Wire.make_data ~seq:(1) ~payload:(payload 1));
   check Alcotest.int "1 delivered" 2 (Queue.length delivered);
-  P.receiver_on_data r { Wire.seq = 2; payload = payload 2 };
+  P.receiver_on_data r (Wire.make_data ~seq:(2) ~payload:(payload 2));
   check Alcotest.int "2 delivered on retransmit" 3 (Queue.length delivered)
 
 let test_gbn_receiver_silent_before_first () =
@@ -86,7 +86,7 @@ let test_gbn_receiver_silent_before_first () =
   let config = Config.make ~window:4 ~rto:100 () in
   let r = P.create_receiver engine config ~tx:(fun a -> Queue.add a acks) ~deliver:(fun _ -> ()) in
   (* Nothing accepted yet: an out-of-order arrival cannot be dup-acked. *)
-  P.receiver_on_data r { Wire.seq = 3; payload = payload 3 };
+  P.receiver_on_data r (Wire.make_data ~seq:(3) ~payload:(payload 3));
   check Alcotest.int "no ack" 0 (Queue.length acks)
 
 let test_gbn_bounded_wire_wraps () =
@@ -128,23 +128,23 @@ let test_sr_receiver_acks_everything () =
       ~deliver:(fun p -> Queue.add p delivered)
   in
   (* Out-of-order arrival is acked immediately and buffered. *)
-  Ba_baselines.Selective_repeat.receiver_on_data r { Wire.seq = 2; payload = payload 2 };
-  check (Alcotest.list ack_t) "individual ack for ooo" [ { Wire.lo = 2; hi = 2 } ] (drain acks);
+  Ba_baselines.Selective_repeat.receiver_on_data r (Wire.make_data ~seq:(2) ~payload:(payload 2));
+  check (Alcotest.list ack_t) "individual ack for ooo" [ (Wire.make_ack ~lo:(2) ~hi:(2)) ] (drain acks);
   check Alcotest.int "not delivered yet" 0 (Queue.length delivered);
   (* Filling the gap delivers in order; each arrival got its own ack. *)
-  Ba_baselines.Selective_repeat.receiver_on_data r { Wire.seq = 0; payload = payload 0 };
-  Ba_baselines.Selective_repeat.receiver_on_data r { Wire.seq = 1; payload = payload 1 };
+  Ba_baselines.Selective_repeat.receiver_on_data r (Wire.make_data ~seq:(0) ~payload:(payload 0));
+  Ba_baselines.Selective_repeat.receiver_on_data r (Wire.make_data ~seq:(1) ~payload:(payload 1));
   check
     (Alcotest.list ack_t)
     "acks 0 then 1"
-    [ { Wire.lo = 0; hi = 0 }; { Wire.lo = 1; hi = 1 } ]
+    [ (Wire.make_ack ~lo:(0) ~hi:(0)); (Wire.make_ack ~lo:(1) ~hi:(1)) ]
     (drain acks);
   check
     (Alcotest.list Alcotest.string)
     "in order" [ payload 0; payload 1; payload 2 ] (drain delivered);
   (* A duplicate of an accepted message is re-acked, not redelivered. *)
-  Ba_baselines.Selective_repeat.receiver_on_data r { Wire.seq = 1; payload = payload 1 };
-  check (Alcotest.list ack_t) "dup re-acked" [ { Wire.lo = 1; hi = 1 } ] (drain acks);
+  Ba_baselines.Selective_repeat.receiver_on_data r (Wire.make_data ~seq:(1) ~payload:(payload 1));
+  check (Alcotest.list ack_t) "dup re-acked" [ (Wire.make_ack ~lo:(1) ~hi:(1)) ] (drain acks);
   check Alcotest.int "no redelivery" 0 (Queue.length delivered)
 
 (* ------------------------------------------------------------------ *)
@@ -161,12 +161,12 @@ let test_stenning_quarantine_delays_slot_reuse () =
   P.sender_pump s;
   check (Alcotest.list Alcotest.int) "fresh slots immediate" [ 0; 1 ] (wire_seqs sent);
   (* Acks free the window; wires 2,3 are fresh slots, also immediate. *)
-  P.sender_on_ack s { Wire.lo = 0; hi = 0 };
-  P.sender_on_ack s { Wire.lo = 1; hi = 1 };
+  P.sender_on_ack s (Wire.make_ack ~lo:(0) ~hi:(0));
+  P.sender_on_ack s (Wire.make_ack ~lo:(1) ~hi:(1));
   check (Alcotest.list Alcotest.int) "next fresh slots" [ 2; 3 ] (wire_seqs sent);
   (* Wire 0 (seq 4) was used at t=0: quarantined until t=100. *)
-  P.sender_on_ack s { Wire.lo = 2; hi = 2 };
-  P.sender_on_ack s { Wire.lo = 3; hi = 3 };
+  P.sender_on_ack s (Wire.make_ack ~lo:(2) ~hi:(2));
+  P.sender_on_ack s (Wire.make_ack ~lo:(3) ~hi:(3));
   check (Alcotest.list Alcotest.int) "slot 0 quarantined" [] (wire_seqs sent);
   Engine.run ~until:100 engine;
   let after = wire_seqs sent in
@@ -189,11 +189,11 @@ let test_abp_alternates_and_waits () =
   P.sender_pump s;
   check (Alcotest.list Alcotest.int) "first bit 0" [ 0 ] (wire_seqs sent);
   (* Wrong-bit ack is ignored; right-bit ack advances and flips. *)
-  P.sender_on_ack s { Wire.lo = 1; hi = 1 };
+  P.sender_on_ack s (Wire.make_ack ~lo:(1) ~hi:(1));
   check Alcotest.int "wrong bit ignored" 0 (Queue.length sent);
-  P.sender_on_ack s { Wire.lo = 0; hi = 0 };
+  P.sender_on_ack s (Wire.make_ack ~lo:(0) ~hi:(0));
   check (Alcotest.list Alcotest.int) "second bit 1" [ 1 ] (wire_seqs sent);
-  P.sender_on_ack s { Wire.lo = 1; hi = 1 };
+  P.sender_on_ack s (Wire.make_ack ~lo:(1) ~hi:(1));
   check (Alcotest.list Alcotest.int) "third bit 0 again" [ 0 ] (wire_seqs sent)
 
 let test_abp_receiver_dedups () =
@@ -206,16 +206,16 @@ let test_abp_receiver_dedups () =
       ~tx:(fun a -> Queue.add a acks)
       ~deliver:(fun p -> Queue.add p delivered)
   in
-  P.receiver_on_data r { Wire.seq = 0; payload = "a" };
-  P.receiver_on_data r { Wire.seq = 0; payload = "a" };
+  P.receiver_on_data r (Wire.make_data ~seq:(0) ~payload:("a"));
+  P.receiver_on_data r (Wire.make_data ~seq:(0) ~payload:("a"));
   (* duplicate *)
   check Alcotest.int "delivered once" 1 (Queue.length delivered);
   check
     (Alcotest.list ack_t)
     "both arrivals acked"
-    [ { Wire.lo = 0; hi = 0 }; { Wire.lo = 0; hi = 0 } ]
+    [ (Wire.make_ack ~lo:(0) ~hi:(0)); (Wire.make_ack ~lo:(0) ~hi:(0)) ]
     (drain acks);
-  P.receiver_on_data r { Wire.seq = 1; payload = "b" };
+  P.receiver_on_data r (Wire.make_data ~seq:(1) ~payload:("b"));
   check Alcotest.int "next bit delivered" 2 (Queue.length delivered)
 
 let test_abp_timeout_retransmits () =

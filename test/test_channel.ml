@@ -199,6 +199,151 @@ let test_bottleneck_validation () =
     (fun () -> ignore (Link.create e ~bottleneck:(0, 5) ~deliver:(fun (_ : int) -> ()) ()))
 
 (* ------------------------------------------------------------------ *)
+(* Fault plans *)
+
+module FP = Ba_channel.Fault_plan
+
+let test_plan_validation () =
+  Alcotest.check_raises "bad duplicate prob"
+    (Invalid_argument "Fault_plan: duplicate probability 1.5 outside [0,1]") (fun () ->
+      ignore (FP.make ~duplicate:1.5 ()));
+  Alcotest.check_raises "copies < 2" (Invalid_argument "Fault_plan: copies must be >= 2")
+    (fun () -> ignore (FP.make ~copies:1 ()));
+  Alcotest.check_raises "empty outage"
+    (Invalid_argument "Fault_plan: outage needs 0 <= from_tick < until_tick") (fun () ->
+      ignore (FP.make ~outages:[ { FP.from_tick = 10; until_tick = 10 } ] ()));
+  Alcotest.check_raises "absorbing bad state"
+    (Invalid_argument "Fault_plan: absorbing bad state with total loss never delivers again")
+    (fun () ->
+      ignore
+        (FP.make
+           ~bursty:{ FP.p_enter_bad = 0.1; p_exit_bad = 0.; loss_good = 0.; loss_bad = 1. }
+           ()))
+
+let test_plan_none_always_delivers () =
+  let i = FP.instantiate FP.none ~rng:(Ba_util.Rng.create 7) in
+  for _ = 1 to 1_000 do
+    match FP.decide i with
+    | FP.Deliver -> ()
+    | _ -> Alcotest.fail "empty plan produced a non-Deliver verdict"
+  done
+
+let test_plan_pp_replay_key () =
+  let plan =
+    FP.make
+      ~bursty:{ FP.p_enter_bad = 0.05; p_exit_bad = 0.2; loss_good = 0.; loss_bad = 0.8 }
+      ~duplicate:0.1 ~outages:[ { FP.from_tick = 2000; until_tick = 4000 } ] ()
+  in
+  check Alcotest.string "replay key" "ge(0.050->0.200,l=0.00/0.80)+dup(0.10x2)+out[2000,4000)"
+    (Format.asprintf "%a" FP.pp plan);
+  check Alcotest.string "empty key" "none" (Format.asprintf "%a" FP.pp FP.none)
+
+(* The realized Gilbert-Elliott burst lengths must match the configured
+   means: mean bad burst = 1/p_exit_bad, mean good run = 1/p_enter_bad
+   (equivalently, bad-state occupancy = p_enter/(p_enter + p_exit)). *)
+let test_ge_burst_lengths () =
+  let g = { FP.p_enter_bad = 0.1; p_exit_bad = 0.25; loss_good = 0.; loss_bad = 1. } in
+  let i = FP.instantiate (FP.make ~bursty:g ()) ~rng:(Ba_util.Rng.create 11) in
+  let steps = 200_000 in
+  for _ = 1 to steps do
+    ignore (FP.decide i)
+  done;
+  let s = FP.burst_stats i in
+  check Alcotest.int "steps counted" steps s.FP.steps;
+  let mean_burst = float_of_int s.FP.bad_steps /. float_of_int s.FP.bad_entries in
+  let expected_burst = 1. /. g.FP.p_exit_bad in
+  if abs_float (mean_burst -. expected_burst) > 0.3 then
+    Alcotest.failf "mean burst %.2f too far from %.2f" mean_burst expected_burst;
+  let occupancy = float_of_int s.FP.bad_steps /. float_of_int steps in
+  let expected_occ = g.FP.p_enter_bad /. (g.FP.p_enter_bad +. g.FP.p_exit_bad) in
+  if abs_float (occupancy -. expected_occ) > 0.02 then
+    Alcotest.failf "bad occupancy %.3f too far from %.3f" occupancy expected_occ
+
+let test_ge_loss_follows_state () =
+  (* loss_bad = 1, loss_good = 0: every Drop must come from a bad step. *)
+  let g = { FP.p_enter_bad = 0.2; p_exit_bad = 0.3; loss_good = 0.; loss_bad = 1. } in
+  let i = FP.instantiate (FP.make ~bursty:g ()) ~rng:(Ba_util.Rng.create 13) in
+  let drops = ref 0 in
+  for _ = 1 to 50_000 do
+    match FP.decide i with FP.Drop -> incr drops | _ -> ()
+  done;
+  check Alcotest.int "drops = bad steps" (FP.burst_stats i).FP.bad_steps !drops
+
+let test_link_duplicate_stats () =
+  let e = Engine.create ~seed:21 () in
+  let got = ref 0 in
+  let l = Link.create e ~delay:(Dist.Constant 5) ~deliver:(fun _ -> incr got) () in
+  Link.set_plan l (FP.make ~duplicate:1.0 ~copies:3 ());
+  for i = 0 to 99 do
+    Link.send l i
+  done;
+  Engine.run e;
+  check Alcotest.int "every message tripled" 300 !got;
+  let s = Link.stats l in
+  check Alcotest.int "extra copies counted" 200 s.Link.duplicated;
+  check Alcotest.int "deliveries counted" 300 s.Link.delivered;
+  check Alcotest.int "no random drops" 0 s.Link.dropped
+
+let test_link_corrupt_stats_and_mangling () =
+  let e = Engine.create ~seed:22 () in
+  let got = ref [] in
+  let l =
+    Link.create e ~delay:(Dist.Constant 5) ~corrupt:(fun x -> -x)
+      ~deliver:(fun m -> got := m :: !got)
+      ()
+  in
+  Link.set_plan l (FP.make ~corrupt:1.0 ());
+  for i = 1 to 10 do
+    Link.send l i
+  done;
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "all mangled"
+    (List.init 10 (fun i -> i - 10))
+    (List.sort compare !got);
+  check Alcotest.int "corruptions counted" 10 (Link.stats l).Link.corrupted
+
+let test_link_outage_window () =
+  let e = Engine.create ~seed:23 () in
+  let got = ref [] in
+  let l = Link.create e ~delay:(Dist.Constant 1) ~deliver:(fun m -> got := m :: !got) () in
+  Link.set_plan l (FP.make ~outages:[ { FP.from_tick = 100; until_tick = 200 } ] ());
+  let send_at at tag = ignore (Ba_sim.Engine.schedule_at e ~at (fun () -> Link.send l tag)) in
+  send_at 50 `Before;
+  send_at 100 `During;
+  send_at 199 `During2;
+  send_at 200 `After;
+  Engine.run e;
+  check Alcotest.int "only outside the window" 2 (List.length !got);
+  check Alcotest.bool "before survives" true (List.mem `Before !got);
+  check Alcotest.bool "after survives" true (List.mem `After !got);
+  let s = Link.stats l in
+  check Alcotest.int "outage drops counted apart" 2 s.Link.outage_drops;
+  check Alcotest.int "not mixed into random drops" 0 s.Link.dropped
+
+let test_link_delay_spike_verdict () =
+  let e = Engine.create ~seed:24 () in
+  let at = ref (-1) in
+  let l = Link.create e ~delay:(Dist.Constant 10) ~deliver:(fun () -> at := Engine.now e) () in
+  Link.set_plan l (FP.make ~delay_spike:(1.0, 100) ());
+  Link.send l ();
+  Engine.run e;
+  check Alcotest.int "base + spike" 110 !at
+
+let test_link_hook_overrides_plan () =
+  let e = Engine.create ~seed:25 () in
+  let got = ref 0 in
+  let l = Link.create e ~delay:(Dist.Constant 1) ~deliver:(fun _ -> incr got) () in
+  Link.set_plan l (FP.make ~duplicate:1.0 ~copies:2 ());
+  Link.set_fault l (fun _ -> Link.Drop);
+  Link.send l 1;
+  Engine.run e;
+  check Alcotest.int "scripted drop wins over plan" 0 !got;
+  Link.clear_fault l;
+  Link.send l 2;
+  Engine.run e;
+  check Alcotest.int "plan resumes" 2 !got
+
+(* ------------------------------------------------------------------ *)
 (* Multiset *)
 
 let test_multiset_basic () =
@@ -281,6 +426,20 @@ let () =
           Alcotest.test_case "bottleneck drains then idles" `Quick
             test_bottleneck_drains_then_idles;
           Alcotest.test_case "bottleneck validation" `Quick test_bottleneck_validation;
+        ] );
+      ( "fault_plan",
+        [
+          Alcotest.test_case "validation" `Quick test_plan_validation;
+          Alcotest.test_case "none always delivers" `Quick test_plan_none_always_delivers;
+          Alcotest.test_case "pp replay key" `Quick test_plan_pp_replay_key;
+          Alcotest.test_case "GE burst lengths" `Slow test_ge_burst_lengths;
+          Alcotest.test_case "GE loss follows state" `Quick test_ge_loss_follows_state;
+          Alcotest.test_case "duplicate stats" `Quick test_link_duplicate_stats;
+          Alcotest.test_case "corrupt stats and mangling" `Quick
+            test_link_corrupt_stats_and_mangling;
+          Alcotest.test_case "outage window" `Quick test_link_outage_window;
+          Alcotest.test_case "delay spike verdict" `Quick test_link_delay_spike_verdict;
+          Alcotest.test_case "hook overrides plan" `Quick test_link_hook_overrides_plan;
         ] );
       ( "multiset",
         [

@@ -1,0 +1,105 @@
+(* Chaos-campaign smoke tests (also wired to the `chaos-smoke` alias):
+   a CI-sized sweep asserting the safety/recovery split the full
+   `ba_chaos` run demonstrates at 50 seeds. *)
+
+let check = Alcotest.check
+
+module Chaos = Ba_verify.Chaos
+
+let seeds = List.init 10 (fun i -> i + 1)
+let messages = 30
+
+let test_class_names_roundtrip () =
+  List.iter
+    (fun c ->
+      check Alcotest.bool "name roundtrips" true (Chaos.class_of_name (Chaos.class_name c) = Some c))
+    Chaos.all_classes;
+  check Alcotest.bool "unknown rejected" true (Chaos.class_of_name "gremlins" = None)
+
+let test_plans_deterministic () =
+  List.iter
+    (fun c ->
+      let a = Chaos.plans_for c ~seed:3 and b = Chaos.plans_for c ~seed:3 in
+      check Alcotest.bool "same seed, same schedule" true (a = b))
+    Chaos.all_classes
+
+let test_blockack_survives_all_classes () =
+  let r = Chaos.run_campaign ~messages ~seeds Blockack.Protocols.multi in
+  if not (Chaos.clean r) then
+    Alcotest.failf "blockack-multi failed the campaign:@.%a" (fun ppf -> Chaos.pp_report ppf) r
+
+let test_selective_repeat_survives_all_classes () =
+  let r = Chaos.run_campaign ~messages ~seeds Ba_baselines.Selective_repeat.protocol in
+  if not (Chaos.clean r) then
+    Alcotest.failf "selective-repeat failed the campaign:@.%a" (fun ppf -> Chaos.pp_report ppf) r
+
+let test_gbn_breaks_under_reorder () =
+  let r =
+    Chaos.run_campaign ~messages ~config:Chaos.gbn_config ~seeds ~classes:[ Chaos.Reorder ]
+      Ba_baselines.Go_back_n.protocol
+  in
+  check Alcotest.bool "bounded go-back-N must misbehave under reorder" false (Chaos.clean r)
+
+let test_gbn_corruption_delivered () =
+  (* No checksum validation in the textbook receiver: mangled payloads
+     reach the application. *)
+  let r =
+    Chaos.run_campaign ~messages ~config:Chaos.gbn_config ~seeds:[ 1; 2; 3 ]
+      ~classes:[ Chaos.Corruption ] Ba_baselines.Go_back_n.protocol
+  in
+  let unsafe = List.fold_left (fun acc c -> acc + c.Chaos.unsafe) 0 r.Chaos.classes in
+  check Alcotest.bool "naive baseline delivers corruption" true (unsafe > 0)
+
+let test_failure_replays () =
+  (* The reported (seed, fault) pair plus plans must reproduce the same
+     failing run — that is the whole point of the replay key. *)
+  let r =
+    Chaos.run_campaign ~messages ~config:Chaos.gbn_config ~seeds ~classes:[ Chaos.Reorder ]
+      Ba_baselines.Go_back_n.protocol
+  in
+  match List.concat_map (fun c -> Option.to_list c.Chaos.first_failure) r.Chaos.classes with
+  | [] -> Alcotest.fail "expected a failure to replay"
+  | f :: _ -> (
+      match
+        Chaos.run_one ~messages ~config:Chaos.gbn_config Ba_baselines.Go_back_n.protocol f.Chaos.fault
+          ~seed:f.Chaos.seed
+      with
+      | None -> Alcotest.fail "replay did not reproduce the failure"
+      | Some g ->
+          check Alcotest.int "same delivered count"
+            f.Chaos.result.Ba_proto.Harness.delivered g.Chaos.result.Ba_proto.Harness.delivered;
+          check Alcotest.int "same tick count" f.Chaos.result.Ba_proto.Harness.ticks
+            g.Chaos.result.Ba_proto.Harness.ticks)
+
+let test_outage_exercises_backoff () =
+  (* During the dark window the adaptive sender must slow down: the run
+     completes, and with scheduled outage drops actually recorded. *)
+  let failure = Chaos.run_one ~messages Blockack.Protocols.multi Chaos.Outage ~seed:7 in
+  check Alcotest.bool "outage run completes" true (failure = None);
+  let data_plan, ack_plan = Chaos.plans_for Chaos.Outage ~seed:7 in
+  let r =
+    Ba_proto.Harness.run Blockack.Protocols.multi ~seed:7 ~messages ~config:Chaos.robust_config
+      ~data_delay:(Ba_channel.Dist.Constant 50) ~ack_delay:(Ba_channel.Dist.Constant 50)
+      ~data_plan ~ack_plan ()
+  in
+  check Alcotest.bool "outage actually dropped data" true (r.Ba_proto.Harness.data_outage_drops > 0);
+  check Alcotest.bool "finished past the dark window" true
+    (r.Ba_proto.Harness.ticks > Ba_channel.Fault_plan.quiesced_after data_plan)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "campaign",
+        [
+          Alcotest.test_case "class names roundtrip" `Quick test_class_names_roundtrip;
+          Alcotest.test_case "plans deterministic" `Quick test_plans_deterministic;
+          Alcotest.test_case "blockack survives all classes" `Quick
+            test_blockack_survives_all_classes;
+          Alcotest.test_case "selective repeat survives all classes" `Quick
+            test_selective_repeat_survives_all_classes;
+          Alcotest.test_case "go-back-N breaks under reorder" `Quick test_gbn_breaks_under_reorder;
+          Alcotest.test_case "go-back-N delivers corruption" `Quick test_gbn_corruption_delivered;
+          Alcotest.test_case "failures replay exactly" `Quick test_failure_replays;
+          Alcotest.test_case "outage exercises backoff" `Quick test_outage_exercises_backoff;
+        ] );
+    ]

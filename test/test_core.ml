@@ -161,7 +161,7 @@ let test_sender_block_ack_advances () =
   Blockack.Sender.pump s;
   Queue.clear p.sent_data;
   (* One block ack covers 0..2; the window slides and refills. *)
-  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 2 };
+  Blockack.Sender.on_ack s (Wire.make_ack ~lo:(0) ~hi:(2));
   check Alcotest.int "na" 3 (Blockack.Sender.na s);
   check Alcotest.int "refilled" 3 (Queue.length p.sent_data);
   check Alcotest.int "ns" 7 (Blockack.Sender.ns s)
@@ -174,9 +174,9 @@ let test_sender_out_of_order_ack_blocks () =
   in
   Blockack.Sender.pump s;
   (* Ack for 2..3 arrives before the ack for 0..1: na must not move. *)
-  Blockack.Sender.on_ack s { Wire.lo = Seqcodec.encode (Seqcodec.create ~window:4 ~wire_modulus:(Some 8)) 2; hi = 3 };
+  Blockack.Sender.on_ack s (Wire.make_ack ~lo:(Seqcodec.encode (Seqcodec.create ~window:4 ~wire_modulus:(Some 8)) 2) ~hi:(3));
   check Alcotest.int "na blocked" 0 (Blockack.Sender.na s);
-  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 1 };
+  Blockack.Sender.on_ack s (Wire.make_ack ~lo:(0) ~hi:(1));
   check Alcotest.int "na jumps over the gap" 4 (Blockack.Sender.na s)
 
 let test_sender_duplicate_ack_ignored () =
@@ -186,10 +186,10 @@ let test_sender_duplicate_ack_ignored () =
       ~next_payload:(payloads 10)
   in
   Blockack.Sender.pump s;
-  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 1 };
+  Blockack.Sender.on_ack s (Wire.make_ack ~lo:(0) ~hi:(1));
   let na = Blockack.Sender.na s in
   (* The same ack again: already below na, must be a no-op. *)
-  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 1 };
+  Blockack.Sender.on_ack s (Wire.make_ack ~lo:(0) ~hi:(1));
   check Alcotest.int "na unchanged" na (Blockack.Sender.na s)
 
 let test_sender_timeout_resends_na () =
@@ -213,7 +213,7 @@ let test_sender_timer_stops_when_idle () =
       ~next_payload:(payloads 2)
   in
   Blockack.Sender.pump s;
-  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 1 };
+  Blockack.Sender.on_ack s (Wire.make_ack ~lo:(0) ~hi:(1));
   check Alcotest.bool "done" true (Blockack.Sender.is_done s);
   Queue.clear p.sent_data;
   Engine.run ~until:1_000 p.engine;
@@ -226,7 +226,7 @@ let test_sender_wire_encoding () =
       ~next_payload:(payloads 10)
   in
   Blockack.Sender.pump s;
-  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 3 };
+  Blockack.Sender.on_ack s (Wire.make_ack ~lo:(0) ~hi:(3));
   let wires = List.map (fun d -> d.Wire.seq) (drain p.sent_data) in
   (* Sequences 0..7 modulo 8. *)
   check (Alcotest.list Alcotest.int) "mod-8 wire numbers" [ 0; 1; 2; 3; 4; 5; 6; 7 ] wires
@@ -239,7 +239,7 @@ let make_receiver ?(config = config_w4) p =
     ~tx:(fun a -> Queue.add a p.sent_acks)
     ~deliver:(fun m -> Queue.add m p.delivered)
 
-let data ~seq i = { Wire.seq; payload = Ba_proto.Workload.payload ~seed:0 ~size:8 i }
+let data ~seq i = Wire.make_data ~seq ~payload:(Ba_proto.Workload.payload ~seed:0 ~size:8 i)
 
 let test_receiver_in_order () =
   let p = make_pipe () in
@@ -248,7 +248,7 @@ let test_receiver_in_order () =
   Blockack.Receiver.on_data r (data ~seq:1 1);
   check Alcotest.int "two delivered" 2 (Queue.length p.delivered);
   check (Alcotest.list ack_t) "one ack per message"
-    [ { Wire.lo = 0; hi = 0 }; { Wire.lo = 1; hi = 1 } ]
+    [ (Wire.make_ack ~lo:(0) ~hi:(0)); (Wire.make_ack ~lo:(1) ~hi:(1)) ]
     (drain p.sent_acks);
   check Alcotest.int "nr" 2 (Blockack.Receiver.nr r)
 
@@ -262,7 +262,7 @@ let test_receiver_buffers_out_of_order () =
   check Alcotest.int "buffered" 2 (Blockack.Receiver.buffered r);
   Blockack.Receiver.on_data r (data ~seq:0 0);
   check Alcotest.int "all delivered in order" 3 (Queue.length p.delivered);
-  check (Alcotest.list ack_t) "one block ack covers the run" [ { Wire.lo = 0; hi = 2 } ]
+  check (Alcotest.list ack_t) "one block ack covers the run" [ (Wire.make_ack ~lo:(0) ~hi:(2)) ]
     (drain p.sent_acks);
   check
     (Alcotest.list Alcotest.string)
@@ -281,7 +281,7 @@ let test_receiver_dup_of_accepted_is_reacked () =
   Queue.clear p.sent_acks;
   Blockack.Receiver.on_data r (data ~seq:0 0);
   check Alcotest.int "not redelivered" 1 (Queue.length p.delivered);
-  check (Alcotest.list ack_t) "singleton re-ack" [ { Wire.lo = 0; hi = 0 } ] (drain p.sent_acks);
+  check (Alcotest.list ack_t) "singleton re-ack" [ (Wire.make_ack ~lo:(0) ~hi:(0)) ] (drain p.sent_acks);
   check Alcotest.int "dup counter" 1 (Blockack.Receiver.dup_acks_sent r)
 
 let test_receiver_dup_of_buffered_is_silent () =
@@ -311,7 +311,7 @@ let test_receiver_coalesce () =
   Blockack.Receiver.on_data r (data ~seq:2 2);
   check Alcotest.int "acks held back" 0 (Queue.length p.sent_acks);
   Engine.run ~until:20 p.engine;
-  check (Alcotest.list ack_t) "one coalesced block" [ { Wire.lo = 0; hi = 2 } ]
+  check (Alcotest.list ack_t) "one coalesced block" [ (Wire.make_ack ~lo:(0) ~hi:(2)) ]
     (drain p.sent_acks);
   check Alcotest.int "all delivered at flush" 3 (Queue.length p.delivered)
 
@@ -337,7 +337,7 @@ let test_multi_individual_timers () =
   Blockack.Sender_multi.pump s;
   Queue.clear p.sent_data;
   (* Ack only message 1: timers 0, 2, 3 stay armed; 1's is cancelled. *)
-  Blockack.Sender_multi.on_ack s { Wire.lo = 1; hi = 1 };
+  Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:(1) ~hi:(1));
   Engine.run ~until:150 p.engine;
   let resent = List.map (fun d -> d.Wire.seq) (drain p.sent_data) in
   check (Alcotest.list Alcotest.int) "burst resend of unacked" [ 0; 2; 3 ] resent;
@@ -363,7 +363,7 @@ let test_multi_ack_stops_timer () =
       ~next_payload:(payloads 2)
   in
   Blockack.Sender_multi.pump s;
-  Blockack.Sender_multi.on_ack s { Wire.lo = 0; hi = 1 };
+  Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:(0) ~hi:(1));
   Queue.clear p.sent_data;
   Engine.run ~until:1_000 p.engine;
   check Alcotest.int "no retransmissions after full ack" 0 (Queue.length p.sent_data);
@@ -377,9 +377,113 @@ let test_multi_done_only_when_exhausted_and_acked () =
   in
   Blockack.Sender_multi.pump s;
   check Alcotest.bool "not done while outstanding" false (Blockack.Sender_multi.is_done s);
-  Blockack.Sender_multi.on_ack s { Wire.lo = 0; hi = 3 };
-  Blockack.Sender_multi.on_ack s { Wire.lo = 4; hi = 5 };
+  Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:(0) ~hi:(3));
+  Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:(4) ~hi:(5));
   check Alcotest.bool "done after final ack" true (Blockack.Sender_multi.is_done s)
+
+(* ------------------------------------------------------------------ *)
+(* Wire checksums and corruption handling *)
+
+let test_wire_checksum_roundtrip () =
+  let d = Wire.make_data ~seq:5 ~payload:"hello" in
+  check Alcotest.bool "fresh data ok" true (Wire.data_ok d);
+  let a = Wire.make_ack ~lo:3 ~hi:9 in
+  check Alcotest.bool "fresh ack ok" true (Wire.ack_ok a)
+
+let test_wire_corruption_detected () =
+  let d = Wire.make_data ~seq:5 ~payload:"hello" in
+  check Alcotest.bool "mangled payload caught" false (Wire.data_ok (Wire.corrupt_data d));
+  let empty = Wire.make_data ~seq:7 ~payload:"" in
+  check Alcotest.bool "mangled bare header caught" false (Wire.data_ok (Wire.corrupt_data empty));
+  let a = Wire.make_ack ~lo:3 ~hi:9 in
+  check Alcotest.bool "mangled ack caught" false (Wire.ack_ok (Wire.corrupt_ack a));
+  (* A stale checksum over different content must not validate either. *)
+  let forged = { d with Wire.seq = d.Wire.seq + 1 } in
+  check Alcotest.bool "forged header caught" false (Wire.data_ok forged)
+
+let test_receiver_drops_corrupt_data () =
+  let p = make_pipe () in
+  let r =
+    Blockack.Receiver.create p.engine config_w4
+      ~tx:(fun a -> Queue.add a p.sent_acks)
+      ~deliver:(fun m -> Queue.add m p.delivered)
+  in
+  Blockack.Receiver.on_data r (Wire.corrupt_data (Wire.make_data ~seq:0 ~payload:"AA"));
+  check Alcotest.int "nothing delivered" 0 (Queue.length p.delivered);
+  check Alcotest.int "nothing acked" 0 (Queue.length p.sent_acks);
+  check Alcotest.int "drop counted" 1 (Blockack.Receiver.corrupt_dropped r);
+  (* The sender's timer covers the gap: a clean retransmission is then
+     accepted as if the corrupted copy never existed. *)
+  Blockack.Receiver.on_data r (Wire.make_data ~seq:0 ~payload:"AA");
+  check Alcotest.int "clean retransmit delivered" 1 (Queue.length p.delivered);
+  check Alcotest.int "and acknowledged" 1 (Queue.length p.sent_acks)
+
+let test_multi_drops_corrupt_ack () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender_multi.create p.engine config_w4 ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 4)
+  in
+  Blockack.Sender_multi.pump s;
+  Blockack.Sender_multi.on_ack s (Wire.corrupt_ack (Wire.make_ack ~lo:0 ~hi:3));
+  check Alcotest.int "window not advanced by corrupt ack" 0 (Blockack.Sender_multi.na s);
+  check Alcotest.int "drop counted" 1 (Blockack.Sender_multi.corrupt_acks_dropped s);
+  Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:0 ~hi:3);
+  check Alcotest.int "clean ack still works" 4 (Blockack.Sender_multi.na s)
+
+(* ------------------------------------------------------------------ *)
+(* Karn's rule in Sender_multi (both halves) *)
+
+let adaptive_config = Config.make ~window:4 ~rto:100 ~adaptive_rto:true ()
+
+let test_multi_karn_backoff_not_collapse () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender_multi.create p.engine adaptive_config
+      ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 8)
+  in
+  Blockack.Sender_multi.pump s;
+  (* Four clean samples of rtt = 10 pull the adaptive rto far below the
+     configured 100 (unbounded wire numbers have no soundness floor). *)
+  ignore
+    (Engine.schedule p.engine ~delay:10 (fun () ->
+         Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:0 ~hi:3)));
+  Engine.run ~until:11 p.engine;
+  let r0 = Blockack.Sender_multi.rto_now s in
+  check Alcotest.bool "estimator adapted below configured rto" true (r0 < 100);
+  (* Messages 4..7 (pumped at t = 10) now all expire in one burst with no
+     acks in sight. Karn's first half means none of their later acks may
+     feed the estimator — so without the second half (backing the shared
+     estimate off) the rto would sit at r0 forever. And the backoff is
+     gated to the oldest outstanding message: one doubling per burst, not
+     2^w. *)
+  Engine.run ~until:(10 + r0 + 2) p.engine;
+  check Alcotest.int "whole window expired once" 4 (Blockack.Sender_multi.retransmissions s);
+  check Alcotest.int "rto doubled exactly once" (2 * r0) (Blockack.Sender_multi.rto_now s)
+
+let test_multi_karn_excludes_retransmit_samples () =
+  let p = make_pipe () in
+  let s =
+    Blockack.Sender_multi.create p.engine adaptive_config
+      ~tx:(fun d -> Queue.add d p.sent_data)
+      ~next_payload:(payloads 8)
+  in
+  Blockack.Sender_multi.pump s;
+  ignore
+    (Engine.schedule p.engine ~delay:10 (fun () ->
+         Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:0 ~hi:3)));
+  Engine.run ~until:11 p.engine;
+  let srtt_before = Blockack.Sender_multi.srtt s in
+  let r0 = Blockack.Sender_multi.rto_now s in
+  (* Let 4..7 retransmit, then acknowledge 4 long after: the wildly late
+     "sample" (ambiguous — first copy or retransmission?) must not touch
+     the smoothed estimate. *)
+  Engine.run ~until:(10 + r0 + 2) p.engine;
+  Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:4 ~hi:4);
+  check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "retransmitted message left srtt untouched" srtt_before (Blockack.Sender_multi.srtt s)
 
 (* ------------------------------------------------------------------ *)
 (* Window_guard *)
@@ -424,7 +528,7 @@ let test_sender_respects_frontier () =
      the guard the window would jump to 8; the frontier caps it at 0+4. *)
   Engine.run ~until:100 p.engine;
   Queue.clear p.sent_data;
-  Blockack.Sender.on_ack s { Wire.lo = 0; hi = 3 };
+  Blockack.Sender.on_ack s (Wire.make_ack ~lo:(0) ~hi:(3));
   check Alcotest.int "pump capped at frontier" 4 (Blockack.Sender.ns s);
   (* After the hold expires the window reopens to na + w. *)
   Engine.run ~until:250 p.engine;
@@ -528,6 +632,19 @@ let () =
             test_multi_lost_block_ack_recovery_is_burst;
           Alcotest.test_case "ack stops timer" `Quick test_multi_ack_stops_timer;
           Alcotest.test_case "done condition" `Quick test_multi_done_only_when_exhausted_and_acked;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "checksum roundtrip" `Quick test_wire_checksum_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick test_wire_corruption_detected;
+          Alcotest.test_case "receiver drops corrupt data" `Quick test_receiver_drops_corrupt_data;
+          Alcotest.test_case "sender drops corrupt ack" `Quick test_multi_drops_corrupt_ack;
+        ] );
+      ( "karn",
+        [
+          Alcotest.test_case "backoff, not collapse" `Quick test_multi_karn_backoff_not_collapse;
+          Alcotest.test_case "retransmit samples excluded" `Quick
+            test_multi_karn_excludes_retransmit_samples;
         ] );
       ( "window_guard",
         [

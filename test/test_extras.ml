@@ -174,15 +174,15 @@ let test_reuse_runs_ahead_of_gaps () =
   check Alcotest.int "window of 4 sent" 4 (Queue.length sent);
   (* Ack 1..3 but not 0: a classic sender would be stuck at 4 in flight
      ending at seq 3; the reuse sender pushes on to seq 7. *)
-  Blockack.Reuse_sender.on_ack s { Wire.lo = 1; hi = 3 };
+  Blockack.Reuse_sender.on_ack s (Wire.make_ack ~lo:(1) ~hi:(3));
   check Alcotest.int "unacked budget refilled" 4 (Blockack.Reuse_sender.outstanding s);
   check Alcotest.int "ran ahead" 7 (Blockack.Reuse_sender.ns s);
   check Alcotest.int "na still blocked" 0 (Blockack.Reuse_sender.na s);
   (* The lead bound stops it at na + lead = 8 even with budget. *)
-  Blockack.Reuse_sender.on_ack s { Wire.lo = 4; hi = 6 };
+  Blockack.Reuse_sender.on_ack s (Wire.make_ack ~lo:(4) ~hi:(6));
   check Alcotest.int "lead bound caps ns" 8 (Blockack.Reuse_sender.ns s);
   (* Acking 0 releases everything. *)
-  Blockack.Reuse_sender.on_ack s { Wire.lo = 0; hi = 0 };
+  Blockack.Reuse_sender.on_ack s (Wire.make_ack ~lo:(0) ~hi:(0));
   check Alcotest.int "na jumps the whole run" 7 (Blockack.Reuse_sender.na s)
 
 let test_reuse_requires_lead_ge_window () =
@@ -237,11 +237,11 @@ let test_dynamic_window_ramps_and_halves () =
   check Alcotest.int "starts at cwnd=1" 1 (Queue.length sent);
   check Alcotest.int "cwnd initial" 1 (Blockack.Sender_multi.cwnd s);
   (* Each full-cwnd acknowledgment grows the window by one. *)
-  Blockack.Sender_multi.on_ack s { Wire.lo = 0; hi = 0 };
+  Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:(0) ~hi:(0));
   check Alcotest.int "cwnd after first ack" 2 (Blockack.Sender_multi.cwnd s);
-  Blockack.Sender_multi.on_ack s { Wire.lo = 1; hi = 2 };
+  Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:(1) ~hi:(2));
   check Alcotest.int "cwnd grows" 3 (Blockack.Sender_multi.cwnd s);
-  Blockack.Sender_multi.on_ack s { Wire.lo = 3; hi = 5 };
+  Blockack.Sender_multi.on_ack s (Wire.make_ack ~lo:(3) ~hi:(5));
   check Alcotest.int "cwnd=4" 4 (Blockack.Sender_multi.cwnd s);
   (* Silence: timers expire, multiplicative decrease kicks in. *)
   Queue.clear sent;
