@@ -71,6 +71,23 @@ let stenning_transfer () =
   in
   assert r.Ba_proto.Harness.completed
 
+let fabric_transfer n () =
+  let e =
+    match Ba_registry.Registry.find "blockack-multi" with
+    | Some e -> e
+    | None -> assert false
+  in
+  let config = Ba_registry.Registry.config ~window:8 ~rto:400 e () in
+  let specs =
+    List.init n (fun _ ->
+        Ba_proto.Fabric.spec ~config ~messages:20 e.Ba_registry.Registry.protocol)
+  in
+  let r =
+    Ba_proto.Fabric.run ~seed:11 ~data_delay:(Ba_channel.Dist.Constant 50)
+      ~ack_delay:(Ba_channel.Dist.Constant 50) ~data_bottleneck:(2, 128) specs
+  in
+  assert r.Ba_proto.Fabric.completed
+
 (* Micro-benchmarks of the substrate the experiments lean on. *)
 let micro_heap () =
   let h = Ba_util.Heap.create ~cmp:compare () in
@@ -134,6 +151,7 @@ let tests =
              assert r.Ba_proto.Harness.completed));
       Test.make ~name:"T4/transfer-stenning" (Staged.stage stenning_transfer);
       Test.make ~name:"F5/transfer-reuse-5pc" (Staged.stage reuse_transfer);
+      Test.make ~name:"S1/fabric-16-flows" (Staged.stage (fabric_transfer 16));
       Test.make ~name:"micro/heap-1k" (Staged.stage micro_heap);
       Test.make ~name:"micro/reconstruct-1k" (Staged.stage micro_reconstruct);
       Test.make ~name:"micro/rng-int-1k" (Staged.stage micro_rng);

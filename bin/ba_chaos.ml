@@ -15,12 +15,11 @@
 
 open Cmdliner
 module Chaos = Ba_verify.Chaos
+module Registry = Ba_registry.Registry
 
-let robust_protocols =
-  [
-    ("blockack", Blockack.Protocols.multi);
-    ("selective-repeat", Ba_baselines.Selective_repeat.protocol);
-  ]
+(* The audited set comes from the shared registry: entries flagged
+   robust are exactly the protocols the campaign promises stay clean. *)
+let robust_protocols = List.map (fun e -> (e.Registry.name, e)) Registry.robust
 
 let parse_classes names =
   List.map
@@ -41,15 +40,22 @@ let run seeds messages class_names protocol_filter no_demo =
     match protocol_filter with
     | None -> robust_protocols
     | Some name -> (
-        match List.assoc_opt name robust_protocols with
-        | Some p -> [ (name, p) ]
-        | None ->
-            Format.eprintf "ba_chaos: unknown protocol %S (try blockack, selective-repeat)@."
-              name;
-            exit 2)
+        match Registry.parse name with
+        | Error msg ->
+            Format.eprintf "ba_chaos: %s@." msg;
+            exit 2
+        | Ok e when not e.Registry.robust ->
+            Format.eprintf
+              "ba_chaos: %S is not in the audited robust set (expected one of: %s)@."
+              name
+              (String.concat ", " (List.map fst robust_protocols));
+            exit 2
+        | Ok e -> [ (e.Registry.name, e) ])
   in
   let reports =
-    List.map (fun (_, p) -> Chaos.run_campaign ~messages ~seeds ~classes p) audited
+    List.map
+      (fun (_, e) -> Chaos.run_campaign ~messages ~seeds ~classes e.Registry.protocol)
+      audited
   in
   List.iter (fun r -> Format.printf "%a@.@." Chaos.pp_report r) reports;
   let robust_ok = List.for_all Chaos.clean reports in
@@ -98,7 +104,9 @@ let classes =
 
 let protocol =
   Arg.(value & opt (some string) None
-       & info [ "protocol" ] ~doc:"Audit only this robust protocol (blockack, selective-repeat).")
+       & info [ "protocol" ]
+           ~doc:"Audit only this robust protocol (a registry name or alias, e.g. blockack, \
+                 selective-repeat).")
 
 let no_demo =
   Arg.(value & flag

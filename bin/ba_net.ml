@@ -1,0 +1,231 @@
+(* ba_net: N connections multiplexed over a shared bottleneck link.
+
+   The single-connection counterpart is ba_sim; ba_net instantiates the
+   Ba_proto.Fabric with --connections copies of one protocol, or a
+   heterogeneous --mix, all contending for one capacity-limited data
+   link and one ack link. Prints a per-flow table plus aggregate
+   goodput, shared-link counters and Jain's fairness index.
+
+   Examples:
+     ba_net --connections 8 --messages 50
+     ba_net --mix blockack-multi:4,go-back-n:4 --capacity 2:64 --loss 0.01
+     ba_net --connections 256 --messages 20 --capacity 1:256 --adaptive *)
+
+open Cmdliner
+module Registry = Ba_registry.Registry
+module Fabric = Ba_proto.Fabric
+
+(* "proto:count,proto:count" with count defaulting to 1. *)
+let mix_conv =
+  let parse s =
+    let part p =
+      let name, count =
+        match String.index_opt p ':' with
+        | None -> (p, Ok 1)
+        | Some i -> (
+            let n = String.sub p 0 i in
+            let c = String.sub p (i + 1) (String.length p - i - 1) in
+            match int_of_string_opt c with
+            | Some c when c > 0 -> (n, Ok c)
+            | Some _ | None -> (n, Error (Printf.sprintf "bad count %S in mix" c)))
+      in
+      match (Registry.parse name, count) with
+      | Ok e, Ok c -> Ok (e, c)
+      | Error msg, _ | _, Error msg -> Error msg
+    in
+    let rec collect acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> ( match part p with Ok x -> collect (x :: acc) rest | Error e -> Error e)
+    in
+    match collect [] (String.split_on_char ',' s) with
+    | Ok specs -> Ok specs
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf mix =
+    Format.pp_print_string ppf
+      (String.concat ","
+         (List.map (fun (e, c) -> Printf.sprintf "%s:%d" e.Registry.name c) mix))
+  in
+  Arg.conv ~docv:"MIX" (parse, print)
+
+let capacity_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ svc; cap ] -> (
+        match (int_of_string_opt svc, int_of_string_opt cap) with
+        | Some svc, Some cap when svc > 0 && cap > 0 -> Ok (svc, cap)
+        | _ -> Error (`Msg "capacity must be SERVICE_TICKS:QUEUE_SLOTS, both positive"))
+    | _ -> Error (`Msg "capacity must be SERVICE_TICKS:QUEUE_SLOTS")
+  in
+  let print ppf (svc, cap) = Format.fprintf ppf "%d:%d" svc cap in
+  Arg.conv ~docv:"CAPACITY" (parse, print)
+
+let fmt = Ba_util.Table.fmt_float
+
+let run list_protocols connections mix messages payload_size loss ack_loss_opt base_delay
+    jitter capacity window rto modulus adaptive seed =
+  if list_protocols then begin
+    Format.printf "%a" Registry.pp_list ();
+    exit 0
+  end;
+  let ack_loss = Option.value ~default:loss ack_loss_opt in
+  let delay =
+    if jitter = 0 then Ba_channel.Dist.Constant base_delay
+    else Ba_channel.Dist.Uniform (base_delay, base_delay + jitter)
+  in
+  let mix =
+    match mix with
+    | Some m -> m
+    | None -> (
+        match Registry.find "blockack-multi" with
+        | Some e -> [ (e, connections) ]
+        | None -> assert false)
+  in
+  let rto =
+    match rto with
+    | Some r -> r
+    | None ->
+        (* Cover propagation both ways plus a full queue drain, so a
+           fixed timeout doesn't melt down the moment the queue fills. *)
+        let svc, cap = Option.value ~default:(0, 0) capacity in
+        (2 * (base_delay + jitter)) + (svc * cap) + 100
+  in
+  let specs =
+    List.concat_map
+      (fun (e, count) ->
+        let config = Registry.config ~window ~rto ?modulus ~adaptive_rto:adaptive e () in
+        List.init count (fun _ -> Fabric.spec ~config ~messages ~payload_size e.Registry.protocol))
+      mix
+  in
+  let r =
+    Fabric.run ~seed ~data_loss:loss ~ack_loss ~data_delay:delay ~ack_delay:delay
+      ?data_bottleneck:capacity specs
+  in
+  let rows =
+    List.map
+      (fun (fr : Ba_proto.Harness.result) ->
+        let p50, p99 =
+          match fr.latency with
+          | Some l -> (fmt ~decimals:0 l.Ba_util.Stats.p50, fmt ~decimals:0 l.Ba_util.Stats.p99)
+          | None -> ("-", "-")
+        in
+        [
+          fr.protocol;
+          Printf.sprintf "%d/%d" fr.delivered fr.messages;
+          string_of_int fr.retransmissions;
+          string_of_int fr.ticks;
+          fmt fr.goodput;
+          p50;
+          p99;
+          (if Ba_proto.Harness.correct fr then "ok"
+           else if fr.completed then "UNSAFE"
+           else "STUCK");
+        ])
+      r.Fabric.flows
+  in
+  let numbered = List.mapi (fun i row -> string_of_int i :: row) rows in
+  Ba_util.Table.print
+    ~headers:[ "flow"; "protocol"; "delivered"; "retx"; "ticks"; "goodput"; "p50"; "p99"; "verdict" ]
+    numbered;
+  let d = r.Fabric.data_stats and a = r.Fabric.ack_stats in
+  Printf.printf
+    "\naggregate: %d flows, %s in %d ticks, goodput=%s/ktick, jain=%s\n\
+     shared data link: sent=%d dropped=%d queue_dropped=%d reordered=%d\n\
+     shared ack link:  sent=%d dropped=%d\n"
+    (List.length r.Fabric.flows)
+    (if r.Fabric.completed then "completed" else "INCOMPLETE")
+    r.Fabric.ticks
+    (fmt r.Fabric.aggregate_goodput)
+    (fmt r.Fabric.fairness)
+    d.Ba_channel.Link.sent d.Ba_channel.Link.dropped d.Ba_channel.Link.queue_dropped
+    d.Ba_channel.Link.reordered a.Ba_channel.Link.sent a.Ba_channel.Link.dropped;
+  if List.for_all Ba_proto.Harness.correct r.Fabric.flows then 0 else 1
+
+let list_protocols =
+  Arg.(value & flag
+       & info [ "list-protocols" ]
+           ~doc:"List every protocol in the shared registry (with aliases) and exit.")
+
+let connections =
+  Arg.(value & opt int 4
+       & info [ "c"; "connections" ] ~doc:"Number of blockack-multi flows (ignored with --mix).")
+
+let mix =
+  Arg.(value & opt (some mix_conv) None
+       & info [ "mix" ]
+           ~doc:"Heterogeneous flow mix, e.g. blockack-multi:4,go-back-n:2,selective-repeat:2.")
+
+let messages =
+  Arg.(value & opt int 100 & info [ "m"; "messages" ] ~doc:"Messages per flow.")
+
+let payload_size = Arg.(value & opt int 32 & info [ "payload-size" ] ~doc:"Payload bytes.")
+
+let loss =
+  Arg.(value & opt float 0.0 & info [ "l"; "loss" ] ~doc:"Loss probability on both shared links.")
+
+let ack_loss =
+  Arg.(value & opt (some float) None & info [ "ack-loss" ] ~doc:"Override ack-link loss.")
+
+let base_delay =
+  Arg.(value & opt int 50 & info [ "delay" ] ~doc:"Minimum one-way delay (ticks).")
+
+let jitter =
+  Arg.(value & opt int 0 & info [ "j"; "jitter" ] ~doc:"Extra uniform delay (0 = FIFO order).")
+
+let capacity =
+  Arg.(value & opt (some capacity_conv) (Some (2, 64))
+       & info [ "capacity" ]
+           ~doc:"Shared data-link bottleneck SERVICE_TICKS:QUEUE_SLOTS (one message serviced \
+                 per SERVICE_TICKS from a FIFO of QUEUE_SLOTS, tail drop). Pass --no-capacity \
+                 for an uncontended fabric.")
+
+let no_capacity =
+  Arg.(value & flag & info [ "no-capacity" ] ~doc:"Remove the shared bottleneck entirely.")
+
+let window = Arg.(value & opt int 8 & info [ "w"; "window" ] ~doc:"Window size per flow.")
+
+let rto =
+  Arg.(value & opt (some int) None
+       & info [ "rto" ]
+           ~doc:"Retransmission timeout; default 2*(delay+jitter) + queue drain + 100.")
+
+let modulus =
+  Arg.(value & opt (some int) None
+       & info [ "n"; "modulus" ]
+           ~doc:"Wire sequence-number modulus (default: each protocol's registry recommendation, \
+                 e.g. 2w for block acknowledgment).")
+
+let adaptive =
+  Arg.(value & flag
+       & info [ "adaptive" ] ~doc:"Use the adaptive (Jacobson/Karels) retransmission timeout.")
+
+let seed = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~doc:"Random seed.")
+
+let cmd =
+  let doc = "simulate N window-protocol connections over a shared bottleneck" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Multiplexes $(b,--connections) flows (or a heterogeneous $(b,--mix)) over one \
+         capacity-limited data link and one acknowledgment link, then reports per-flow \
+         delivery, retransmissions, goodput and latency percentiles next to aggregate \
+         goodput and Jain's fairness index. Runs are deterministic given $(b,--seed). \
+         Exit status 1 if any flow delivered a duplicate, out-of-order or corrupted \
+         payload, or failed to complete.";
+    ]
+  in
+  let wrap list_protocols connections mix messages payload_size loss ack_loss base_delay
+      jitter capacity no_capacity window rto modulus adaptive seed =
+    let capacity = if no_capacity then None else capacity in
+    run list_protocols connections mix messages payload_size loss ack_loss base_delay jitter
+      capacity window rto modulus adaptive seed
+  in
+  Cmd.v
+    (Cmd.info "ba_net" ~doc ~man)
+    Term.(
+      const wrap $ list_protocols $ connections $ mix $ messages $ payload_size $ loss
+      $ ack_loss $ base_delay $ jitter $ capacity $ no_capacity $ window $ rto $ modulus
+      $ adaptive $ seed)
+
+let () = exit (Cmd.eval' cmd)

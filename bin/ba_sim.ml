@@ -6,29 +6,24 @@
      ba_sim --protocol stenning --modulus 16 --window 8 --gap 600 *)
 
 open Cmdliner
+module Registry = Ba_registry.Registry
 
-let protocols =
-  [
-    ("blockack-simple", `Simple);
-    ("blockack-multi", `Multi);
-    ("blockack-reuse", `Reuse);
-    ("go-back-n", `Gbn);
-    ("selective-repeat", `Selrep);
-    ("stenning", `Stenning);
-    ("alternating-bit", `Abp);
-  ]
+(* Name resolution lives in the shared registry — ba_sim, ba_net and
+   ba_chaos all accept the same spellings and print the same
+   unknown-name error. *)
+let protocol_conv =
+  let parse s =
+    match Registry.parse s with Ok e -> Ok e | Error msg -> Error (`Msg msg)
+  in
+  let print ppf e = Format.pp_print_string ppf e.Registry.name in
+  Arg.conv ~docv:"PROTOCOL" (parse, print)
 
-let resolve = function
-  | `Simple -> Blockack.Protocols.simple
-  | `Multi -> Blockack.Protocols.multi
-  | `Reuse -> Blockack.Protocols.reuse ()
-  | `Gbn -> Ba_baselines.Go_back_n.protocol
-  | `Selrep -> Ba_baselines.Selective_repeat.protocol
-  | `Stenning -> Ba_baselines.Stenning.protocol
-  | `Abp -> Ba_baselines.Alternating_bit.protocol
-
-let run protocol messages payload_size loss ack_loss_opt base_delay jitter window rto modulus
-    coalesce gap seed seeds histogram =
+let run list_protocols entry messages payload_size loss ack_loss_opt base_delay jitter window
+    rto modulus coalesce gap seed seeds histogram =
+  if list_protocols then begin
+    Format.printf "%a" Registry.pp_list ();
+    exit 0
+  end;
   let ack_loss = Option.value ~default:loss ack_loss_opt in
   let delay =
     if jitter = 0 then Ba_channel.Dist.Constant base_delay
@@ -46,7 +41,7 @@ let run protocol messages payload_size loss ack_loss_opt base_delay jitter windo
       ~ack_coalesce:coalesce ~stenning_gap:gap ~max_transit ()
   in
   let seed_list = if seeds <= 1 then [ seed ] else List.init seeds (fun i -> seed + i) in
-  let proto = resolve protocol in
+  let proto = entry.Registry.protocol in
   let all_ok = ref true in
   List.iter
     (fun seed ->
@@ -72,9 +67,20 @@ let run protocol messages payload_size loss ack_loss_opt base_delay jitter windo
 
 let protocol =
   let doc =
-    "Protocol to simulate: " ^ String.concat ", " (List.map fst protocols) ^ "."
+    "Protocol to simulate: " ^ String.concat ", " Registry.names
+    ^ " (see $(b,--list-protocols))."
   in
-  Arg.(value & opt (enum protocols) `Multi & info [ "p"; "protocol" ] ~doc)
+  let default =
+    match Registry.find "blockack-multi" with
+    | Some e -> e
+    | None -> assert false
+  in
+  Arg.(value & opt protocol_conv default & info [ "p"; "protocol" ] ~doc)
+
+let list_protocols =
+  Arg.(value & flag
+       & info [ "list-protocols" ]
+           ~doc:"List every protocol in the shared registry (with aliases) and exit.")
 
 let messages =
   Arg.(value & opt int 1000 & info [ "m"; "messages" ] ~doc:"Messages to transfer.")
@@ -132,7 +138,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ba_sim" ~doc ~man)
     Term.(
-      const run $ protocol $ messages $ payload_size $ loss $ ack_loss $ base_delay $ jitter
-      $ window $ rto $ modulus $ coalesce $ gap $ seed $ seeds $ histogram)
+      const run $ list_protocols $ protocol $ messages $ payload_size $ loss $ ack_loss
+      $ base_delay $ jitter $ window $ rto $ modulus $ coalesce $ gap $ seed $ seeds
+      $ histogram)
 
 let () = exit (Cmd.eval' cmd)

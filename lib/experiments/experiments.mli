@@ -71,6 +71,13 @@ val a3_fairness : quick:bool -> table
 (** Extension ablation: two flows sharing the bottleneck; AIMD converges
     to an even split where oversized fixed windows fight. *)
 
+val s1_scaling : quick:bool -> table
+(** Scaling the multi-connection fabric: N homogeneous flows (N in 1..256,
+    a subset when [quick]) of blockack-multi, go-back-N and selective
+    repeat contend for one fixed-capacity bottleneck ({!Ba_proto.Fabric}).
+    Reports aggregate goodput, pooled per-flow latency percentiles,
+    Jain's fairness index and shared-queue drops per (N, protocol). *)
+
 val c1_chaos_matrix : quick:bool -> table
 (** Robustness matrix: block acknowledgment and the four baselines, each
     swept through every {!Ba_verify.Chaos} fault class (bursty loss,

@@ -1,0 +1,109 @@
+(* N connections multiplexed over one shared data link and one shared
+   ack link. Wire messages are tagged with their flow id — the tag plays
+   the role of a link-layer address, so faults mangle payloads, never the
+   demultiplexing. *)
+
+type spec = {
+  protocol : Protocol.t;
+  config : Proto_config.t;
+  messages : int;
+  payload_size : int;
+}
+
+let spec ?(config = Proto_config.default) ?(messages = 100) ?(payload_size = 32) protocol =
+  { protocol; config; messages; payload_size }
+
+type result = {
+  ticks : int;
+  completed : bool;
+  flows : Flow.result list;
+  aggregate_goodput : float;
+  fairness : float;
+  data_stats : Ba_channel.Link.stats;
+  ack_stats : Ba_channel.Link.stats;
+}
+
+(* Jain's fairness index: (sum x)^2 / (n * sum x^2), 1.0 = perfectly even,
+   1/n = one flow hoards everything. Defined as 1.0 for degenerate input
+   (no flows, or nothing delivered anywhere). *)
+let jain = function
+  | [] -> 1.0
+  | xs ->
+      let sum = List.fold_left ( +. ) 0. xs in
+      let sq = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+      if sq = 0. then 1.0
+      else sum *. sum /. (float_of_int (List.length xs) *. sq)
+
+let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
+    ?(data_delay = Ba_channel.Dist.Uniform (40, 60))
+    ?(ack_delay = Ba_channel.Dist.Uniform (40, 60)) ?data_bottleneck ?ack_bottleneck ?deadline
+    ?on_setup specs =
+  if specs = [] then invalid_arg "Fabric.run: at least one flow required";
+  List.iter (fun s -> Proto_config.validate s.config) specs;
+  let n = List.length specs in
+  let engine = Ba_sim.Engine.create ~seed () in
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None ->
+        (* Scaled to the aggregate workload: the shared link serialises
+           every flow's traffic, so the single-flow allowance multiplies
+           by the total offered load. *)
+        let total = List.fold_left (fun acc s -> acc + s.messages) 0 specs in
+        let max_rto = List.fold_left (fun acc s -> max acc s.config.Proto_config.rto) 1 specs in
+        (max 1 total * max_rto * 20) + 1_000_000
+  in
+  let flows : Flow.t option array = Array.make n None in
+  let data_link =
+    Ba_channel.Link.create engine ~loss:data_loss ~delay:data_delay ?bottleneck:data_bottleneck
+      ~corrupt:(fun (i, d) -> (i, Wire.corrupt_data d))
+      ~deliver:(fun (i, d) -> match flows.(i) with Some f -> Flow.on_data f d | None -> ())
+      ()
+  in
+  let ack_link =
+    Ba_channel.Link.create engine ~loss:ack_loss ~delay:ack_delay ?bottleneck:ack_bottleneck
+      ~corrupt:(fun (i, a) -> (i, Wire.corrupt_ack a))
+      ~deliver:(fun (i, a) -> match flows.(i) with Some f -> Flow.on_ack f a | None -> ())
+      ()
+  in
+  let remaining = ref n in
+  List.iteri
+    (fun i s ->
+      let f =
+        Flow.create engine s.protocol ~id:i
+          ~workload_seed:(seed + (7919 * (i + 1)))
+          ~seed ~messages:s.messages ~payload_size:s.payload_size ~config:s.config
+          ~data_tx:(fun d -> Ba_channel.Link.send data_link (i, d))
+          ~ack_tx:(fun a -> Ba_channel.Link.send ack_link (i, a))
+          ~on_complete:(fun () ->
+            decr remaining;
+            if !remaining = 0 then Ba_sim.Engine.stop engine)
+          ()
+      in
+      flows.(i) <- Some f)
+    specs;
+  (match on_setup with Some g -> g engine | None -> ());
+  Array.iter (function Some f -> Flow.pump f | None -> ()) flows;
+  Ba_sim.Engine.run ~until:deadline engine;
+  let ticks = Ba_sim.Engine.now engine in
+  let flow_results =
+    Array.to_list flows
+    |> List.map (fun f ->
+           let f = Option.get f in
+           (* A finished flow is judged over its own lifetime, so slow
+              neighbours don't dilute its goodput; an unfinished one over
+              the whole run. *)
+           let flow_ticks = match Flow.completed_at f with Some t -> t | None -> ticks in
+           Flow.result f ~ticks:flow_ticks ())
+  in
+  let total_delivered = List.fold_left (fun acc r -> acc + r.Flow.delivered) 0 flow_results in
+  {
+    ticks;
+    completed = List.for_all (fun r -> r.Flow.completed) flow_results;
+    flows = flow_results;
+    aggregate_goodput =
+      (if ticks = 0 then 0. else float_of_int total_delivered *. 1000. /. float_of_int ticks);
+    fairness = jain (List.map (fun r -> r.Flow.goodput) flow_results);
+    data_stats = Ba_channel.Link.stats data_link;
+    ack_stats = Ba_channel.Link.stats ack_link;
+  }

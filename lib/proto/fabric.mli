@@ -1,0 +1,71 @@
+(** N-connection simulation fabric: many {!Flow}s — any mix of protocols
+    — multiplexed over one shared data link and one shared ack link.
+
+    This is the scaling counterpart of {!Harness}: where the harness
+    gives a single connection two private links, the fabric makes every
+    connection contend for the same capacity-limited channel (pass
+    [data_bottleneck] to model the shared router queue), which is what
+    contention, fairness and aggregate-throughput questions need. Wire
+    messages travel tagged with their flow id; the tag acts as a
+    link-layer address, so injected corruption mangles frames but never
+    the demultiplexing.
+
+    A run is a pure function of [seed]: links split the engine's random
+    stream in creation order, flows are created in spec order (sender
+    then receiver, as in the harness), and same-tick events fire in
+    scheduling order. *)
+
+type spec = {
+  protocol : Protocol.t;
+  config : Proto_config.t;
+  messages : int;  (** payloads this flow offers *)
+  payload_size : int;
+}
+
+val spec :
+  ?config:Proto_config.t -> ?messages:int -> ?payload_size:int -> Protocol.t -> spec
+(** Defaults: [Proto_config.default], 100 messages, 32-byte payloads. *)
+
+type result = {
+  ticks : int;  (** simulated time until every flow finished (or the deadline) *)
+  completed : bool;  (** every flow delivered and acknowledged everything *)
+  flows : Flow.result list;
+      (** per-flow verdicts, in spec order. The record is the same one
+          {!Harness.run} returns, so chaos/safety checks written against
+          harness output apply to each entry unchanged. A finished flow's
+          [ticks] (hence goodput, latency) covers its own lifetime; an
+          unfinished one is measured over the whole run. *)
+  aggregate_goodput : float;  (** total delivered payloads per 1000 ticks *)
+  fairness : float;  (** Jain's index over per-flow goodput *)
+  data_stats : Ba_channel.Link.stats;  (** the shared data link's counters *)
+  ack_stats : Ba_channel.Link.stats;  (** the shared ack link's counters *)
+}
+
+val jain : float list -> float
+(** Jain's fairness index [(Σx)² / (n·Σx²)]: 1.0 is a perfectly even
+    allocation, [1/n] is one flow hoarding everything. 1.0 on degenerate
+    input (empty list, or all zeros). *)
+
+val run :
+  ?seed:int ->
+  ?data_loss:float ->
+  ?ack_loss:float ->
+  ?data_delay:Ba_channel.Dist.t ->
+  ?ack_delay:Ba_channel.Dist.t ->
+  ?data_bottleneck:int * int ->
+  ?ack_bottleneck:int * int ->
+  ?deadline:int ->
+  ?on_setup:(Ba_sim.Engine.t -> unit) ->
+  spec list ->
+  result
+(** [run specs] drives every flow to completion (or to the deadline,
+    which defaults to an allowance scaled by the {e aggregate} workload).
+    Defaults mirror {!Harness.run}: seed 42, no loss, delay
+    [Uniform (40, 60)] both ways.
+
+    [data_bottleneck]/[ack_bottleneck] are [(service_time, queue_capacity)]
+    pairs for the shared links — the contended resource. Without one the
+    links have infinite capacity and flows only share the loss/delay
+    process.
+
+    Raises [Invalid_argument] on an empty spec list. *)

@@ -1,4 +1,4 @@
-type result = {
+type result = Flow.result = {
   protocol : string;
   completed : bool;
   ticks : int;
@@ -46,122 +46,40 @@ let run (module P : Protocol.S) ?(seed = 42) ?(messages = 1000) ?(payload_size =
            heavy loss before the run is declared stuck. *)
         (max 1 messages * config.Proto_config.rto * 20) + 1_000_000
   in
-  let sender = ref None and receiver = ref None in
-  let delivered = ref 0
-  and duplicates = ref 0
-  and misordered = ref 0
-  and corrupted = ref 0
-  and next_expected = ref 0 in
-  let seen = Ba_util.Bitset.create ~initial_capacity:messages () in
-  let expected_payloads = Hashtbl.create 97 in
-  let pulled_at = Hashtbl.create 97 in
-  let latency_stats = Ba_util.Stats.create () in
-  let check_done () =
-    match !sender with
-    | Some s when !delivered >= messages && P.sender_done s -> Ba_sim.Engine.stop engine
-    | Some _ | None -> ()
-  in
-  let deliver payload =
-    (match Workload.index_of payload with
-    | None -> incr corrupted
-    | Some i ->
-        let valid =
-          match Hashtbl.find_opt expected_payloads i with
-          | Some p -> String.equal p payload
-          | None -> i >= 0 && i < messages && String.equal (Workload.payload ~seed ~size:payload_size i) payload
-        in
-        if not valid then incr corrupted
-        else if Ba_util.Bitset.mem seen i then incr duplicates
-        else begin
-          Ba_util.Bitset.set seen i;
-          incr delivered;
-          (match Hashtbl.find_opt pulled_at i with
-          | Some t0 -> Ba_util.Stats.add latency_stats (float_of_int (Ba_sim.Engine.now engine - t0))
-          | None -> ());
-          if i <> !next_expected then incr misordered;
-          next_expected := i + 1
-        end);
-    check_done ()
-  in
+  let flow = ref None in
   let data_link =
     Ba_channel.Link.create engine ~loss:data_loss ~delay:data_delay ?bottleneck:data_bottleneck
       ~corrupt:Wire.corrupt_data
-      ~deliver:(fun d ->
-        match !receiver with Some r -> P.receiver_on_data r d | None -> ())
+      ~deliver:(fun d -> match !flow with Some f -> Flow.on_data f d | None -> ())
       ()
   in
   let ack_link =
     Ba_channel.Link.create engine ~loss:ack_loss ~delay:ack_delay
       ~corrupt:Wire.corrupt_ack
-      ~deliver:(fun a ->
-        (match !sender with Some s -> P.sender_on_ack s a | None -> ());
-        check_done ())
+      ~deliver:(fun a -> match !flow with Some f -> Flow.on_ack f a | None -> ())
       ()
   in
   Option.iter (Ba_channel.Link.set_plan data_link) data_plan;
   Option.iter (Ba_channel.Link.set_plan ack_link) ack_plan;
-  let next_payload = Workload.supplier ~seed ~size:payload_size ~count:messages in
-  let next_payload () =
-    match next_payload () with
-    | None -> None
-    | Some p ->
-        (match Workload.index_of p with
-        | Some i ->
-            Hashtbl.replace expected_payloads i p;
-            Hashtbl.replace pulled_at i (Ba_sim.Engine.now engine)
-        | None -> ());
-        Some p
+  let f =
+    Flow.create engine
+      (module P)
+      ~seed ~messages ~payload_size ~config
+      ~data_tx:(Ba_channel.Link.send data_link)
+      ~ack_tx:(Ba_channel.Link.send ack_link)
+      ~on_complete:(fun () -> Ba_sim.Engine.stop engine)
+      ()
   in
-  let s =
-    P.create_sender engine config ~tx:(Ba_channel.Link.send data_link) ~next_payload
-  in
-  let r =
-    P.create_receiver engine config ~tx:(Ba_channel.Link.send ack_link) ~deliver
-  in
-  sender := Some s;
-  receiver := Some r;
+  flow := Some f;
   (match on_setup with
-  | Some f -> f { engine; data_link; ack_link }
+  | Some g -> g { engine; data_link; ack_link }
   | None -> ());
-  P.sender_pump s;
+  Flow.pump f;
   Ba_sim.Engine.run ~until:deadline engine;
-  let ticks = Ba_sim.Engine.now engine in
-  let dstats = Ba_channel.Link.stats data_link and astats = Ba_channel.Link.stats ack_link in
-  let completed = !delivered >= messages && P.sender_done s in
-  let payload_bytes_delivered = !delivered * payload_size in
-  {
-    protocol = P.name;
-    completed;
-    ticks;
-    messages;
-    delivered = !delivered;
-    duplicates = !duplicates;
-    misordered = !misordered;
-    corrupted = !corrupted;
-    data_sent = dstats.Ba_channel.Link.sent;
-    data_dropped = dstats.Ba_channel.Link.dropped;
-    data_queue_dropped = dstats.Ba_channel.Link.queue_dropped;
-    data_reordered = dstats.Ba_channel.Link.reordered;
-    data_duplicated = dstats.Ba_channel.Link.duplicated;
-    data_corrupted = dstats.Ba_channel.Link.corrupted;
-    data_outage_drops = dstats.Ba_channel.Link.outage_drops;
-    acks_sent = astats.Ba_channel.Link.sent;
-    acks_dropped = astats.Ba_channel.Link.dropped;
-    acks_corrupted = astats.Ba_channel.Link.corrupted;
-    ack_outage_drops = astats.Ba_channel.Link.outage_drops;
-    retransmissions = P.sender_retransmissions s;
-    goodput = (if ticks = 0 then 0. else float_of_int !delivered *. 1000. /. float_of_int ticks);
-    latency = (if Ba_util.Stats.count latency_stats = 0 then None else Some (Ba_util.Stats.summary latency_stats));
-    latencies = Ba_util.Stats.samples latency_stats;
-    ack_overhead =
-      (if payload_bytes_delivered = 0 then 0.
-       else
-         float_of_int (astats.Ba_channel.Link.sent * P.ack_wire_bytes)
-         /. float_of_int payload_bytes_delivered);
-    efficiency =
-      (if dstats.Ba_channel.Link.sent = 0 then 0.
-       else float_of_int !delivered /. float_of_int dstats.Ba_channel.Link.sent);
-  }
+  Flow.result f
+    ~data_stats:(Ba_channel.Link.stats data_link)
+    ~ack_stats:(Ba_channel.Link.stats ack_link)
+    ~ticks:(Ba_sim.Engine.now engine) ()
 
 let correct r = r.completed && r.duplicates = 0 && r.misordered = 0 && r.corrupted = 0
 

@@ -1,13 +1,16 @@
 (** Experiment harness: one sender, one receiver, two lossy links.
 
-    [run] wires a protocol implementation into a fresh simulation, drives
-    a {!Workload} of [messages] payloads through it, and reports both
-    performance (ticks, goodput, overhead) and correctness (duplicates,
-    misordering, corruption) — the latter must be zero for a correct
-    protocol and is deliberately *not* zero for the broken baselines the
-    paper warns about. *)
+    [run] wires a single {!Flow} into a fresh simulation over two private
+    links, drives a {!Workload} of [messages] payloads through it, and
+    reports both performance (ticks, goodput, overhead) and correctness
+    (duplicates, misordering, corruption) — the latter must be zero for a
+    correct protocol and is deliberately *not* zero for the broken
+    baselines the paper warns about. For many connections over a shared
+    link, see {!Fabric}; [result] is the same record ({!Flow.result}), so
+    every check written against harness output also reads fabric
+    output. *)
 
-type result = {
+type result = Flow.result = {
   protocol : string;
   completed : bool;  (** all payloads delivered and acknowledged *)
   ticks : int;  (** simulated time consumed *)

@@ -1,16 +1,28 @@
 exception Stopped
 
-type event = { time : int; action : unit -> unit; mutable live : bool }
+type event = {
+  time : int;
+  action : unit -> unit;
+  mutable live : bool;
+  owner : t;  (* back-pointer so [cancel] can keep the owner's counters exact *)
+}
 
-type handle = event
-
-type t = {
+and t = {
   mutable clock : int;
   queue : event Ba_util.Heap.t;
   rng : Ba_util.Rng.t;
-  mutable pending : int;
+  mutable pending : int;  (* live events currently in the queue *)
+  mutable dead : int;  (* cancelled events still occupying queue slots *)
   mutable stopping : bool;
 }
+
+type handle = event
+
+(* Compact when corpses outnumber live events: a sender that cancels one
+   timer per acknowledgment would otherwise grow the heap without bound
+   (every pop then pays log of a heap dominated by dead entries). The
+   floor keeps tiny heaps from re-heapifying on every other cancel. *)
+let compaction_floor = 32
 
 let create ?(seed = 1) () =
   {
@@ -18,6 +30,7 @@ let create ?(seed = 1) () =
     queue = Ba_util.Heap.create ~cmp:(fun a b -> compare a.time b.time) ();
     rng = Ba_util.Rng.create seed;
     pending = 0;
+    dead = 0;
     stopping = false;
   }
 
@@ -26,7 +39,7 @@ let rng t = t.rng
 
 let schedule_at t ~at action =
   if at < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  let event = { time = at; action; live = true } in
+  let event = { time = at; action; live = true; owner = t } in
   Ba_util.Heap.push t.queue event;
   t.pending <- t.pending + 1;
   event
@@ -35,24 +48,36 @@ let schedule t ~delay action =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~at:(t.clock + delay) action
 
+let maybe_compact t =
+  if t.dead > t.pending && t.dead > compaction_floor then begin
+    Ba_util.Heap.filter_in_place t.queue (fun e -> e.live);
+    t.dead <- 0
+  end
+
 (* Cancellation is lazy: the event stays in the heap, marked dead, and is
-   skipped when popped. [pending] counts live events only, so it drops here. *)
+   skipped when popped — except that once dead entries outnumber live
+   ones the whole heap is rebuilt from the survivors. *)
 let cancel h =
-  if h.live then h.live <- false
+  if h.live then begin
+    h.live <- false;
+    let t = h.owner in
+    t.pending <- t.pending - 1;
+    t.dead <- t.dead + 1;
+    maybe_compact t
+  end
 
 let is_pending h = h.live
 
-let live_count t =
-  Ba_util.Heap.to_sorted_list t.queue |> List.filter (fun e -> e.live) |> List.length
+let pending_events t = t.pending
 
-let pending_events t =
-  t.pending <- live_count t;
-  t.pending
+let queue_length t = Ba_util.Heap.length t.queue
 
 let rec next_live t =
   match Ba_util.Heap.pop t.queue with
   | None -> None
-  | Some e when not e.live -> next_live t
+  | Some e when not e.live ->
+      t.dead <- t.dead - 1;
+      next_live t
   | Some e -> Some e
 
 let step t =
@@ -61,6 +86,7 @@ let step t =
   | Some e ->
       t.clock <- e.time;
       e.live <- false;
+      t.pending <- t.pending - 1;
       e.action ();
       true
 
@@ -77,6 +103,7 @@ let run ?until ?max_events t =
       | None -> ()
       | Some e when not e.live ->
           ignore (Ba_util.Heap.pop t.queue);
+          t.dead <- t.dead - 1;
           loop ()
       | Some e -> begin
           match until with

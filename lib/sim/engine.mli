@@ -34,7 +34,14 @@ val cancel : handle -> unit
 val is_pending : handle -> bool
 
 val pending_events : t -> int
-(** Number of not-yet-fired, not-cancelled events. *)
+(** Number of not-yet-fired, not-cancelled events. O(1): the engine
+    maintains the count incrementally across schedule/cancel/fire. *)
+
+val queue_length : t -> int
+(** Physical size of the event heap, counting lazily-cancelled entries
+    that have not been compacted away yet. Always [>= pending_events].
+    Exposed so tests can observe dead-event compaction; not meaningful
+    for simulation logic. *)
 
 val step : t -> bool
 (** Fire the next event. Returns [false] when the queue is empty. *)

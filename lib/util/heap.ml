@@ -75,6 +75,23 @@ let clear t =
   t.size <- 0;
   t.data <- [||]
 
+let filter_in_place t pred =
+  let kept = ref [] in
+  for i = t.size - 1 downto 0 do
+    let e = t.data.(i) in
+    if pred e.value then kept := e :: !kept
+  done;
+  let kept = Array.of_list !kept in
+  let size = Array.length kept in
+  (* Entries keep their insertion stamps, so FIFO order among equal keys
+     survives the rebuild. Floyd's bottom-up heapify is O(size). *)
+  let shadow = { t with data = kept; size } in
+  for i = (size / 2) - 1 downto 0 do
+    sift_down shadow i
+  done;
+  t.data <- kept;
+  t.size <- size
+
 let to_sorted_list t =
   let copy =
     {

@@ -22,5 +22,11 @@ val peek : 'a t -> 'a option
 
 val clear : 'a t -> unit
 
+val filter_in_place : 'a t -> ('a -> bool) -> unit
+(** [filter_in_place t pred] drops every element failing [pred] and
+    re-heapifies in O(length). Surviving elements keep their insertion
+    stamps, so FIFO order among equals is preserved — the engine relies
+    on this when compacting lazily-cancelled events. *)
+
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructive: contents in pop order. *)

@@ -50,3 +50,16 @@ A single fault class can be selected, and the demonstration skipped:
   duplication    3 runs  unsafe=0   incomplete=0   ok
   
 
+
+The --protocol filter resolves through the shared registry: unknown
+names get the registry's canonical error, and known-but-unaudited
+protocols are rejected with the robust set:
+
+  $ ../../bin/ba_chaos.exe --protocol no-such-protocol
+  ba_chaos: unknown protocol "no-such-protocol" (expected one of: blockack-simple, blockack-multi, blockack-reuse, go-back-n, selective-repeat, stenning, alternating-bit)
+  [2]
+
+  $ ../../bin/ba_chaos.exe --protocol gbn
+  ba_chaos: "gbn" is not in the audited robust set (expected one of: blockack-multi, selective-repeat)
+  [2]
+

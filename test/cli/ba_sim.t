@@ -10,6 +10,28 @@ reordering link wedges or corrupts (output elided, status checked):
   $ ../../bin/ba_sim.exe -p go-back-n -m 100 -j 60 -l 0.05 -n 17 -w 16 --rto 400 >/dev/null 2>&1
   [1]
 
+Protocol names come from the shared registry; the listing shows every
+canonical name with its aliases:
+
+  $ ../../bin/ba_sim.exe --list-protocols
+  blockack-simple    block acknowledgment, single timeout (paper, Section II)
+  blockack-multi     block acknowledgment, per-message timers (paper, Section IV) (alias: blockack)
+  blockack-reuse     block acknowledgment with slot reuse, lead 2w (paper, Section VI)
+  go-back-n          cumulative-ack go-back-N (classic baseline; unsafe when bounded + reordered) (alias: gbn)
+  selective-repeat   per-message-ack selective repeat (robust baseline) (alias: sr)
+  stenning           Stenning timer-quarantined slot reuse (introduction's contrast)
+  alternating-bit    alternating-bit stop-and-wait (window 1) (alias: abp)
+
+An unknown protocol name gets the registry's canonical error:
+
+  $ ../../bin/ba_sim.exe -p no-such-protocol
+  ba_sim: option '-p': unknown protocol "no-such-protocol" (expected one of:
+          blockack-simple, blockack-multi, blockack-reuse, go-back-n,
+          selective-repeat, stenning, alternating-bit)
+  Usage: ba_sim [OPTION]…
+  Try 'ba_sim --help' for more information.
+  [124]
+
 The time-sequence diagram tool renders the F3 recovery scenario:
 
   $ ../../bin/ba_diagram.exe -m 2 --kill-first-ack --simple

@@ -1,0 +1,166 @@
+(* Multi-connection fabric and registry tests: determinism of shared-link
+   runs (a fabric run is a pure function of its seed), per-flow safety
+   under a lossy contended bottleneck, Jain's index arithmetic, and the
+   shared protocol registry (canonical names, aliases, error text,
+   recommended moduli). *)
+
+let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
+
+module Fabric = Ba_proto.Fabric
+module Harness = Ba_proto.Harness
+module Registry = Ba_registry.Registry
+module Dist = Ba_channel.Dist
+
+let entry name =
+  match Registry.find name with
+  | Some e -> e
+  | None -> Alcotest.failf "registry is missing %S" name
+
+(* A heterogeneous mix of the protocols that must stay safe on a lossy,
+   reordering, contended link: the two robust registry entries plus
+   go-back-N with unbounded wire numbers (safe, merely slow). *)
+let mixed_specs ~messages =
+  List.concat_map
+    (fun name ->
+      let e = entry name in
+      let config = Registry.config ~window:6 ~rto:800 e () in
+      List.init 2 (fun _ -> Fabric.spec ~config ~messages e.Registry.protocol))
+    [ "blockack-multi"; "selective-repeat"; "go-back-n" ]
+
+let run_lossy ~seed specs =
+  Fabric.run ~seed ~data_loss:0.05 ~ack_loss:0.05 ~data_delay:(Dist.Uniform (40, 80))
+    ~ack_delay:(Dist.Uniform (40, 80)) ~data_bottleneck:(3, 16) specs
+
+(* ------------------------------------------------------------------ *)
+(* Determinism and safety *)
+
+let test_fabric_deterministic =
+  qcheck
+    (QCheck.Test.make ~count:25 ~name:"same seed, same fabric run — structurally equal"
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let a = run_lossy ~seed (mixed_specs ~messages:25) in
+         let b = run_lossy ~seed (mixed_specs ~messages:25) in
+         a = b))
+
+let test_fabric_safety =
+  qcheck
+    (QCheck.Test.make ~count:15
+       ~name:"every flow of a correct protocol stays clean under a shared lossy bottleneck"
+       QCheck.(int_range 0 10_000)
+       (fun seed ->
+         let r = run_lossy ~seed (mixed_specs ~messages:30) in
+         List.for_all
+           (fun (f : Harness.result) ->
+             f.Harness.duplicates = 0 && f.Harness.misordered = 0 && f.Harness.corrupted = 0
+             && f.Harness.completed)
+           r.Fabric.flows))
+
+let test_fabric_flow_accounting () =
+  let r = run_lossy ~seed:7 (mixed_specs ~messages:20) in
+  check Alcotest.int "six flows" 6 (List.length r.Fabric.flows);
+  check Alcotest.bool "run completed" true r.Fabric.completed;
+  List.iteri
+    (fun i (f : Harness.result) ->
+      check Alcotest.int (Printf.sprintf "flow %d delivered all" i) 20 f.Harness.delivered;
+      check Alcotest.bool (Printf.sprintf "flow %d correct" i) true (Harness.correct f))
+    r.Fabric.flows;
+  (* The shared data link carried every flow's traffic. *)
+  check Alcotest.bool "shared link saw aggregate traffic" true
+    (r.Fabric.data_stats.Ba_channel.Link.sent >= 6 * 20)
+
+let test_fabric_rejects_empty () =
+  Alcotest.check_raises "empty spec list"
+    (Invalid_argument "Fabric.run: at least one flow required") (fun () ->
+      ignore (Fabric.run []))
+
+let test_jain () =
+  let feq = Alcotest.float 1e-9 in
+  check feq "even split" 1.0 (Fabric.jain [ 3.; 3.; 3.; 3. ]);
+  check feq "one hoarder" 0.25 (Fabric.jain [ 5.; 0.; 0.; 0. ]);
+  check feq "degenerate empty" 1.0 (Fabric.jain []);
+  check feq "degenerate zeros" 1.0 (Fabric.jain [ 0.; 0. ]);
+  let mixed = Fabric.jain [ 4.; 2. ] in
+  check Alcotest.bool "between 1/n and 1" true (mixed > 0.5 && mixed < 1.0)
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_names () =
+  check
+    Alcotest.(list string)
+    "canonical names, presentation order"
+    [
+      "blockack-simple"; "blockack-multi"; "blockack-reuse"; "go-back-n";
+      "selective-repeat"; "stenning"; "alternating-bit";
+    ]
+    Registry.names
+
+let test_registry_aliases () =
+  List.iter
+    (fun (alias, canonical) ->
+      match Registry.find alias with
+      | Some e -> check Alcotest.string alias canonical e.Registry.name
+      | None -> Alcotest.failf "alias %S did not resolve" alias)
+    [ ("blockack", "blockack-multi"); ("gbn", "go-back-n"); ("sr", "selective-repeat");
+      ("abp", "alternating-bit") ]
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_registry_unknown () =
+  check Alcotest.bool "unknown name" true (Registry.find "no-such-protocol" = None);
+  match Registry.parse "no-such-protocol" with
+  | Ok _ -> Alcotest.fail "parse accepted an unknown name"
+  | Error msg ->
+      List.iter
+        (fun needle ->
+          check Alcotest.bool
+            (Printf.sprintf "error mentions %s" needle)
+            true (contains ~needle msg))
+        [ "no-such-protocol"; "blockack-multi"; "go-back-n" ]
+
+let test_registry_robust () =
+  check
+    Alcotest.(list string)
+    "audited robust set" [ "blockack-multi"; "selective-repeat" ]
+    (List.map (fun e -> e.Registry.name) Registry.robust)
+
+let test_registry_config_moduli () =
+  let modulus name ~window =
+    (Registry.config ~window (entry name) ()).Ba_proto.Proto_config.wire_modulus
+  in
+  check Alcotest.(option int) "blockack-multi uses n = 2w" (Some 16)
+    (modulus "blockack-multi" ~window:8);
+  check Alcotest.(option int) "blockack-reuse uses n = 4w" (Some 32)
+    (modulus "blockack-reuse" ~window:8);
+  check Alcotest.(option int) "go-back-n defaults to unbounded wire numbers" None
+    (modulus "go-back-n" ~window:8);
+  check Alcotest.(option int) "explicit modulus wins" (Some 64)
+    (Registry.config ~window:8 ~modulus:64 (entry "blockack-multi") ())
+      .Ba_proto.Proto_config.wire_modulus
+
+let () =
+  Alcotest.run "fabric"
+    [
+      ( "fabric",
+        [
+          test_fabric_deterministic;
+          test_fabric_safety;
+          Alcotest.test_case "per-flow accounting over a shared link" `Quick
+            test_fabric_flow_accounting;
+          Alcotest.test_case "empty spec list rejected" `Quick test_fabric_rejects_empty;
+          Alcotest.test_case "Jain's fairness index" `Quick test_jain;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "canonical names" `Quick test_registry_names;
+          Alcotest.test_case "aliases resolve" `Quick test_registry_aliases;
+          Alcotest.test_case "unknown names and error text" `Quick test_registry_unknown;
+          Alcotest.test_case "robust subset" `Quick test_registry_robust;
+          Alcotest.test_case "recommended moduli" `Quick test_registry_config_moduli;
+        ] );
+    ]

@@ -117,6 +117,67 @@ let test_engine_pending_count () =
   Engine.run e;
   check Alcotest.int "none pending after run" 0 (Engine.pending_events e)
 
+(* The pending counter must stay exact across arbitrary interleavings of
+   schedule / cancel / fire — it is maintained incrementally (O(1) reads),
+   so any drift would go unnoticed by the hot path itself. *)
+let test_engine_pending_incremental () =
+  let e = Engine.create () in
+  let handles = Array.init 100 (fun i -> Engine.schedule e ~delay:(10 + i) (fun () -> ())) in
+  check Alcotest.int "all scheduled" 100 (Engine.pending_events e);
+  for i = 0 to 49 do
+    Engine.cancel handles.(2 * i)
+  done;
+  check Alcotest.int "half cancelled" 50 (Engine.pending_events e);
+  (* Double-cancel must not double-count. *)
+  Engine.cancel handles.(0);
+  check Alcotest.int "idempotent cancel" 50 (Engine.pending_events e);
+  Engine.run ~max_events:20 e;
+  check Alcotest.int "fired events drain the count" 30 (Engine.pending_events e);
+  (* Cancel-after-fire is a no-op on the counter. *)
+  Engine.cancel handles.(1);
+  check Alcotest.int "cancel of fired event ignored" 30 (Engine.pending_events e);
+  ignore (Engine.schedule e ~delay:1000 (fun () -> ()));
+  check Alcotest.int "schedule adds" 31 (Engine.pending_events e);
+  Engine.run e;
+  check Alcotest.int "empty at the end" 0 (Engine.pending_events e);
+  check Alcotest.int "heap fully drained" 0 (Engine.queue_length e)
+
+let test_engine_compaction () =
+  let e = Engine.create () in
+  let n = 10_000 in
+  let fired = ref 0 in
+  let handles = Array.init n (fun i -> Engine.schedule e ~delay:(1 + i) (fun () -> incr fired)) in
+  let keep = 16 in
+  (* Cancel everything but a few: corpses vastly outnumber survivors, so
+     the engine must rebuild the heap instead of hoarding dead entries. *)
+  for i = keep to n - 1 do
+    Engine.cancel handles.(i)
+  done;
+  check Alcotest.int "live count" keep (Engine.pending_events e);
+  check Alcotest.bool
+    (Printf.sprintf "heap compacted (len %d)" (Engine.queue_length e))
+    true
+    (Engine.queue_length e < n / 2);
+  check Alcotest.bool "no live event lost" true (Engine.queue_length e >= keep);
+  Engine.run e;
+  check Alcotest.int "exactly the survivors fired" keep !fired;
+  check Alcotest.int "clock at last survivor" keep (Engine.now e)
+
+let test_engine_compaction_keeps_order () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  (* Many same-tick events: FIFO among equals must survive a compaction
+     triggered between scheduling and firing. *)
+  let keepers = List.init 8 (fun i -> i) in
+  List.iter
+    (fun i -> ignore (Engine.schedule e ~delay:10 (fun () -> fired := i :: !fired)))
+    keepers;
+  let victims = Array.init 2_000 (fun _ -> Engine.schedule e ~delay:5 (fun () -> ())) in
+  Array.iter Engine.cancel victims;
+  check Alcotest.bool "compacted" true (Engine.queue_length e < 100);
+  Engine.run e;
+  check (Alcotest.list Alcotest.int) "FIFO preserved across rebuild" keepers (List.rev !fired)
+
 let test_engine_determinism () =
   let trace seed =
     let e = Engine.create ~seed () in
@@ -225,6 +286,9 @@ let () =
           Alcotest.test_case "step" `Quick test_engine_step;
           Alcotest.test_case "past schedule rejected" `Quick test_engine_past_schedule_rejected;
           Alcotest.test_case "pending count" `Quick test_engine_pending_count;
+          Alcotest.test_case "pending counter incremental" `Quick test_engine_pending_incremental;
+          Alcotest.test_case "dead-event compaction" `Quick test_engine_compaction;
+          Alcotest.test_case "compaction keeps FIFO" `Quick test_engine_compaction_keeps_order;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
         ] );
       ( "timer",
