@@ -6,12 +6,19 @@
    experiment workload, timing the machinery that produces it.
 
    Flags:
-     --quick     shrink message counts / seed sets (CI-sized)
-     --no-bench  print the experiment tables only
-     --no-tables run the Bechamel benches only *)
+     --quick       shrink message counts / seed sets (CI-sized)
+     --no-bench    print the experiment tables only
+     --no-tables   run the Bechamel benches only
+     --jobs N      worker domains for the experiment grids (env BA_JOBS;
+                   default: the machine's recommended domain count);
+                   tables are byte-identical at any N
+     --selftime    time the full chaos matrix at --jobs 1 vs --jobs N
+     --json FILE   write wall-clock per grid, self-timing and micro-bench
+                   results as JSON (the BENCH_campaigns.json schema) *)
 
 open Bechamel
 open Toolkit
+module Experiments = Ba_experiments.Experiments
 
 let losses_config = Blockack.Config.make ~window:16 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:50 ()
 
@@ -28,8 +35,8 @@ let explore () =
   assert (r.Ba_verify.Explorer.violation = None)
 
 let scenario () =
-  let t = Ba_experiments.Experiments.t1_intro_scenario () in
-  assert (List.length t.Ba_experiments.Experiments.rows = 2)
+  let t = Experiments.t1_intro_scenario () in
+  assert (List.length t.Experiments.rows = 2)
 
 let recovery proto () =
   let config =
@@ -88,6 +95,23 @@ let fabric_transfer n () =
   in
   assert r.Ba_proto.Fabric.completed
 
+(* The parallel runtime itself: a campaign-shaped grid of small
+   independent transfers farmed to the session's job count. *)
+let pool_campaign jobs () =
+  let results =
+    Ba_parallel.Pool.map ~jobs
+      (fun seed ->
+        let r =
+          Ba_proto.Harness.run Blockack.Protocols.multi ~seed ~messages:20
+            ~config:losses_config ~data_loss:0.02 ~ack_loss:0.02
+            ~data_delay:(Ba_channel.Dist.Constant 50)
+            ~ack_delay:(Ba_channel.Dist.Constant 50) ()
+        in
+        r.Ba_proto.Harness.completed)
+      (List.init 8 (fun i -> i + 1))
+  in
+  assert (List.for_all Fun.id results)
+
 (* Micro-benchmarks of the substrate the experiments lean on. *)
 let micro_heap () =
   let h = Ba_util.Heap.create ~cmp:compare () in
@@ -113,7 +137,7 @@ let micro_rng () =
   done;
   Sys.opaque_identity !acc |> ignore
 
-let tests =
+let tests ~jobs =
   Test.make_grouped ~name:"blockack"
     [
       Test.make ~name:"T1/intro-scenario-replay" (Staged.stage scenario);
@@ -152,16 +176,18 @@ let tests =
       Test.make ~name:"T4/transfer-stenning" (Staged.stage stenning_transfer);
       Test.make ~name:"F5/transfer-reuse-5pc" (Staged.stage reuse_transfer);
       Test.make ~name:"S1/fabric-16-flows" (Staged.stage (fabric_transfer 16));
+      Test.make ~name:"P1/pool-campaign-8x20" (Staged.stage (pool_campaign jobs));
       Test.make ~name:"micro/heap-1k" (Staged.stage micro_heap);
       Test.make ~name:"micro/reconstruct-1k" (Staged.stage micro_reconstruct);
       Test.make ~name:"micro/rng-int-1k" (Staged.stage micro_rng);
     ]
 
-let run_benchmarks () =
+(* Returns [(name, ns_per_run)] so the JSON artefact can record it. *)
+let run_benchmarks ~jobs =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
-  let raw = Benchmark.all cfg instances tests in
+  let raw = Benchmark.all cfg instances (tests ~jobs) in
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances |> Analyze.merge ols instances
   in
@@ -170,26 +196,145 @@ let run_benchmarks () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let time =
-        match Analyze.OLS.estimates ols_result with
-        | Some [ t ] -> Printf.sprintf "%.1f us" (t /. 1_000.)
-        | Some _ | None -> "n/a"
-      in
-      rows := [ name; time ] :: !rows)
+      match Analyze.OLS.estimates ols_result with
+      | Some [ t ] -> rows := (name, t) :: !rows
+      | Some _ | None -> ())
     clock;
   let rows = List.sort compare !rows in
-  Ba_util.Table.print ~headers:[ "benchmark"; "time/run" ] rows
+  Ba_util.Table.print ~headers:[ "benchmark"; "time/run" ]
+    (List.map (fun (name, t) -> [ name; Printf.sprintf "%.1f us" (t /. 1_000.) ]) rows);
+  rows
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* The acceptance workload: the full chaos matrix (C1's seeds x faults x
+   protocols grid), timed sequentially and at the requested job count.
+   Byte-identical tables are asserted, not assumed. *)
+let selftime_chaos_matrix ~quick ~jobs =
+  let t_seq, s_seq = wall (fun () -> Experiments.c1_chaos_matrix ~jobs:1 ~quick ()) in
+  let t_par, s_par = wall (fun () -> Experiments.c1_chaos_matrix ~jobs ~quick ()) in
+  if t_seq <> t_par then begin
+    print_endline "FAIL: chaos matrix differs between --jobs 1 and --jobs N";
+    exit 1
+  end;
+  let speedup = if s_par > 0. then s_seq /. s_par else nan in
+  Printf.printf
+    "\n=== self-timed chaos matrix (%s mode) ===\njobs=1: %.3fs  jobs=%d: %.3fs  speedup: %.2fx \
+     (host reports %d core%s)\n"
+    (if quick then "quick" else "full")
+    s_seq jobs s_par speedup
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  (s_seq, s_par, speedup)
+
+let write_json file ~quick ~jobs ~grid_times ~selftime ~bench_rows =
+  let open Ba_util.Json in
+  let selftime_json =
+    match selftime with
+    | None -> Null
+    | Some (s_seq, s_par, speedup) ->
+        Obj
+          [
+            ("grid", String "C1-chaos-matrix");
+            ("jobs", Int jobs);
+            ("jobs_1_wall_s", Float s_seq);
+            ("jobs_n_wall_s", Float s_par);
+            ("speedup", Float speedup);
+          ]
+  in
+  let json =
+    Obj
+      [
+        ("schema", String "blockack/BENCH_campaigns/v1");
+        ("mode", String (if quick then "quick" else "full"));
+        ("jobs", Int jobs);
+        ("host_recommended_domains", Int (Domain.recommended_domain_count ()));
+        ( "grids",
+          List
+            (List.map
+               (fun (id, dt) -> Obj [ ("id", String id); ("wall_s", Float dt) ])
+               grid_times) );
+        ("selftime", selftime_json);
+        ( "microbench",
+          List
+            (List.map
+               (fun (name, ns) -> Obj [ ("name", String name); ("ns_per_run", Float ns) ])
+               bench_rows) );
+      ]
+  in
+  let oc = open_out file in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> to_channel oc json);
+  Printf.printf "\nwrote %s\n" file
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [--quick] [--no-bench] [--no-tables] [--jobs N] [--selftime] [--json FILE]";
+  exit 2
 
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
   let no_bench = List.mem "--no-bench" args in
   let no_tables = List.mem "--no-tables" args in
+  let selftime_wanted = List.mem "--selftime" args in
+  (* --jobs N / --jobs=N, defaulting like the CLIs: BA_JOBS, then the
+     machine's recommended domain count. *)
+  let jobs = ref (Ba_parallel.Pool.default_jobs ()) in
+  let json_file = ref None in
+  let bad_jobs v =
+    Printf.eprintf "bench: --jobs must be a positive integer (got %S)\n" v;
+    exit 2
+  in
+  let rec scan = function
+    | [] -> ()
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            jobs := n;
+            scan rest
+        | Some _ | None -> bad_jobs v)
+    | [ "--jobs" ] -> usage ()
+    | "--json" :: f :: rest ->
+        json_file := Some f;
+        scan rest
+    | [ "--json" ] -> usage ()
+    | arg :: rest ->
+        (match String.index_opt arg '=' with
+        | Some i when String.length arg > i + 1 && String.sub arg 0 i = "--jobs" ->
+            let v = String.sub arg (i + 1) (String.length arg - i - 1) in
+            (match int_of_string_opt v with
+            | Some n when n >= 1 -> jobs := n
+            | Some _ | None -> bad_jobs v)
+        | Some i when String.length arg > i + 1 && String.sub arg 0 i = "--json" ->
+            json_file := Some (String.sub arg (i + 1) (String.length arg - i - 1))
+        | _ -> ());
+        scan rest
+  in
+  scan (List.tl args);
+  let jobs = !jobs in
+  let grid_times = ref [] in
   if not no_tables then begin
     Printf.printf
-      "Block Acknowledgment reproduction — experiment tables (%s mode)\n\
+      "Block Acknowledgment reproduction — experiment tables (%s mode, %d job%s)\n\
        Mapping to the paper's claims: see DESIGN.md; measured-vs-paper: EXPERIMENTS.md.\n"
-      (if quick then "quick" else "full");
-    Ba_experiments.Experiments.run_all ~quick
+      (if quick then "quick" else "full")
+      jobs
+      (if jobs = 1 then "" else "s");
+    List.iter
+      (fun (id, grid) ->
+        let table, dt = wall (fun () -> grid ~quick ~jobs) in
+        Experiments.print_table table;
+        grid_times := (id, dt) :: !grid_times)
+      Experiments.grids
   end;
-  if not no_bench then run_benchmarks ()
+  let selftime =
+    if selftime_wanted then Some (selftime_chaos_matrix ~quick ~jobs) else None
+  in
+  let bench_rows = if no_bench then [] else run_benchmarks ~jobs in
+  match !json_file with
+  | Some file ->
+      write_json file ~quick ~jobs ~grid_times:(List.rev !grid_times) ~selftime ~bench_rows
+  | None -> ()

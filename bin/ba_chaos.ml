@@ -31,7 +31,8 @@ let parse_classes names =
           exit 2)
     names
 
-let run seeds messages class_names protocol_filter no_demo =
+let run seeds messages class_names protocol_filter no_demo jobs =
+  let jobs = Ba_cli.resolve_jobs jobs in
   let seeds = List.init seeds (fun i -> i + 1) in
   let classes =
     match class_names with [] -> Chaos.all_classes | names -> parse_classes names
@@ -54,7 +55,7 @@ let run seeds messages class_names protocol_filter no_demo =
   in
   let reports =
     List.map
-      (fun (_, e) -> Chaos.run_campaign ~messages ~seeds ~classes e.Registry.protocol)
+      (fun (_, e) -> Chaos.run_campaign ~messages ~seeds ~classes ~jobs e.Registry.protocol)
       audited
   in
   List.iter (fun r -> Format.printf "%a@.@." Chaos.pp_report r) reports;
@@ -69,7 +70,7 @@ let run seeds messages class_names protocol_filter no_demo =
          A clean sweep here would mean the campaign lost its teeth. *)
       let r =
         Chaos.run_campaign ~messages ~config:Chaos.gbn_config ~seeds ~classes:[ Chaos.Reorder ]
-          Ba_baselines.Go_back_n.protocol
+          ~jobs Ba_baselines.Go_back_n.protocol
       in
       let broken = not (Chaos.clean r) in
       if broken then begin
@@ -122,12 +123,14 @@ let cmd =
          safety (no duplicate, misordered or corrupted delivery — ever) and recovery \
          (the transfer completes once scheduled faults quiesce). Fault schedules are a \
          pure function of the seed; any failure is printed with its seed and fault plans \
-         so the run can be replayed. Exit status 1 when a robust protocol fails, or when \
-         the go-back-N negative control unexpectedly survives.";
+         so the run can be replayed. Cells are independent, so $(b,--jobs) farms them to \
+         worker domains; reports are assembled in seed order either way, making the output \
+         byte-identical at any job count. Exit status 1 when a robust protocol fails, or \
+         when the go-back-N negative control unexpectedly survives.";
     ]
   in
   Cmd.v
     (Cmd.info "ba_chaos" ~doc ~man)
-    Term.(const run $ seeds $ messages $ classes $ protocol $ no_demo)
+    Term.(const run $ seeds $ messages $ classes $ protocol $ no_demo $ Ba_cli.jobs)
 
 let () = exit (Cmd.eval' cmd)

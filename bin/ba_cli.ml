@@ -1,0 +1,31 @@
+(* Shared command-line conventions for the campaign runners.
+
+   Every grid the tools run (chaos seed x fault cells, scaling sweeps) is
+   a list of independent simulations, so each binary exposes the same
+   --jobs flag and farms cells to a Ba_parallel.Pool. Results are
+   collected in input order, which keeps output byte-identical at any
+   job count. *)
+
+open Cmdliner
+
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "jobs must be a positive integer (got %S)" s))
+  in
+  Arg.conv ~docv:"JOBS" (parse, Format.pp_print_int)
+
+let jobs =
+  let env = Cmd.Env.info "BA_JOBS" ~doc:"Default worker-domain count for $(b,--jobs)." in
+  Arg.(
+    value
+    & opt (some jobs_conv) None
+    & info [ "jobs" ] ~env ~docv:"JOBS"
+        ~doc:
+          "Worker domains for independent simulation cells (default: the machine's \
+           recommended domain count, override with $(b,BA_JOBS)). Results are collected \
+           in submission order, so output is byte-identical at any value.")
+
+let resolve_jobs = function Some n -> n | None -> Ba_parallel.Pool.default_jobs ()

@@ -9,7 +9,8 @@
    Examples:
      ba_net --connections 8 --messages 50
      ba_net --mix blockack-multi:4,go-back-n:4 --capacity 2:64 --loss 0.01
-     ba_net --connections 256 --messages 20 --capacity 1:256 --adaptive *)
+     ba_net --connections 256 --messages 20 --capacity 1:256 --adaptive
+     ba_net --sweep 1,4,16,64 --messages 20 --jobs 4   # S1-style scaling sweep *)
 
 open Cmdliner
 module Registry = Ba_registry.Registry
@@ -62,8 +63,52 @@ let capacity_conv =
 
 let fmt = Ba_util.Table.fmt_float
 
+(* S1-style scaling sweep: one cell per (connection count, protocol in
+   the mix), every cell an independent Fabric.run farmed to the pool.
+   Cells are listed row-major and collected in order, so the table is
+   byte-identical at any --jobs. *)
+let run_sweep ~counts ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capacity ~window
+    ~rto ~modulus ~adaptive ~seed ~jobs =
+  let protos = List.map fst mix in
+  let cells = List.concat_map (fun n -> List.map (fun e -> (n, e)) protos) counts in
+  let outcomes =
+    Ba_parallel.Pool.map ~jobs
+      (fun (n, e) ->
+        let config = Registry.config ~window ~rto ?modulus ~adaptive_rto:adaptive e () in
+        let specs =
+          List.init n (fun _ ->
+              Fabric.spec ~config ~messages ~payload_size e.Registry.protocol)
+        in
+        Fabric.run ~seed ~data_loss:loss ~ack_loss ~data_delay:delay ~ack_delay:delay
+          ?data_bottleneck:capacity specs)
+      cells
+  in
+  let rows =
+    List.map2
+      (fun (n, e) (r : Fabric.result) ->
+        [
+          string_of_int n;
+          e.Registry.name;
+          (if r.Fabric.completed then "yes" else "NO");
+          fmt r.Fabric.aggregate_goodput;
+          fmt r.Fabric.fairness;
+          string_of_int r.Fabric.data_stats.Ba_channel.Link.queue_dropped;
+          string_of_int r.Fabric.ticks;
+        ])
+      cells outcomes
+  in
+  Ba_util.Table.print
+    ~headers:[ "conns"; "protocol"; "completed"; "goodput"; "jain"; "qdrops"; "ticks" ]
+    rows;
+  if
+    List.for_all
+      (fun (r : Fabric.result) -> List.for_all Ba_proto.Harness.correct r.Fabric.flows)
+      outcomes
+  then 0
+  else 1
+
 let run list_protocols connections mix messages payload_size loss ack_loss_opt base_delay
-    jitter capacity window rto modulus adaptive seed =
+    jitter capacity window rto modulus adaptive seed sweep jobs =
   if list_protocols then begin
     Format.printf "%a" Registry.pp_list ();
     exit 0
@@ -90,6 +135,17 @@ let run list_protocols connections mix messages payload_size loss ack_loss_opt b
         let svc, cap = Option.value ~default:(0, 0) capacity in
         (2 * (base_delay + jitter)) + (svc * cap) + 100
   in
+  match sweep with
+  | Some counts ->
+      let jobs = Ba_cli.resolve_jobs jobs in
+      (match List.find_opt (fun n -> n < 1) counts with
+      | Some n ->
+          Format.eprintf "ba_net: --sweep counts must be positive (got %d)@." n;
+          exit 2
+      | None -> ());
+      run_sweep ~counts ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capacity
+        ~window ~rto ~modulus ~adaptive ~seed ~jobs
+  | None ->
   let specs =
     List.concat_map
       (fun (e, count) ->
@@ -201,6 +257,17 @@ let adaptive =
 
 let seed = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~doc:"Random seed.")
 
+let sweep =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "sweep" ] ~docv:"N1,N2,..."
+        ~doc:
+          "Scaling sweep: instead of one fabric, run one cell per (connection count, \
+           protocol in the mix) and print a summary row each (aggregate goodput, Jain's \
+           index, queue drops). Cells are independent simulations, so $(b,--jobs) runs \
+           them in parallel with byte-identical output.")
+
 let cmd =
   let doc = "simulate N window-protocol connections over a shared bottleneck" in
   let man =
@@ -216,16 +283,16 @@ let cmd =
     ]
   in
   let wrap list_protocols connections mix messages payload_size loss ack_loss base_delay
-      jitter capacity no_capacity window rto modulus adaptive seed =
+      jitter capacity no_capacity window rto modulus adaptive seed sweep jobs =
     let capacity = if no_capacity then None else capacity in
     run list_protocols connections mix messages payload_size loss ack_loss base_delay jitter
-      capacity window rto modulus adaptive seed
+      capacity window rto modulus adaptive seed sweep jobs
   in
   Cmd.v
     (Cmd.info "ba_net" ~doc ~man)
     Term.(
       const wrap $ list_protocols $ connections $ mix $ messages $ payload_size $ loss
       $ ack_loss $ base_delay $ jitter $ capacity $ no_capacity $ window $ rto $ modulus
-      $ adaptive $ seed)
+      $ adaptive $ seed $ sweep $ Ba_cli.jobs)
 
 let () = exit (Cmd.eval' cmd)

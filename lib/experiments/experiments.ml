@@ -10,9 +10,28 @@ module Harness = Ba_proto.Harness
 module Config = Ba_proto.Proto_config
 module Dist = Ba_channel.Dist
 module Explorer = Ba_verify.Explorer
+module Pool = Ba_parallel.Pool
 
 let fmt = Ba_util.Table.fmt_float
 let pct x = Printf.sprintf "%.0f%%" (100. *. x)
+
+(* Every experiment below is a grid of independent simulations (each
+   builds its own engine from its own seed), so each table farms its
+   cells to a domain pool. Pool.map collects in input order, making the
+   rendered table identical at any [jobs]; [jobs = 1] (the default) runs
+   inline with no domains spawned. *)
+let pmap ~jobs f cells = Pool.map ~jobs f cells
+
+(* Regroup a flattened row-major cell list back into rows of [n]. *)
+let chunk n xs =
+  let rows, last =
+    List.fold_left
+      (fun (rows, cur) x ->
+        let cur = x :: cur in
+        if List.length cur = n then (List.rev cur :: rows, []) else (rows, cur))
+      ([], []) xs
+  in
+  List.rev (match last with [] -> rows | _ -> List.rev last :: rows)
 
 (* Averaged harness runs over a seed list. *)
 type avg = {
@@ -25,9 +44,11 @@ type avg = {
   all_correct : bool;
 }
 
-let average ?(payload_size = 32) ~seeds ~messages ~config ~loss ~delay proto =
+let average ?(payload_size = 32) ?(jobs = 1) ~seeds ~messages ~config ~loss ~delay proto =
+  (* The multi-seed replicate loop: one engine per seed, so replicates
+     parallelise like any other grid. *)
   let runs =
-    List.map
+    pmap ~jobs
       (fun seed ->
         Harness.run proto ~seed ~messages ~payload_size ~config ~data_loss:loss ~ack_loss:loss
           ~data_delay:delay ~ack_delay:delay ())
@@ -108,7 +129,7 @@ let t1_intro_scenario () =
 (* ------------------------------------------------------------------ *)
 (* T2: exhaustive verification of the specs. *)
 
-let t2_verification ~quick =
+let t2_verification ?(jobs = 1) ~quick () =
   let lim_small = if quick then 3 else 4 in
   let entries =
     [
@@ -130,7 +151,7 @@ let t2_verification ~quick =
     else entries @ [ ("II  (w=3)", Ba_model.Ba_spec.default ~w:3 ~limit:5, true) ]
   in
   let rows =
-    List.map
+    pmap ~jobs
       (fun (name, spec, expect_ok) ->
         let r = Explorer.run_spec spec in
         let invariant =
@@ -173,7 +194,7 @@ let t2_verification ~quick =
 (* ------------------------------------------------------------------ *)
 (* F1: goodput vs loss (near-FIFO links for a fair classic comparison). *)
 
-let f1_goodput_vs_loss ~quick =
+let f1_goodput_vs_loss ?(jobs = 1) ~quick () =
   let messages = if quick then 400 else 2000 in
   let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
   let delay = Dist.Constant 50 in
@@ -188,19 +209,14 @@ let f1_goodput_vs_loss ~quick =
       ("selective-repeat", Ba_baselines.Selective_repeat.protocol, ba_config);
     ]
   in
-  let rows =
-    List.map
-      (fun loss ->
-        let cells =
-          List.map
-            (fun (_, proto, config) ->
-              let a = average ~seeds ~messages ~config ~loss ~delay proto in
-              fmt a.goodput ^ if a.all_correct then "" else "!")
-            protos
-        in
-        pct loss :: cells)
-      losses
+  let cells =
+    pmap ~jobs
+      (fun (loss, (_, proto, config)) ->
+        let a = average ~seeds ~messages ~config ~loss ~delay proto in
+        fmt a.goodput ^ if a.all_correct then "" else "!")
+      (List.concat_map (fun loss -> List.map (fun p -> (loss, p)) protos) losses)
   in
+  let rows = List.map2 (fun loss cells -> pct loss :: cells) losses (chunk (List.length protos) cells) in
   {
     id = "F1";
     title = "Goodput (messages per 1000 ticks) vs loss rate — w=16, near-FIFO links";
@@ -220,14 +236,14 @@ let f1_goodput_vs_loss ~quick =
 (* ------------------------------------------------------------------ *)
 (* F2: goodput vs window size. *)
 
-let f2_goodput_vs_window ~quick =
+let f2_goodput_vs_window ?(jobs = 1) ~quick () =
   let messages = if quick then 400 else 2000 in
   let seeds = if quick then [ 1 ] else [ 1; 2 ] in
   let delay = Dist.Constant 50 in
   let loss = 0.02 in
   let windows = [ 1; 2; 4; 8; 16; 32; 64 ] in
   let rows =
-    List.map
+    pmap ~jobs
       (fun w ->
         let ba_config = Config.make ~window:w ~rto:300 ~wire_modulus:(Some (2 * w)) ~max_transit:50 () in
         let gbn_config = Config.make ~window:w ~rto:300 () in
@@ -254,7 +270,7 @@ let f2_goodput_vs_window ~quick =
 (* ------------------------------------------------------------------ *)
 (* F3: recovery time after a lost block acknowledgment. *)
 
-let f3_recovery_time ~quick =
+let f3_recovery_time ?(jobs = 1) ~quick () =
   let blocks = if quick then [ 1; 4; 8 ] else [ 1; 2; 4; 8; 16 ] in
   let rto = 300 in
   let run_with_kill proto b =
@@ -281,7 +297,7 @@ let f3_recovery_time ~quick =
     r.Harness.ticks
   in
   let rows =
-    List.map
+    pmap ~jobs
       (fun b ->
         let simple = run_with_kill Blockack.Protocols.simple b in
         let multi = run_with_kill Blockack.Protocols.multi b in
@@ -313,13 +329,13 @@ let f3_recovery_time ~quick =
 (* ------------------------------------------------------------------ *)
 (* F4: reorder tolerance — goodput vs delay jitter. *)
 
-let f4_reorder_tolerance ~quick =
+let f4_reorder_tolerance ?(jobs = 1) ~quick () =
   let messages = if quick then 300 else 1500 in
   let seeds = if quick then [ 1 ] else [ 1; 2 ] in
   let loss = 0.01 in
   let jitters = [ 0; 25; 50; 100; 200 ] in
   let rows =
-    List.map
+    pmap ~jobs
       (fun j ->
         let delay = if j = 0 then Dist.Constant 50 else Dist.Uniform (50, 50 + j) in
         (* rto must stay sound as max delay grows. *)
@@ -368,7 +384,7 @@ let f4_reorder_tolerance ~quick =
 (* ------------------------------------------------------------------ *)
 (* T3: acknowledgment economy. *)
 
-let t3_ack_overhead ~quick =
+let t3_ack_overhead ?(jobs = 1) ~quick () =
   let messages = if quick then 500 else 2000 in
   let seeds = if quick then [ 1 ] else [ 1; 2 ] in
   let delay = Dist.Constant 50 in
@@ -386,20 +402,17 @@ let t3_ack_overhead ~quick =
     ]
   in
   let rows =
-    List.concat_map
-      (fun loss ->
-        List.map
-          (fun (name, proto, config) ->
-            let a = average ~seeds ~messages ~config ~loss ~delay proto in
-            [
-              pct loss;
-              name;
-              fmt a.acks_per_msg;
-              fmt ~decimals:4 a.ack_bytes_per_byte;
-              fmt a.retx_per_msg;
-            ])
-          protos)
-      [ 0.0; 0.05 ]
+    pmap ~jobs
+      (fun (loss, (name, proto, config)) ->
+        let a = average ~seeds ~messages ~config ~loss ~delay proto in
+        [
+          pct loss;
+          name;
+          fmt a.acks_per_msg;
+          fmt ~decimals:4 a.ack_bytes_per_byte;
+          fmt a.retx_per_msg;
+        ])
+      (List.concat_map (fun loss -> List.map (fun p -> (loss, p)) protos) [ 0.0; 0.05 ])
   in
   {
     id = "T3";
@@ -417,7 +430,7 @@ let t3_ack_overhead ~quick =
 (* ------------------------------------------------------------------ *)
 (* T4: the Stenning real-time constraint vs domain size. *)
 
-let t4_stenning_domain ~quick =
+let t4_stenning_domain ?(jobs = 1) ~quick () =
   let messages = if quick then 200 else 600 in
   let seeds = [ 1 ] in
   let delay = Dist.Constant 50 in
@@ -425,7 +438,7 @@ let t4_stenning_domain ~quick =
   let gap = 600 in
   let domains = [ 4; 8; 16; 32; 64 ] in
   let rows =
-    List.map
+    pmap ~jobs
       (fun n ->
         let w = n / 2 in
         let config = Config.make ~window:w ~rto:300 ~wire_modulus:(Some n) ~stenning_gap:gap () in
@@ -462,7 +475,7 @@ let t4_stenning_domain ~quick =
 (* ------------------------------------------------------------------ *)
 (* F5: the Section VI slot-reuse extension. *)
 
-let f5_slot_reuse ~quick =
+let f5_slot_reuse ?(jobs = 1) ~quick () =
   let messages = if quick then 500 else 2000 in
   let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
   let delay = Dist.Uniform (40, 60) in
@@ -471,7 +484,7 @@ let f5_slot_reuse ~quick =
   let reuse_config = Config.make ~window:8 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:60 () in
   let reuse_proto = Blockack.Protocols.reuse ~lead_factor:2 () in
   let rows =
-    List.map
+    pmap ~jobs
       (fun loss ->
         let plain =
           average ~seeds ~messages ~config:plain_config ~loss ~delay Blockack.Protocols.multi
@@ -502,7 +515,7 @@ let f5_slot_reuse ~quick =
 (* ------------------------------------------------------------------ *)
 (* F6: per-message delivery latency (head-of-line blocking made visible). *)
 
-let f6_latency ~quick =
+let f6_latency ?(jobs = 1) ~quick () =
   let messages = if quick then 500 else 2000 in
   let delay = Dist.Constant 50 in
   let ba_config = Config.make ~window:16 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:50 () in
@@ -516,27 +529,24 @@ let f6_latency ~quick =
     ]
   in
   let rows =
-    List.concat_map
-      (fun loss ->
-        List.map
-          (fun (name, proto, config) ->
-            let r =
-              Harness.run proto ~seed:17 ~messages ~config ~data_loss:loss ~ack_loss:loss
-                ~data_delay:delay ~ack_delay:delay ()
-            in
-            match r.Harness.latency with
-            | Some l ->
-                [
-                  pct loss;
-                  name;
-                  fmt ~decimals:0 l.Ba_util.Stats.p50;
-                  fmt ~decimals:0 l.Ba_util.Stats.p90;
-                  fmt ~decimals:0 l.Ba_util.Stats.p99;
-                  fmt ~decimals:0 l.Ba_util.Stats.max;
-                ]
-            | None -> [ pct loss; name; "-"; "-"; "-"; "-" ])
-          protos)
-      [ 0.0; 0.05 ]
+    pmap ~jobs
+      (fun (loss, (name, proto, config)) ->
+        let r =
+          Harness.run proto ~seed:17 ~messages ~config ~data_loss:loss ~ack_loss:loss
+            ~data_delay:delay ~ack_delay:delay ()
+        in
+        match r.Harness.latency with
+        | Some l ->
+            [
+              pct loss;
+              name;
+              fmt ~decimals:0 l.Ba_util.Stats.p50;
+              fmt ~decimals:0 l.Ba_util.Stats.p90;
+              fmt ~decimals:0 l.Ba_util.Stats.p99;
+              fmt ~decimals:0 l.Ba_util.Stats.max;
+            ]
+        | None -> [ pct loss; name; "-"; "-"; "-"; "-" ])
+      (List.concat_map (fun loss -> List.map (fun p -> (loss, p)) protos) [ 0.0; 0.05 ])
   in
   {
     id = "F6";
@@ -556,7 +566,7 @@ let f6_latency ~quick =
 (* ------------------------------------------------------------------ *)
 (* T5: piggybacked acknowledgments in a duplex session. *)
 
-let t5_piggyback ~quick =
+let t5_piggyback ?(jobs = 1) ~quick () =
   let messages = if quick then 300 else 1000 in
   let pace = 20 in
   let run ~hold ~loss =
@@ -593,9 +603,9 @@ let t5_piggyback ~quick =
     ]
   in
   let rows =
-    List.concat_map
-      (fun loss -> List.map (fun hold -> run ~hold ~loss) [ 0; 15; 25; 60 ])
-      [ 0.0; 0.05 ]
+    pmap ~jobs
+      (fun (loss, hold) -> run ~hold ~loss)
+      (List.concat_map (fun loss -> List.map (fun hold -> (loss, hold)) [ 0; 15; 25; 60 ]) [ 0.0; 0.05 ])
   in
   {
     id = "T5";
@@ -619,7 +629,7 @@ let t5_piggyback ~quick =
 (* ------------------------------------------------------------------ *)
 (* A1 (extension ablation): fixed vs adaptive retransmission timeout. *)
 
-let a1_adaptive_rto ~quick =
+let a1_adaptive_rto ?(jobs = 1) ~quick () =
   let messages = if quick then 400 else 1500 in
   let seeds = if quick then [ 1 ] else [ 1; 2; 3 ] in
   let delay = Dist.Uniform (40, 100) in
@@ -636,11 +646,13 @@ let a1_adaptive_rto ~quick =
     [ name; fmt a.goodput ^ (if a.all_correct then "" else "!"); fmt a.retx_per_msg ]
   in
   let rows =
-    List.map (fun rto -> describe (Printf.sprintf "fixed rto=%d" rto) (run_fixed rto))
-      [ 150; 300; 600; 1500 ]
-    @ List.map
-        (fun initial -> describe (Printf.sprintf "adaptive (initial %d)" initial) (run_adaptive initial))
-        [ 300; 1500 ]
+    pmap ~jobs
+      (function
+        | `Fixed rto -> describe (Printf.sprintf "fixed rto=%d" rto) (run_fixed rto)
+        | `Adaptive initial ->
+            describe (Printf.sprintf "adaptive (initial %d)" initial) (run_adaptive initial))
+      (List.map (fun rto -> `Fixed rto) [ 150; 300; 600; 1500 ]
+      @ List.map (fun initial -> `Adaptive initial) [ 300; 1500 ])
   in
   {
     id = "A1";
@@ -661,7 +673,7 @@ let a1_adaptive_rto ~quick =
 (* ------------------------------------------------------------------ *)
 (* A2 (extension ablation): variable-size windows over a bottleneck. *)
 
-let a2_dynamic_window ~quick =
+let a2_dynamic_window ?(jobs = 1) ~quick () =
   let messages = if quick then 600 else 2000 in
   let delay = Dist.Constant 50 in
   let bottleneck = (10, 10) in
@@ -681,9 +693,11 @@ let a2_dynamic_window ~quick =
     ]
   in
   let rows =
-    List.map (fun w -> describe (Printf.sprintf "fixed w=%d" w) (run ~dynamic:false w))
-      [ 4; 8; 16; 32 ]
-    @ [ describe "AIMD (max 64)" (run ~dynamic:true 64) ]
+    pmap ~jobs
+      (function
+        | `Fixed w -> describe (Printf.sprintf "fixed w=%d" w) (run ~dynamic:false w)
+        | `Aimd -> describe "AIMD (max 64)" (run ~dynamic:true 64))
+      (List.map (fun w -> `Fixed w) [ 4; 8; 16; 32 ] @ [ `Aimd ])
   in
   {
     id = "A2";
@@ -700,7 +714,7 @@ let a2_dynamic_window ~quick =
 (* ------------------------------------------------------------------ *)
 (* A3 (extension ablation): two flows share the bottleneck — fairness. *)
 
-let a3_fairness ~quick =
+let a3_fairness ?(jobs = 1) ~quick () =
   let messages = if quick then 400 else 1500 in
   (* Two independent block-ack flows share one bottleneck queue on the
      data path (acks return on private links). We observe each flow's
@@ -780,12 +794,14 @@ let a3_fairness ~quick =
     ]
   in
   let rows =
-    [
-      describe "2 x fixed w=4" (run_pair ~dynamic:false ~w:4);
-      describe "2 x fixed w=8" (run_pair ~dynamic:false ~w:8);
-      describe "2 x fixed w=32" (run_pair ~dynamic:false ~w:32);
-      describe "2 x AIMD (max 64)" (run_pair ~dynamic:true ~w:64);
-    ]
+    pmap ~jobs
+      (fun (name, dynamic, w) -> describe name (run_pair ~dynamic ~w))
+      [
+        ("2 x fixed w=4", false, 4);
+        ("2 x fixed w=8", false, 8);
+        ("2 x fixed w=32", false, 32);
+        ("2 x AIMD (max 64)", true, 64);
+      ]
   in
   {
     id = "A3";
@@ -808,7 +824,7 @@ let a3_fairness ~quick =
 
 module Chaos = Ba_verify.Chaos
 
-let c1_chaos_matrix ~quick =
+let c1_chaos_matrix ?(jobs = 1) ~quick () =
   let messages = if quick then 40 else 80 in
   let seeds = List.init (if quick then 5 else 15) (fun i -> i + 1) in
   (* The naive baselines keep their textbook configurations; the robust
@@ -825,8 +841,10 @@ let c1_chaos_matrix ~quick =
         Config.make ~window:1 ~rto:1000 ~max_transit:410 () );
     ]
   in
+  (* Each campaign already fans its (fault, seed) cells out to [jobs]
+     domains, so the protocols stay sequential here. *)
   let reports =
-    List.map (fun (_, p, config) -> Chaos.run_campaign ~messages ~config ~seeds p) protos
+    List.map (fun (_, p, config) -> Chaos.run_campaign ~messages ~config ~seeds ~jobs p) protos
   in
   let cell (c : Chaos.class_report) =
     if c.Chaos.unsafe = 0 && c.Chaos.incomplete = 0 then "ok"
@@ -876,7 +894,7 @@ let c1_chaos_matrix ~quick =
 module Fabric = Ba_proto.Fabric
 module Registry = Ba_registry.Registry
 
-let s1_scaling ~quick =
+let s1_scaling ?(jobs = 1) ~quick () =
   let counts = if quick then [ 1; 16; 64 ] else [ 1; 4; 16; 64; 256 ] in
   let messages = if quick then 10 else 30 in
   let svc, cap = (2, 128) in
@@ -893,39 +911,34 @@ let s1_scaling ~quick =
         List.nth sorted (List.length sorted / 2)
   in
   let rows =
-    List.concat_map
-      (fun n ->
-        List.map
-          (fun (e : Registry.entry) ->
-            let config = Registry.config ~window:8 ~rto e () in
-            let specs =
-              List.init n (fun _ -> Fabric.spec ~config ~messages e.Registry.protocol)
-            in
-            let r =
-              Fabric.run ~seed:11 ~data_delay:(Dist.Constant delay)
-                ~ack_delay:(Dist.Constant delay) ~data_bottleneck:(svc, cap) specs
-            in
-            let finished =
-              List.length (List.filter (fun f -> f.Harness.completed) r.Fabric.flows)
-            in
-            let p50s, p99s =
-              List.filter_map (fun f -> f.Harness.latency) r.Fabric.flows
-              |> List.map (fun l -> (l.Ba_util.Stats.p50, l.Ba_util.Stats.p99))
-              |> List.split
-            in
-            let d = r.Fabric.data_stats in
-            [
-              string_of_int n;
-              e.Registry.name;
-              Printf.sprintf "%d/%d" finished n;
-              fmt r.Fabric.aggregate_goodput;
-              fmt ~decimals:0 (median p50s);
-              fmt ~decimals:0 (List.fold_left max 0. p99s);
-              fmt ~decimals:3 r.Fabric.fairness;
-              string_of_int d.Ba_channel.Link.queue_dropped;
-            ])
-          protos)
-      counts
+    pmap ~jobs
+      (fun (n, (e : Registry.entry)) ->
+        let config = Registry.config ~window:8 ~rto e () in
+        let specs = List.init n (fun _ -> Fabric.spec ~config ~messages e.Registry.protocol) in
+        let r =
+          Fabric.run ~seed:11 ~data_delay:(Dist.Constant delay)
+            ~ack_delay:(Dist.Constant delay) ~data_bottleneck:(svc, cap) specs
+        in
+        let finished =
+          List.length (List.filter (fun f -> f.Harness.completed) r.Fabric.flows)
+        in
+        let p50s, p99s =
+          List.filter_map (fun f -> f.Harness.latency) r.Fabric.flows
+          |> List.map (fun l -> (l.Ba_util.Stats.p50, l.Ba_util.Stats.p99))
+          |> List.split
+        in
+        let d = r.Fabric.data_stats in
+        [
+          string_of_int n;
+          e.Registry.name;
+          Printf.sprintf "%d/%d" finished n;
+          fmt r.Fabric.aggregate_goodput;
+          fmt ~decimals:0 (median p50s);
+          fmt ~decimals:0 (List.fold_left max 0. p99s);
+          fmt ~decimals:3 r.Fabric.fairness;
+          string_of_int d.Ba_channel.Link.queue_dropped;
+        ])
+      (List.concat_map (fun n -> List.map (fun e -> (n, e)) protos) counts)
   in
   {
     id = "S1";
@@ -955,25 +968,29 @@ let s1_scaling ~quick =
 
 (* ------------------------------------------------------------------ *)
 
-let all ~quick =
+(* Presentation order, with a uniform closure type so the bench driver
+   can time each grid individually (and record it in BENCH_campaigns.json). *)
+let grids : (string * (quick:bool -> jobs:int -> table)) list =
   [
-    t1_intro_scenario ();
-    t2_verification ~quick;
-    f1_goodput_vs_loss ~quick;
-    f2_goodput_vs_window ~quick;
-    f3_recovery_time ~quick;
-    f4_reorder_tolerance ~quick;
-    t3_ack_overhead ~quick;
-    f6_latency ~quick;
-    t4_stenning_domain ~quick;
-    f5_slot_reuse ~quick;
-    t5_piggyback ~quick;
-    a1_adaptive_rto ~quick;
-    a2_dynamic_window ~quick;
-    a3_fairness ~quick;
-    s1_scaling ~quick;
-    c1_chaos_matrix ~quick;
+    ("T1", fun ~quick:_ ~jobs:_ -> t1_intro_scenario ());
+    ("T2", fun ~quick ~jobs -> t2_verification ~jobs ~quick ());
+    ("F1", fun ~quick ~jobs -> f1_goodput_vs_loss ~jobs ~quick ());
+    ("F2", fun ~quick ~jobs -> f2_goodput_vs_window ~jobs ~quick ());
+    ("F3", fun ~quick ~jobs -> f3_recovery_time ~jobs ~quick ());
+    ("F4", fun ~quick ~jobs -> f4_reorder_tolerance ~jobs ~quick ());
+    ("T3", fun ~quick ~jobs -> t3_ack_overhead ~jobs ~quick ());
+    ("F6", fun ~quick ~jobs -> f6_latency ~jobs ~quick ());
+    ("T4", fun ~quick ~jobs -> t4_stenning_domain ~jobs ~quick ());
+    ("F5", fun ~quick ~jobs -> f5_slot_reuse ~jobs ~quick ());
+    ("T5", fun ~quick ~jobs -> t5_piggyback ~jobs ~quick ());
+    ("A1", fun ~quick ~jobs -> a1_adaptive_rto ~jobs ~quick ());
+    ("A2", fun ~quick ~jobs -> a2_dynamic_window ~jobs ~quick ());
+    ("A3", fun ~quick ~jobs -> a3_fairness ~jobs ~quick ());
+    ("S1", fun ~quick ~jobs -> s1_scaling ~jobs ~quick ());
+    ("C1", fun ~quick ~jobs -> c1_chaos_matrix ~jobs ~quick ());
   ]
+
+let all ?(jobs = 1) ~quick () = List.map (fun (_, grid) -> grid ~quick ~jobs) grids
 
 let print_table t =
   Printf.printf "\n=== %s: %s ===\n" t.id t.title;
@@ -981,4 +998,5 @@ let print_table t =
   List.iter (fun n -> Printf.printf "  note: %s\n" n) t.notes;
   print_newline ()
 
-let run_all ~quick = List.iter print_table (all ~quick)
+let run_all ?(jobs = 1) ~quick () =
+  List.iter (fun (_, grid) -> print_table (grid ~quick ~jobs)) grids

@@ -38,47 +38,47 @@ type table = {
 }
 
 val t1_intro_scenario : unit -> table
-val t2_verification : quick:bool -> table
-val f1_goodput_vs_loss : quick:bool -> table
-val f2_goodput_vs_window : quick:bool -> table
-val f3_recovery_time : quick:bool -> table
-val f4_reorder_tolerance : quick:bool -> table
-val t3_ack_overhead : quick:bool -> table
+val t2_verification : ?jobs:int -> quick:bool -> unit -> table
+val f1_goodput_vs_loss : ?jobs:int -> quick:bool -> unit -> table
+val f2_goodput_vs_window : ?jobs:int -> quick:bool -> unit -> table
+val f3_recovery_time : ?jobs:int -> quick:bool -> unit -> table
+val f4_reorder_tolerance : ?jobs:int -> quick:bool -> unit -> table
+val t3_ack_overhead : ?jobs:int -> quick:bool -> unit -> table
 
-val f6_latency : quick:bool -> table
+val f6_latency : ?jobs:int -> quick:bool -> unit -> table
 (** Delivery-latency percentiles: head-of-line blocking under loss, per
     protocol. Derived claim (the in-order delivery requirement shared by
     all the paper's protocols makes recovery speed visible in the tail). *)
 
-val t4_stenning_domain : quick:bool -> table
+val t4_stenning_domain : ?jobs:int -> quick:bool -> unit -> table
 
-val f5_slot_reuse : quick:bool -> table
+val f5_slot_reuse : ?jobs:int -> quick:bool -> unit -> table
 
-val t5_piggyback : quick:bool -> table
+val t5_piggyback : ?jobs:int -> quick:bool -> unit -> table
 (** Derived: acknowledgment frames saved by piggybacking block acks on
     reverse-direction data in a duplex session ({!Blockack.Duplex}). *)
 
-val a1_adaptive_rto : quick:bool -> table
+val a1_adaptive_rto : ?jobs:int -> quick:bool -> unit -> table
 (** Extension ablation: fixed vs Jacobson/Karels adaptive timeout under a
     mis-estimated round trip. Not from the paper; quantifies its "accurate
     timeout mechanisms" assumption (Section VI). *)
 
-val a2_dynamic_window : quick:bool -> table
+val a2_dynamic_window : ?jobs:int -> quick:bool -> unit -> table
 (** Extension ablation: Section VI's "variable size windows" remark —
     fixed vs AIMD windows through a congestible bottleneck queue. *)
 
-val a3_fairness : quick:bool -> table
+val a3_fairness : ?jobs:int -> quick:bool -> unit -> table
 (** Extension ablation: two flows sharing the bottleneck; AIMD converges
     to an even split where oversized fixed windows fight. *)
 
-val s1_scaling : quick:bool -> table
+val s1_scaling : ?jobs:int -> quick:bool -> unit -> table
 (** Scaling the multi-connection fabric: N homogeneous flows (N in 1..256,
     a subset when [quick]) of blockack-multi, go-back-N and selective
     repeat contend for one fixed-capacity bottleneck ({!Ba_proto.Fabric}).
     Reports aggregate goodput, pooled per-flow latency percentiles,
     Jain's fairness index and shared-queue drops per (N, protocol). *)
 
-val c1_chaos_matrix : quick:bool -> table
+val c1_chaos_matrix : ?jobs:int -> quick:bool -> unit -> table
 (** Robustness matrix: block acknowledgment and the four baselines, each
     swept through every {!Ba_verify.Chaos} fault class (bursty loss,
     duplication, corruption, outages, reordering). Cells count safety
@@ -86,12 +86,22 @@ val c1_chaos_matrix : quick:bool -> table
     clean everywhere, bounded go-back-N to break under reorder, and the
     unvalidated baselines to deliver corrupted payloads. *)
 
-val all : quick:bool -> table list
+val grids : (string * (quick:bool -> jobs:int -> table)) list
+(** All experiments in presentation order as [(id, grid)] closures, so a
+    driver can time each grid individually (the bench harness records
+    per-grid wall clock in [BENCH_campaigns.json]). *)
+
+val all : ?jobs:int -> quick:bool -> unit -> table list
 (** All experiments in presentation order. *)
 
 val print_table : table -> unit
 (** Render one experiment to stdout in the EXPERIMENTS.md format. *)
 
-val run_all : quick:bool -> unit
+val run_all : ?jobs:int -> quick:bool -> unit -> unit
 (** Generate and print every experiment. [quick] shrinks message counts
-    and seed sets (useful in CI); the shapes remain the same. *)
+    and seed sets (useful in CI); the shapes remain the same.
+
+    Every experiment is a grid of independent simulations, so each table
+    farms its cells to a {!Ba_parallel.Pool} of [jobs] domains (default
+    1). Ordered collection plus one engine and one seed-derived RNG
+    stream per cell make the output byte-identical at any [jobs]. *)

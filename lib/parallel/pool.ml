@@ -1,0 +1,144 @@
+(* A fixed-size domain pool over stdlib Domain/Mutex/Condition.
+
+   Workers block on [work] until a task closure is queued (or shutdown);
+   the batch submitter also works the queue, so a pool of [jobs = n]
+   never uses more than n domains and [jobs = 1] degenerates to plain
+   sequential execution with no domain spawned at all. Determinism comes
+   from the callers, not the pool: each task closure writes its result
+   into its own input-order slot, and the batch is only read back once
+   every slot is filled, so scheduling order is unobservable. *)
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* task queued, or shutdown requested *)
+  finished : Condition.t;  (* [outstanding] reached zero *)
+  tasks : (unit -> unit) Queue.t;
+  batch : Mutex.t;  (* serialises whole batches, not individual tasks *)
+  mutable outstanding : int;  (* queued + currently-running tasks *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "BA_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let jobs t = t.jobs
+
+(* Run one queued task outside the lock; the closure owns its own
+   result slot and traps its own exceptions, so workers never die. *)
+let task_done t =
+  t.outstanding <- t.outstanding - 1;
+  if t.outstanding = 0 then Condition.broadcast t.finished
+
+let worker t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.tasks && not t.stop do
+      Condition.wait t.work t.mutex
+    done;
+    match Queue.take_opt t.tasks with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        Mutex.lock t.mutex;
+        task_done t;
+        Mutex.unlock t.mutex;
+        loop ()
+    | None ->
+        (* stop requested and the queue is drained *)
+        Mutex.unlock t.mutex
+  in
+  loop ()
+
+let create ?jobs () =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      tasks = Queue.create ();
+      batch = Mutex.create ();
+      outstanding = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  let workers = t.workers in
+  t.workers <- [];
+  List.iter Domain.join workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run t thunks =
+  let n = List.length thunks in
+  if n = 0 then []
+  else begin
+    Mutex.lock t.batch;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.batch)
+      (fun () ->
+        let slots = Array.make n None in
+        let wrap i thunk () =
+          slots.(i) <-
+            Some
+              (try Ok (thunk ())
+               with e -> Error (e, Printexc.get_raw_backtrace ()))
+        in
+        Mutex.lock t.mutex;
+        List.iteri (fun i thunk -> Queue.add (wrap i thunk) t.tasks) thunks;
+        t.outstanding <- t.outstanding + n;
+        Condition.broadcast t.work;
+        (* The submitter is a worker too: drain what it can, then wait
+           for the stragglers running on other domains. *)
+        let rec help () =
+          match Queue.take_opt t.tasks with
+          | Some task ->
+              Mutex.unlock t.mutex;
+              task ();
+              Mutex.lock t.mutex;
+              task_done t;
+              help ()
+          | None ->
+              if t.outstanding > 0 then begin
+                Condition.wait t.finished t.mutex;
+                help ()
+              end
+        in
+        help ();
+        Mutex.unlock t.mutex;
+        (* Every slot is filled exactly once; surface results in input
+           order, re-raising the first failure just as List.map would. *)
+        Array.to_list slots
+        |> List.map (function
+             | Some (Ok v) -> v
+             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | None -> assert false))
+  end
+
+let map ?pool ?jobs f tasks =
+  let thunks = List.map (fun x () -> f x) tasks in
+  match pool with
+  | Some t -> run t thunks
+  | None ->
+      (* Transient pool; [jobs = 1] spawns no domain, so a sequential
+         call costs nothing beyond the closure allocations. *)
+      with_pool ?jobs (fun t -> run t thunks)

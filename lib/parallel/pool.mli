@@ -1,0 +1,52 @@
+(** Deterministic domain pool for embarrassingly-parallel campaign grids.
+
+    Every heavy workload in this repo — chaos campaigns, fabric scaling
+    sweeps, multi-seed experiment replicates — is a grid of independent
+    [(seed, config)] simulations. Each task builds its own
+    {!Ba_sim.Engine.t} and derives every random stream from its own seed,
+    so tasks share no mutable state and can run on any domain in any
+    order. The pool exploits that: tasks are farmed to a fixed set of
+    worker domains, but results are {e collected in input order}, so
+    [map ~jobs:n f tasks] is observably identical to [List.map f tasks]
+    for every [n] — parallel output is byte-identical to [--jobs 1].
+
+    Built on stdlib [Domain]/[Mutex]/[Condition] only (no domainslib). *)
+
+type t
+(** A fixed-size pool of worker domains plus the calling domain. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains; the domain that
+    submits a batch participates as the remaining worker, so [jobs = 1]
+    spawns nothing and runs every task inline, in order. [jobs] defaults
+    to {!default_jobs}. Raises [Invalid_argument] when [jobs < 1]. *)
+
+val jobs : t -> int
+(** Parallelism the pool was created with (including the caller). *)
+
+val shutdown : t -> unit
+(** Drain queued tasks, stop the workers and join them. Idempotent.
+    A pool that is never shut down leaks its domains. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    whether [f] returns or raises. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** [run pool thunks] executes every thunk (concurrently, up to
+    {!jobs}) and returns their results in input order. If any thunk
+    raised, the whole batch still runs to completion and then the
+    exception of the {e first} raising thunk in input order is re-raised
+    with its original backtrace — the same exception [List.map] would
+    have surfaced. Batches on one pool are serialised; submitting from a
+    worker task deadlocks (don't nest [run] on the same pool). *)
+
+val map : ?pool:t -> ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f tasks] is [List.map f tasks] computed on [pool] when given,
+    otherwise on a transient pool of [jobs] (default {!default_jobs})
+    that is shut down before returning. Order and exception behaviour
+    are exactly {!run}'s. *)
+
+val default_jobs : unit -> int
+(** The [BA_JOBS] environment variable when set to a positive integer,
+    otherwise [Domain.recommended_domain_count ()]. *)

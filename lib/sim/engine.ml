@@ -72,13 +72,22 @@ let pending_events t = t.pending
 
 let queue_length t = Ba_util.Heap.length t.queue
 
-let rec next_live t =
-  match Ba_util.Heap.pop t.queue with
-  | None -> None
+(* The one corpse-skipping path: drop cancelled entries off the head of
+   the heap (keeping the [dead] counter exact) and return the live head,
+   still in the queue. [next_live] pops it; [run] peeks it to compare
+   against the horizon before committing. *)
+let rec live_head t =
+  match Ba_util.Heap.peek t.queue with
   | Some e when not e.live ->
+      ignore (Ba_util.Heap.pop t.queue);
       t.dead <- t.dead - 1;
-      next_live t
-  | Some e -> Some e
+      live_head t
+  | head -> head
+
+let next_live t =
+  match live_head t with
+  | None -> None
+  | Some _ -> Ba_util.Heap.pop t.queue
 
 let step t =
   match next_live t with
@@ -99,12 +108,8 @@ let run ?until ?max_events t =
   let rec loop () =
     if t.stopping || not (budget_ok ()) then ()
     else begin
-      match Ba_util.Heap.peek t.queue with
+      match live_head t with
       | None -> ()
-      | Some e when not e.live ->
-          ignore (Ba_util.Heap.pop t.queue);
-          t.dead <- t.dead - 1;
-          loop ()
       | Some e -> begin
           match until with
           | Some horizon when e.time > horizon -> ()

@@ -70,6 +70,7 @@ type class_report = {
   runs : int;
   unsafe : int;
   incomplete : int;
+  both : int;
   first_failure : failure option;
 }
 
@@ -110,28 +111,45 @@ let run_one ?(messages = 60) ?(config = robust_config) protocol fault ~seed =
 
 let default_seeds = List.init 50 (fun i -> i + 1)
 
-let run_campaign ?messages ?config ?(seeds = default_seeds) ?(classes = all_classes) protocol =
+let run_campaign ?messages ?config ?(seeds = default_seeds) ?(classes = all_classes) ?(jobs = 1)
+    ?pool protocol =
   let (module P : Ba_proto.Protocol.S) = protocol in
+  (* The campaign is a grid of independent (fault, seed) cells: each run
+     builds its own engine and derives every random stream from its own
+     seed, so the cells farm out to a domain pool. Pool.map returns the
+     outcomes in input order, which makes the fold below — and therefore
+     the whole report — identical at any job count. *)
+  let cells = List.concat_map (fun fault -> List.map (fun seed -> (fault, seed)) seeds) classes in
+  let outcomes =
+    Ba_parallel.Pool.map ?pool ~jobs
+      (fun (fault, seed) -> run_one ?messages ?config protocol fault ~seed)
+      cells
+  in
   let audit fault =
-    let unsafe = ref 0 and incomplete = ref 0 and first = ref None in
-    List.iter
-      (fun seed ->
-        match run_one ?messages ?config protocol fault ~seed with
+    let unsafe = ref 0 and incomplete = ref 0 and both = ref 0 and first = ref None in
+    List.iter2
+      (fun (cell_fault, _) outcome ->
+        match outcome with
+        | _ when cell_fault <> fault -> ()
         | None -> ()
         | Some f ->
-            if not (safe f.result) then incr unsafe;
-            if not f.result.Harness.completed then incr incomplete;
+            let is_unsafe = not (safe f.result) in
+            let is_incomplete = not f.result.Harness.completed in
+            if is_unsafe then incr unsafe;
+            if is_incomplete then incr incomplete;
+            if is_unsafe && is_incomplete then incr both;
             (* Seeds are swept in the caller's order; track the smallest
                failing one regardless. *)
             (match !first with
             | Some g when g.seed <= f.seed -> ()
             | Some _ | None -> first := Some f))
-      seeds;
+      cells outcomes;
     {
       fault;
       runs = List.length seeds;
       unsafe = !unsafe;
       incomplete = !incomplete;
+      both = !both;
       first_failure = !first;
     }
   in
@@ -144,9 +162,14 @@ let pp_failure ppf f =
     (class_name f.fault) Fault_plan.pp f.data_plan Fault_plan.pp f.ack_plan Harness.pp_result
     f.result
 
+(* [unsafe] and [incomplete] are counts of runs with each symptom, not a
+   partition: a run that is both unsafe and stuck appears in both. The
+   [both=] segment makes the overlap explicit whenever it is nonzero, so
+   the distinct failing-run count is unsafe + incomplete - both. *)
 let pp_class_report ppf c =
-  Format.fprintf ppf "%-12s %3d runs  unsafe=%-3d incomplete=%-3d %s" (class_name c.fault)
+  Format.fprintf ppf "%-12s %3d runs  unsafe=%-3d incomplete=%-3d %s%s" (class_name c.fault)
     c.runs c.unsafe c.incomplete
+    (if c.both > 0 then Printf.sprintf "both=%-3d " c.both else "")
     (if c.unsafe = 0 && c.incomplete = 0 then "ok" else "FAIL");
   match c.first_failure with
   | None -> ()

@@ -45,6 +45,10 @@ type class_report = {
   runs : int;
   unsafe : int;  (** runs that violated safety *)
   incomplete : int;  (** runs that missed the recovery deadline *)
+  both : int;
+      (** runs counted in {e both} [unsafe] and [incomplete]: the two
+          tallies are symptom counts, not a partition, so the number of
+          distinct failing runs is [unsafe + incomplete - both]. *)
   first_failure : failure option;  (** minimal failing seed, if any *)
 }
 
@@ -69,11 +73,19 @@ val run_campaign :
   ?config:Ba_proto.Proto_config.t ->
   ?seeds:int list ->
   ?classes:fault_class list ->
+  ?jobs:int ->
+  ?pool:Ba_parallel.Pool.t ->
   Ba_proto.Protocol.t ->
   report
 (** Sweep [seeds] (default [1..50]) across [classes] (default
     {!all_classes}) with [messages] payloads per run (default 60). The
-    default config is {!robust_config}. *)
+    default config is {!robust_config}.
+
+    The (fault, seed) cells are independent simulations, so they run on
+    a {!Ba_parallel.Pool} of [jobs] domains (default 1, i.e.
+    sequential; [pool] reuses a caller-owned pool instead). Results are
+    collected in input order, so the report — including every counter
+    and the minimal failing seed — is identical at any job count. *)
 
 val clean : report -> bool
 (** No unsafe and no incomplete run anywhere in the report. *)

@@ -63,3 +63,30 @@ protocols are rejected with the robust set:
   ba_chaos: "gbn" is not in the audited robust set (expected one of: blockack-multi, selective-repeat)
   [2]
 
+
+
+Campaign cells (seed x fault class) are independent simulations, so
+--jobs farms them to worker domains. Reports are assembled in seed
+order either way: the parallel run is byte-identical to the
+sequential one, replay keys included:
+
+  $ ../../bin/ba_chaos.exe --seeds 6 --messages 30 --jobs 1 > jobs1.out
+  $ ../../bin/ba_chaos.exe --seeds 6 --messages 30 --jobs 4 > jobs4.out
+  $ cmp jobs1.out jobs4.out && echo identical
+  identical
+
+--jobs rejects non-positive values, on the flag and the BA_JOBS default:
+
+  $ ../../bin/ba_chaos.exe --jobs 0
+  ba_chaos: option '--jobs': jobs must be a positive integer (got "0")
+  Usage: ba_chaos [OPTION]…
+  Try 'ba_chaos --help' for more information.
+  [124]
+
+  $ BA_JOBS=-2 ../../bin/ba_chaos.exe --seeds 1
+  ba_chaos: environment variable 'BA_JOBS': jobs must be a positive integer
+            (got "-2")
+  Usage: ba_chaos [OPTION]…
+  Try 'ba_chaos --help' for more information.
+  [124]
+

@@ -49,3 +49,25 @@ name fails with the registry's canonical error:
   selective-repeat   per-message-ack selective repeat (robust baseline) (alias: sr)
   stenning           Stenning timer-quarantined slot reuse (introduction's contrast)
   alternating-bit    alternating-bit stop-and-wait (window 1) (alias: abp)
+
+
+--sweep turns one invocation into an S1-style scaling grid: one cell
+per (connection count, protocol in the mix), each an independent
+fabric run. Cells parallelise with --jobs and the table is
+byte-identical at any job count:
+
+  $ ../../bin/ba_net.exe --sweep 1,2,4 --messages 10 --mix blockack-multi:1,go-back-n:1 --jobs 1 > sweep1.out
+  $ ../../bin/ba_net.exe --sweep 1,2,4 --messages 10 --mix blockack-multi:1,go-back-n:1 --jobs 4 > sweep4.out
+  $ cmp sweep1.out sweep4.out && cat sweep4.out
+  conns  protocol        completed  goodput   jain  qdrops  ticks
+  -----  --------------  ---------  -------  -----  ------  -----
+      1  blockack-multi  yes         48.544  1.000       0    206
+      1  go-back-n       yes         48.544  1.000       0    206
+      2  blockack-multi  yes         90.090  0.999       0    222
+      2  go-back-n       yes         90.090  0.999       0    222
+      4  blockack-multi  yes        157.480  0.994       0    254
+      4  go-back-n       yes        157.480  0.994       0    254
+
+  $ ../../bin/ba_net.exe --sweep 0,2
+  ba_net: --sweep counts must be positive (got 0)
+  [2]

@@ -71,6 +71,43 @@ let test_failure_replays () =
           check Alcotest.int "same tick count" f.Chaos.result.Ba_proto.Harness.ticks
             g.Chaos.result.Ba_proto.Harness.ticks)
 
+let test_both_count_semantics () =
+  (* [unsafe] and [incomplete] count symptoms, not runs: a run showing
+     both increments both counters AND the [both] column, so the
+     distinct failing-run count is unsafe + incomplete - both. Pin that
+     against an independent recount from run_one. *)
+  let r =
+    Chaos.run_campaign ~messages ~config:Chaos.gbn_config ~seeds ~classes:[ Chaos.Reorder ]
+      Ba_baselines.Go_back_n.protocol
+  in
+  let c = List.hd r.Chaos.classes in
+  let expect_unsafe = ref 0 and expect_incomplete = ref 0 and expect_both = ref 0 in
+  List.iter
+    (fun seed ->
+      match
+        Chaos.run_one ~messages ~config:Chaos.gbn_config Ba_baselines.Go_back_n.protocol
+          Chaos.Reorder ~seed
+      with
+      | None -> ()
+      | Some f ->
+          let u = not (Chaos.safe f.Chaos.result) in
+          let i = not f.Chaos.result.Ba_proto.Harness.completed in
+          if u then incr expect_unsafe;
+          if i then incr expect_incomplete;
+          if u && i then incr expect_both)
+    seeds;
+  check Alcotest.int "unsafe matches recount" !expect_unsafe c.Chaos.unsafe;
+  check Alcotest.int "incomplete matches recount" !expect_incomplete c.Chaos.incomplete;
+  check Alcotest.int "both matches recount" !expect_both c.Chaos.both;
+  check Alcotest.bool "both <= unsafe" true (c.Chaos.both <= c.Chaos.unsafe);
+  check Alcotest.bool "both <= incomplete" true (c.Chaos.both <= c.Chaos.incomplete);
+  check Alcotest.bool "distinct failures fit in runs" true
+    (c.Chaos.unsafe + c.Chaos.incomplete - c.Chaos.both <= c.Chaos.runs);
+  (* The campaign's headline claim depends on the distinct count being
+     meaningful: go-back-N must actually fail under reorder here. *)
+  check Alcotest.bool "some failure observed" true
+    (c.Chaos.unsafe + c.Chaos.incomplete - c.Chaos.both > 0)
+
 let test_outage_exercises_backoff () =
   (* During the dark window the adaptive sender must slow down: the run
      completes, and with scheduled outage drops actually recorded. *)
@@ -100,6 +137,7 @@ let () =
           Alcotest.test_case "go-back-N breaks under reorder" `Quick test_gbn_breaks_under_reorder;
           Alcotest.test_case "go-back-N delivers corruption" `Quick test_gbn_corruption_delivered;
           Alcotest.test_case "failures replay exactly" `Quick test_failure_replays;
+          Alcotest.test_case "both-count semantics" `Quick test_both_count_semantics;
           Alcotest.test_case "outage exercises backoff" `Quick test_outage_exercises_backoff;
         ] );
     ]

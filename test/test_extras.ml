@@ -449,7 +449,7 @@ let test_tables_well_formed () =
       List.iter
         (fun row -> check Alcotest.int (t.E.id ^ " row arity") arity (List.length row))
         t.E.rows)
-    (E.all ~quick:true)
+    (E.all ~quick:true ())
 
 let contains ~needle hay =
   let nl = String.length needle and hl = String.length hay in
@@ -465,13 +465,13 @@ let test_t1_shape () =
   | _ -> Alcotest.fail "T1 must have exactly two rows"
 
 let test_t2_shape () =
-  let t = E.t2_verification ~quick:true in
+  let t = E.t2_verification ~quick:true () in
   List.iter
     (fun row -> check Alcotest.string "every row matches the paper" "as proven" (List.nth row 5))
     t.E.rows
 
 let test_f3_shape () =
-  let t = E.f3_recovery_time ~quick:true in
+  let t = E.f3_recovery_time ~quick:true () in
   (* Simple recovery time grows with b; multi stays flat. *)
   let nth_int row i = int_of_string (List.nth row i) in
   let simples = List.map (fun r -> nth_int r 1) t.E.rows in
@@ -481,7 +481,7 @@ let test_f3_shape () =
   check Alcotest.bool "multi flat" true (mmax - mmin < 200)
 
 let test_f5_shape () =
-  let t = E.f5_slot_reuse ~quick:true in
+  let t = E.f5_slot_reuse ~quick:true () in
   (* At the highest loss the reuse gain must be positive. *)
   let last = List.nth t.E.rows (row_count t - 1) in
   let gain = List.nth last 3 in

@@ -1,0 +1,110 @@
+(* The deterministic domain pool (also wired to the `parallel-smoke`
+   alias): ordered collection, exception propagation, and the
+   end-to-end guarantee the campaign runners advertise — a chaos
+   campaign or scaling sweep is structurally identical at --jobs 1 and
+   --jobs 4, even on a single-core host. *)
+
+let check = Alcotest.check
+
+module Pool = Ba_parallel.Pool
+module Chaos = Ba_verify.Chaos
+module E = Ba_experiments.Experiments
+
+let test_map_matches_list_map () =
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) - (3 * x) in
+  check
+    Alcotest.(list int)
+    "jobs=4 = List.map" (List.map f xs)
+    (Pool.map ~jobs:4 f xs);
+  check
+    Alcotest.(list int)
+    "jobs=1 = List.map" (List.map f xs)
+    (Pool.map ~jobs:1 f xs)
+
+let test_map_preserves_order () =
+  (* Make late-submitted tasks finish first by giving early ones more
+     work: ordered collection must not depend on completion order. *)
+  let xs = List.init 64 Fun.id in
+  let f x =
+    let spin = (64 - x) * 2000 in
+    let acc = ref 0 in
+    for i = 1 to spin do
+      acc := (!acc + i) land 0xffff
+    done;
+    ignore (Sys.opaque_identity !acc);
+    x
+  in
+  check Alcotest.(list int) "input order" xs (Pool.map ~jobs:4 f xs)
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let xs = List.init 20 Fun.id in
+  let run jobs =
+    match Pool.map ~jobs (fun x -> if x mod 7 = 3 then raise (Boom x) else x) xs with
+    | _ -> Alcotest.fail "expected Boom to propagate"
+    | exception Boom x -> x
+  in
+  (* First failure in input order (3, not 10 or 17), at any job count. *)
+  check Alcotest.int "jobs=1 first failure" 3 (run 1);
+  check Alcotest.int "jobs=4 first failure" 3 (run 4)
+
+let test_pool_reuse_across_batches () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check Alcotest.int "pool jobs" 3 (Pool.jobs pool);
+      let a = Pool.run pool (List.init 10 (fun i () -> i * 2)) in
+      let b = Pool.map ~pool string_of_int (List.init 5 Fun.id) in
+      check Alcotest.(list int) "first batch" [ 0; 2; 4; 6; 8; 10; 12; 14; 16; 18 ] a;
+      check Alcotest.(list string) "second batch" [ "0"; "1"; "2"; "3"; "4" ] b)
+
+let test_invalid_jobs_rejected () =
+  List.iter
+    (fun jobs ->
+      match Pool.create ~jobs () with
+      | exception Invalid_argument _ -> ()
+      | pool ->
+          Pool.shutdown pool;
+          Alcotest.failf "jobs=%d accepted" jobs)
+    [ 0; -1 ]
+
+let test_chaos_campaign_jobs_invariant () =
+  let seeds = List.init 6 (fun i -> i + 1) in
+  let run jobs =
+    Chaos.run_campaign ~messages:20 ~seeds ~jobs ~config:Chaos.gbn_config
+      Ba_baselines.Go_back_n.protocol
+  in
+  (* Reports are plain data, so structural equality covers every count,
+     every class and the replayable first_failure cells. *)
+  check Alcotest.bool "campaign identical at jobs 1 vs 4" true (run 1 = run 4)
+
+let test_s1_sweep_jobs_invariant () =
+  let a = E.s1_scaling ~jobs:1 ~quick:true () in
+  let b = E.s1_scaling ~jobs:4 ~quick:true () in
+  check Alcotest.(list (list string)) "S1 rows identical at jobs 1 vs 4" a.E.rows b.E.rows;
+  check Alcotest.(list string) "S1 headers identical" a.E.headers b.E.headers
+
+let test_t2_grid_jobs_invariant () =
+  let a = E.t2_verification ~jobs:1 ~quick:true () in
+  let b = E.t2_verification ~jobs:4 ~quick:true () in
+  check Alcotest.(list (list string)) "T2 rows identical at jobs 1 vs 4" a.E.rows b.E.rows
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches List.map" `Quick test_map_matches_list_map;
+          Alcotest.test_case "order preserved under skew" `Quick test_map_preserves_order;
+          Alcotest.test_case "exceptions propagate in order" `Quick test_exception_propagates;
+          Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse_across_batches;
+          Alcotest.test_case "invalid jobs rejected" `Quick test_invalid_jobs_rejected;
+        ] );
+      ( "campaigns",
+        [
+          Alcotest.test_case "chaos campaign jobs-invariant" `Quick
+            test_chaos_campaign_jobs_invariant;
+          Alcotest.test_case "S1 sweep jobs-invariant" `Quick test_s1_sweep_jobs_invariant;
+          Alcotest.test_case "T2 grid jobs-invariant" `Quick test_t2_grid_jobs_invariant;
+        ] );
+    ]

@@ -178,6 +178,47 @@ let test_engine_compaction_keeps_order () =
   Engine.run e;
   check (Alcotest.list Alcotest.int) "FIFO preserved across rebuild" keepers (List.rev !fired)
 
+let test_engine_run_skips_cancelled_heads () =
+  (* run and step share one corpse-skipping path (live_head); after a
+     partial run that discards cancelled heads, the O(1) pending counter
+     and the physical heap length must agree again. *)
+  let e = Engine.create () in
+  let fired = ref [] in
+  let note i () = fired := i :: !fired in
+  let h1 = Engine.schedule e ~delay:1 (note 1) in
+  let h2 = Engine.schedule e ~delay:2 (note 2) in
+  let _h3 = Engine.schedule e ~delay:3 (note 3) in
+  let _h4 = Engine.schedule e ~delay:4 (note 4) in
+  Engine.cancel h1;
+  Engine.cancel h2;
+  check Alcotest.int "pending after cancel" 2 (Engine.pending_events e);
+  check Alcotest.int "corpses still queued" 4 (Engine.queue_length e);
+  (* Stops before tick 4: the run must pop both corpses to reach the
+     tick-3 survivor, then leave exactly the tick-4 event queued. *)
+  Engine.run ~until:3 e;
+  check Alcotest.(list int) "only survivor fired" [ 3 ] !fired;
+  check Alcotest.int "pending after partial run" 1 (Engine.pending_events e);
+  check Alcotest.int "queue matches pending (corpses gone)" 1 (Engine.queue_length e);
+  Engine.run e;
+  check Alcotest.(list int) "remaining survivor fired" [ 4; 3 ] !fired;
+  check Alcotest.int "drained pending" 0 (Engine.pending_events e);
+  check Alcotest.int "drained queue" 0 (Engine.queue_length e)
+
+let test_engine_step_skips_cancelled_heads () =
+  let e = Engine.create () in
+  let fired = ref 0 in
+  let a = Engine.schedule e ~delay:1 ignore in
+  let b = Engine.schedule e ~delay:2 ignore in
+  let _c = Engine.schedule e ~delay:3 (fun () -> incr fired) in
+  Engine.cancel a;
+  Engine.cancel b;
+  check Alcotest.bool "step fires past corpses" true (Engine.step e);
+  check Alcotest.int "survivor fired" 1 !fired;
+  check Alcotest.int "clock at survivor" 3 (Engine.now e);
+  check Alcotest.int "queue drained" 0 (Engine.queue_length e);
+  check Alcotest.int "pending drained" 0 (Engine.pending_events e);
+  check Alcotest.bool "no more events" false (Engine.step e)
+
 let test_engine_determinism () =
   let trace seed =
     let e = Engine.create ~seed () in
@@ -289,6 +330,10 @@ let () =
           Alcotest.test_case "pending counter incremental" `Quick test_engine_pending_incremental;
           Alcotest.test_case "dead-event compaction" `Quick test_engine_compaction;
           Alcotest.test_case "compaction keeps FIFO" `Quick test_engine_compaction_keeps_order;
+          Alcotest.test_case "run skips cancelled heads" `Quick
+            test_engine_run_skips_cancelled_heads;
+          Alcotest.test_case "step skips cancelled heads" `Quick
+            test_engine_step_skips_cancelled_heads;
           Alcotest.test_case "determinism" `Quick test_engine_determinism;
         ] );
       ( "timer",
