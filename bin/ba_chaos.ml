@@ -1,17 +1,19 @@
-(* ba_chaos: adversarial-channel campaign runner.
+(* ba_chaos: adversarial campaign runner.
 
    Sweeps seeds x fault classes (bursty loss, duplication, corruption,
-   outages, reordering) through the experiment harness and checks that
-   the robust protocols — block acknowledgment and selective repeat,
-   both with the paper's 2w wire modulus — stay safe (no duplicate,
-   misordered or corrupted delivery) and recover (complete once faults
-   quiesce). Then, unless --no-demo, demonstrates that textbook bounded
-   go-back-N (modulus w+1) does NOT survive the reorder adversary.
+   outages, reordering, endpoint crash-restart) through the experiment
+   harness and checks that the robust protocols — block acknowledgment
+   and selective repeat, both with the paper's 2w wire modulus — stay
+   safe (no duplicate, misordered or corrupted delivery) and recover
+   (complete once faults quiesce). Then, unless --no-demo, demonstrates
+   that textbook bounded go-back-N (modulus w+1) does NOT survive the
+   reorder adversary.
 
    Examples:
      ba_chaos                        # 50 seeds, all classes, both checks
      ba_chaos --seeds 10 --messages 40 --classes corruption,outage
-     ba_chaos --protocol blockack --no-demo *)
+     ba_chaos --protocol blockack --no-demo
+     ba_chaos --replay "seed=7 fault=crash"   # re-run one failing cell *)
 
 open Cmdliner
 module Chaos = Ba_verify.Chaos
@@ -31,7 +33,53 @@ let parse_classes names =
           exit 2)
     names
 
-let run seeds messages class_names protocol_filter no_demo jobs =
+(* --replay "seed=N fault=CLASS": re-run one campaign cell from the key
+   printed in a failure report. The fault schedule is a pure function of
+   (seed, class), so this reproduces the exact run — plans and all. *)
+let replay key messages protocol_filter =
+  let seed, fault_name =
+    try Scanf.sscanf key " seed=%d fault=%s%!" (fun s f -> (s, f))
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      Format.eprintf "ba_chaos: --replay expects \"seed=N fault=CLASS\", got %S@." key;
+      exit 2
+  in
+  let fault =
+    match Chaos.class_of_name fault_name with
+    | Some f -> f
+    | None ->
+        Format.eprintf "ba_chaos: unknown fault class %S@." fault_name;
+        exit 2
+  in
+  let entry =
+    match protocol_filter with
+    | None -> (
+        match Registry.find "blockack" with Some e -> e | None -> assert false)
+    | Some name -> (
+        match Registry.parse name with
+        | Ok e -> e
+        | Error msg ->
+            Format.eprintf "ba_chaos: %s@." msg;
+            exit 2)
+  in
+  if fault = Chaos.Crash && not (Registry.crash_tolerant entry) then begin
+    Format.eprintf "ba_chaos: %s does not implement the crash-restart lifecycle@."
+      entry.Registry.name;
+    exit 2
+  end;
+  let config = if entry.Registry.robust then Chaos.robust_config else Chaos.gbn_config in
+  match Chaos.run_one ~messages ~config entry.Registry.protocol fault ~seed with
+  | Some f ->
+      Format.printf "@[<v>replayed failure:@,%a@]@." Chaos.pp_failure f;
+      1
+  | None ->
+      Format.printf "replay: seed=%d fault=%s protocol=%s — clean@." seed
+        (Chaos.class_name fault) entry.Registry.name;
+      0
+
+let run seeds messages class_names protocol_filter no_demo jobs replay_key =
+  match replay_key with
+  | Some key -> replay key messages protocol_filter
+  | None ->
   let jobs = Ba_cli.resolve_jobs jobs in
   let seeds = List.init seeds (fun i -> i + 1) in
   let classes =
@@ -99,9 +147,18 @@ let messages =
 let classes =
   let doc =
     "Comma-separated fault classes to run (default: all of bursty-loss, duplication, \
-     corruption, outage, reorder)."
+     corruption, outage, reorder, crash)."
   in
   Arg.(value & opt (list string) [] & info [ "classes" ] ~doc)
+
+let replay_key =
+  let doc =
+    "Re-run one campaign cell from a failure's replay key, e.g. \
+     $(b,--replay) \"seed=7 fault=crash\". The fault schedule is derived from the seed, so \
+     the run is reproduced exactly; combine with $(b,--protocol) to pick the protocol \
+     (default blockack). Exit status 1 when the replayed run fails again."
+  in
+  Arg.(value & opt (some string) None & info [ "replay" ] ~doc)
 
 let protocol =
   Arg.(value & opt (some string) None
@@ -131,6 +188,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "ba_chaos" ~doc ~man)
-    Term.(const run $ seeds $ messages $ classes $ protocol $ no_demo $ Ba_cli.jobs)
+    Term.(const run $ seeds $ messages $ classes $ protocol $ no_demo $ Ba_cli.jobs $ replay_key)
 
 let () = exit (Cmd.eval' cmd)

@@ -4,20 +4,35 @@
    Examples:
      ba_check --spec section2 -w 2 --limit 4
      ba_check --spec section5 -w 2 -n 3 --limit 6     # finds the n<2w bug
-     ba_check --spec gbn -w 2 -n 3 --limit 6          # finds the intro scenario *)
+     ba_check --spec gbn -w 2 -n 3 --limit 6          # finds the intro scenario
+     ba_check --spec crash-naive -w 1 --limit 2       # finds duplicate delivery
+     ba_check --spec crash-epochs -w 1 --limit 2      # proves the handshake safe *)
 
 open Cmdliner
 
 let specs =
-  [ ("section2", `S2); ("section4", `S4); ("section5", `S5); ("gbn", `Gbn) ]
+  [
+    ("section2", `S2);
+    ("section4", `S4);
+    ("section5", `S5);
+    ("gbn", `Gbn);
+    ("crash-naive", `Crash_naive);
+    ("crash-epochs", `Crash_epochs);
+  ]
 
-let run spec w n limit max_states no_liveness =
+let victims = [ ("sender", `Sender); ("receiver", `Receiver); ("both", `Both) ]
+
+let run spec w n limit max_states no_liveness crashes victims =
   let spec_module =
     match spec with
     | `S2 -> Ba_model.Ba_spec.default ~w ~limit
     | `S4 -> Ba_model.Ba_spec_timeout.default ~w ~limit
     | `S5 -> Ba_model.Ba_spec_finite.default ~w ?n ~limit ()
     | `Gbn -> Ba_model.Gbn_bounded_spec.default ~w ?n ~limit ()
+    | `Crash_naive ->
+        Ba_model.Ba_spec_crash.default ~w ?n ~limit ~epochs:false ~max_crashes:crashes ~victims ()
+    | `Crash_epochs ->
+        Ba_model.Ba_spec_crash.default ~w ?n ~limit ~epochs:true ~max_crashes:crashes ~victims ()
   in
   let result =
     Ba_verify.Explorer.run_spec ~max_states ~check_liveness:(not no_liveness) spec_module
@@ -29,7 +44,9 @@ let spec =
   let doc =
     "Which spec to check: section2 (block ack, simple timeout), section4 (per-message \
      timeouts), section5 (finite wire sequence numbers; see --modulus), gbn (bounded \
-     go-back-N, the intro's strawman)."
+     go-back-N, the intro's strawman), crash-naive (endpoint crash-restart without \
+     incarnation epochs: exhibits duplicate delivery), crash-epochs (crash-restart with \
+     the epoch resync handshake: safe and live)."
   in
   Arg.(value & opt (enum specs) `S2 & info [ "spec" ] ~doc)
 
@@ -49,6 +66,21 @@ let max_states =
 let no_liveness =
   Arg.(value & flag & info [ "no-liveness" ] ~doc:"Skip the loss-free progress check.")
 
+let crashes =
+  Arg.(
+    value & opt int 1
+    & info [ "crashes" ] ~doc:"Crash-restart budget for the crash-* specs (default 1).")
+
+let victims_arg =
+  Arg.(
+    value
+    & opt (enum victims) `Both
+    & info [ "victims" ]
+        ~doc:
+          "Which endpoint the crash-* specs may crash: sender, receiver, or both. With \
+           crash-naive, 'receiver' exhibits duplicate delivery and 'sender' phantom \
+           delivery.")
+
 let cmd =
   let doc = "model-check the block-acknowledgment protocol specs" in
   let man =
@@ -59,11 +91,15 @@ let cmd =
          system invariant (assertions 6-8) at every reachable state, reports deadlocks, \
          and checks that every state can still complete the transfer using protocol \
          actions only (progress during loss-free periods, Section III-C). Prints the \
-         shortest counterexample when an invariant fails. Exit status 1 on violation.";
+         shortest counterexample when an invariant fails. The crash-* specs add an \
+         environment that crash-restarts endpoints, wiping volatile state: crash-naive \
+         asserts at-most-once delivery and fails; crash-epochs carries incarnation \
+         epochs plus the REQ/POS/FIN resync handshake and passes, with assertions 6-8 \
+         re-established in every stabilized state. Exit status 1 on violation.";
     ]
   in
   Cmd.v
     (Cmd.info "ba_check" ~doc ~man)
-    Term.(const run $ spec $ w $ n $ limit $ max_states $ no_liveness)
+    Term.(const run $ spec $ w $ n $ limit $ max_states $ no_liveness $ crashes $ victims_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -56,7 +56,7 @@ let create_sender engine config ~tx ~next_payload =
   in
   Lazy.force s
 
-let sender_on_ack s { Wire.lo; hi = _; check = _ } =
+let sender_on_ack s { Wire.lo; hi = _; _ } =
   if s.current <> None && lo = s.bit then begin
     s.current <- None;
     s.bit <- 1 - s.bit;
@@ -68,7 +68,7 @@ let create_receiver _engine config ~tx ~deliver =
   Config.validate config;
   { r_tx = tx; r_deliver = deliver; expected = 0 }
 
-let receiver_on_data r { Wire.seq; payload; check = _ } =
+let receiver_on_data r { Wire.seq; payload; _ } =
   if seq = r.expected then begin
     r.r_deliver payload;
     r.expected <- 1 - r.expected
@@ -92,4 +92,11 @@ let protocol : Ba_proto.Protocol.t =
     let sender_outstanding s = if s.current = None then 0 else 1
     let sender_retransmissions s = s.retransmissions
     let ack_wire_bytes = Wire.ack_bytes_single
+
+    include Ba_proto.Protocol.No_crash (struct
+      let name = name
+
+      type nonrec sender = sender
+      type nonrec receiver = receiver
+    end)
   end)

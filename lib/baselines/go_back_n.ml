@@ -87,7 +87,7 @@ let decode_cumulative s wire =
       let d = Ba_util.Modseq.distance ~n (Ba_util.Modseq.wrap ~n (s.na - 1)) wire in
       if d >= 1 && d <= s.config.Config.window then Some (s.na - 1 + d) else None
 
-let sender_on_ack s { Wire.hi; lo = _; check = _ } =
+let sender_on_ack s { Wire.hi; lo = _; _ } =
   match decode_cumulative s hi with
   | None -> ()
   | Some y ->
@@ -118,7 +118,7 @@ let create_receiver _engine config ~tx ~deliver =
 (* The textbook receiver trusts every frame as-is: no checksum check, so
    an in-flight corruption is delivered verbatim — one of the
    misbehaviours the chaos campaign demonstrates. *)
-let receiver_on_data r { Wire.seq; payload; check = _ } =
+let receiver_on_data r { Wire.seq; payload; _ } =
   let matches =
     match r.r_config.Config.wire_modulus with
     | None -> seq = r.nr
@@ -158,4 +158,11 @@ let protocol : Ba_proto.Protocol.t =
     let sender_outstanding = sender_outstanding
     let sender_retransmissions = sender_retransmissions
     let ack_wire_bytes = ack_wire_bytes
+
+    include Ba_proto.Protocol.No_crash (struct
+      let name = name
+
+      type nonrec sender = sender
+      type nonrec receiver = receiver
+    end)
   end)

@@ -30,7 +30,7 @@ let create_receiver _engine config ~tx ~deliver =
 let receiver_on_data r d =
   if not (Wire.data_ok d) then ()
   else begin
-  let { Wire.seq; payload; check = _ } = d in
+  let { Wire.seq; payload; _ } = d in
   let v = Blockack.Seqcodec.decode_data r.codec ~nr:r.nr seq in
   let wire = Blockack.Seqcodec.encode r.codec v in
   if v < r.nr then r.tx (Wire.make_ack ~lo:wire ~hi:wire)
@@ -64,4 +64,11 @@ let protocol : Ba_proto.Protocol.t =
     let sender_outstanding = Blockack.Sender_multi.outstanding
     let sender_retransmissions = Blockack.Sender_multi.retransmissions
     let ack_wire_bytes = Wire.ack_bytes_single
+
+    include Ba_proto.Protocol.No_crash (struct
+      let name = name
+
+      type nonrec sender = sender
+      type nonrec receiver = receiver
+    end)
   end)

@@ -129,7 +129,7 @@ let stop_timer s seq =
       Ba_util.Ring_buffer.remove s.timers seq
   | None -> ()
 
-let sender_on_ack s { Wire.lo; hi = _; check = _ } =
+let sender_on_ack s { Wire.lo; hi = _; _ } =
   let seq = Blockack.Seqcodec.decode_ack s.codec ~na:s.na lo in
   if seq >= s.na && seq < s.ns then begin
     Ba_util.Ring_buffer.set s.acked seq ();
@@ -162,4 +162,11 @@ let protocol : Ba_proto.Protocol.t =
     let sender_outstanding = outstanding
     let sender_retransmissions s = s.retransmissions
     let ack_wire_bytes = Wire.ack_bytes_single
+
+    include Ba_proto.Protocol.No_crash (struct
+      let name = name
+
+      type nonrec sender = sender
+      type nonrec receiver = receiver
+    end)
   end)

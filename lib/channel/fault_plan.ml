@@ -75,6 +75,82 @@ let pp ppf t =
   | [] -> Format.pp_print_string ppf "none"
   | parts -> Format.pp_print_string ppf (String.concat "+" (List.rev parts))
 
+(* Split a replay key into fault tokens: '+' separates tokens only at
+   bracket depth 0, because [spike(0.10,+40)] carries a '+' of its own. *)
+let split_tokens s =
+  let toks = ref [] and buf = Buffer.create 16 and depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' | '[' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+      | '+' when !depth = 0 ->
+          toks := Buffer.contents buf :: !toks;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  toks := Buffer.contents buf :: !toks;
+  List.rev_map String.trim !toks
+
+let of_string s =
+  let ( let* ) = Result.bind in
+  let try_scan tok fmt k = try Some (Scanf.sscanf tok fmt k) with Scanf.Scan_failure _ | Failure _ | End_of_file -> None in
+  let once what field v =
+    match field with
+    | None -> Ok (Some v)
+    | Some _ -> Error (Printf.sprintf "duplicate %s fault in plan %S" what s)
+  in
+  let rec go acc = function
+    | [] -> Ok acc
+    | tok :: rest ->
+        let bursty, dup, corr, spike, outs = acc in
+        let* acc =
+          match try_scan tok "ge(%f->%f,l=%f/%f)%!" (fun a b c d -> (a, b, c, d)) with
+          | Some (p_enter_bad, p_exit_bad, loss_good, loss_bad) ->
+              let* g = once "ge" bursty { p_enter_bad; p_exit_bad; loss_good; loss_bad } in
+              Ok (g, dup, corr, spike, outs)
+          | None -> (
+              match try_scan tok "dup(%fx%d)%!" (fun p c -> (p, c)) with
+              | Some d ->
+                  let* d = once "dup" dup d in
+                  Ok (bursty, d, corr, spike, outs)
+              | None -> (
+                  match try_scan tok "corr(%f)%!" (fun p -> p) with
+                  | Some c ->
+                      let* c = once "corr" corr c in
+                      Ok (bursty, dup, c, spike, outs)
+                  | None -> (
+                      match try_scan tok "spike(%f,+%d)%!" (fun p d -> (p, d)) with
+                      | Some sp ->
+                          let* sp = once "spike" spike sp in
+                          Ok (bursty, dup, corr, sp, outs)
+                      | None -> (
+                          match try_scan tok "out[%d,%d)%!" (fun a b -> { from_tick = a; until_tick = b }) with
+                          | Some o -> Ok (bursty, dup, corr, spike, o :: outs)
+                          | None -> Error (Printf.sprintf "unrecognized fault token %S in plan %S" tok s)))))
+        in
+        go acc rest
+  in
+  if String.trim s = "none" then Ok none
+  else
+    let* bursty, dup, corr, spike, outs = go (None, None, None, None, []) (split_tokens s) in
+    let duplicate, copies = match dup with Some (p, c) -> (p, c) | None -> (0., 2) in
+    let t =
+      {
+        bursty;
+        duplicate;
+        copies;
+        corrupt = Option.value corr ~default:0.;
+        delay_spike = spike;
+        outages = List.rev outs;
+      }
+    in
+    match validate t with () -> Ok t | exception Invalid_argument m -> Error m
+
 type burst_stats = { steps : int; bad_entries : int; bad_steps : int }
 
 type instance = {

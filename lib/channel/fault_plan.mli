@@ -76,6 +76,17 @@ val pp : Format.formatter -> t -> unit
     [ge(0.050->0.200,l=0.00/0.80)+dup(0.10x2)+out[2000,4000)] — the
     replay key printed by the chaos campaign. *)
 
+val of_string : string -> (t, string) result
+(** Parse the {!pp} replay-key format back into a plan, so a failure
+    line from the chaos campaign can be fed verbatim to
+    [ba_chaos --replay]. Inverse of {!pp} up to the printed precision:
+    [of_string (Format.asprintf "%a" pp p)] succeeds for every valid
+    [p] and renders back to the same string. Tokens join with ['+'] at
+    bracket depth 0 (a [spike(p,+d)] token's inner ['+'] is kept);
+    ["none"] parses to {!none}. Returns [Error msg] on an unknown
+    token, a duplicated singleton fault, or a plan that fails
+    {!validate}. *)
+
 (** {2 Instances}
 
     A plan is pure configuration; an [instance] carries the mutable

@@ -17,6 +17,8 @@ type sender_ops = {
   on_ack : Ba_proto.Wire.ack -> unit;
   retransmissions : unit -> int;
   outstanding : unit -> int;
+  crash : unit -> unit;
+  restart : unit -> unit;
 }
 
 type t = {
@@ -64,6 +66,8 @@ let create ?(seed = 42) ?(config = default_config) ?(timeout_style = Per_message
           on_ack = Sender.on_ack s;
           retransmissions = (fun () -> Sender.retransmissions s);
           outstanding = (fun () -> Sender.outstanding s);
+          crash = (fun () -> Sender.crash s);
+          restart = (fun () -> Sender.restart s);
         }
     | Per_message ->
         let s =
@@ -74,6 +78,8 @@ let create ?(seed = 42) ?(config = default_config) ?(timeout_style = Per_message
           on_ack = Sender_multi.on_ack s;
           retransmissions = (fun () -> Sender_multi.retransmissions s);
           outstanding = (fun () -> Sender_multi.outstanding s);
+          crash = (fun () -> Sender_multi.crash s);
+          restart = (fun () -> Sender_multi.restart s);
         }
   in
   sender_cell := Some sender;
@@ -100,6 +106,19 @@ let run ?until t =
   | None -> Ba_sim.Engine.run t.engine
 
 let engine t = t.engine
+
+(* Process faults: the facade exposes the endpoint lifecycle so an
+   application test can kill one side mid-transfer. Restarting the
+   sender re-pumps, so payloads still queued resume once the resync
+   handshake (if any) settles. *)
+let crash_sender t = t.sender.crash ()
+
+let restart_sender t =
+  t.sender.restart ();
+  t.sender.pump ()
+
+let crash_receiver t = Receiver.crash t.receiver
+let restart_receiver t = Receiver.restart t.receiver
 
 let stats t =
   let d = Ba_channel.Link.stats t.data_link in

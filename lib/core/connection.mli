@@ -60,3 +60,20 @@ val engine : t -> Ba_sim.Engine.t
 val stats : t -> stats
 val idle : t -> bool
 (** Everything submitted has been delivered and acknowledged. *)
+
+(** {2 Crash–restart}
+
+    Fault one endpoint's process mid-transfer. [crash_*] wipes that
+    side's volatile state (window buffers, timers, RTT estimator, the
+    receiver's out-of-order buffer); [restart_*] brings it back, and —
+    when the config keeps [resync_epochs] on (the default) — runs the
+    incarnation-epoch resync handshake before normal traffic resumes,
+    so delivery stays exactly-once and in order across the outage.
+    [restart_sender] also re-pumps, so queued payloads resume without a
+    fresh {!send}. Useful with [run ~until] to drive the simulation to
+    the chosen crash tick. *)
+
+val crash_sender : t -> unit
+val restart_sender : t -> unit
+val crash_receiver : t -> unit
+val restart_receiver : t -> unit

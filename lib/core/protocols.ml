@@ -4,6 +4,9 @@ module Common_receiver = struct
   let create_receiver engine config ~tx ~deliver = Receiver.create engine config ~tx ~deliver
   let receiver_on_data = Receiver.on_data
   let ack_wire_bytes = Ba_proto.Wire.ack_bytes_block
+  let receiver_crash = Receiver.crash
+  let receiver_restart = Receiver.restart
+  let receiver_resync_rounds = Receiver.resync_rounds
 end
 
 module Simple : Ba_proto.Protocol.S = struct
@@ -19,6 +22,10 @@ module Simple : Ba_proto.Protocol.S = struct
   let sender_done = Sender.is_done
   let sender_outstanding = Sender.outstanding
   let sender_retransmissions = Sender.retransmissions
+  let crash_tolerant = true
+  let sender_crash = Sender.crash
+  let sender_restart = Sender.restart
+  let sender_resync_rounds = Sender.resync_rounds
 end
 
 module Multi : Ba_proto.Protocol.S = struct
@@ -34,6 +41,10 @@ module Multi : Ba_proto.Protocol.S = struct
   let sender_done = Sender_multi.is_done
   let sender_outstanding = Sender_multi.outstanding
   let sender_retransmissions = Sender_multi.retransmissions
+  let crash_tolerant = true
+  let sender_crash = Sender_multi.crash
+  let sender_restart = Sender_multi.restart
+  let sender_resync_rounds = Sender_multi.resync_rounds
 end
 
 let simple : Ba_proto.Protocol.t = (module Simple)
@@ -66,4 +77,13 @@ let reuse ?(lead_factor = 2) () : Ba_proto.Protocol.t =
     let sender_outstanding = Reuse_sender.outstanding
     let sender_retransmissions = Reuse_sender.retransmissions
     let ack_wire_bytes = Ba_proto.Wire.ack_bytes_block
+
+    (* The slot-reuse sender has no crash story yet (its lead window
+       would need its own resync argument); the stub raises. *)
+    include Ba_proto.Protocol.No_crash (struct
+      let name = name
+
+      type nonrec sender = sender
+      type nonrec receiver = receiver
+    end)
   end)

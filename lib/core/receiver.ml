@@ -5,16 +5,35 @@ type t = {
   deliver : string -> unit;
   buffer : string Ba_util.Ring_buffer.t;  (* payloads of [nr, nr + w) received out of order *)
   ack_timer : Ba_sim.Timer.t;
+  sync_timer : Ba_sim.Timer.t;  (* POS retry while awaiting the sender's FIN *)
   mutable nr : int;
   mutable vr : int;
+  mutable alive : bool;
+  mutable epoch : int;  (* incarnation; stable storage, like [nr] *)
+  mutable syncing : bool;  (* restarted; POS sent, FIN (or fresh data) pending *)
   mutable acks_sent : int;
   mutable dup_acks_sent : int;
   mutable corrupt_dropped : int;
+  mutable stale_epoch_dropped : int;
+  mutable resync_rounds : int;  (* handshake frames sent (POS) *)
+  mutable restarts : int;
 }
 
 let send_ack t ~lo ~hi =
   t.acks_sent <- t.acks_sent + 1;
-  t.tx (Ba_proto.Wire.make_ack ~lo:(Seqcodec.encode t.codec lo) ~hi:(Seqcodec.encode t.codec hi))
+  t.tx
+    (Ba_proto.Wire.make_ack_e ~epoch:t.epoch ~lo:(Seqcodec.encode t.codec lo)
+       ~hi:(Seqcodec.encode t.codec hi))
+
+(* Handshake message 2 (POS): "my stable delivered count is [nr]; resume
+   there". Sent in reply to a REQ, and spontaneously (with retries) after
+   our own restart — the receiver is the position authority, so its
+   restart skips REQ. Not counted in [acks_sent]: that is the paper's
+   acknowledgment-economy metric and resync frames are not acks. *)
+let send_pos t =
+  t.resync_rounds <- t.resync_rounds + 1;
+  t.tx (Ba_proto.Wire.make_sync_pos ~epoch:t.epoch ~pos:t.nr);
+  if t.syncing then Ba_sim.Timer.start t.sync_timer
 
 (* Action 5: acknowledge the run [nr, vr) in one block and hand its
    payloads to the application in order. *)
@@ -46,42 +65,118 @@ let create engine config ~tx ~deliver =
         ack_timer =
           Ba_sim.Timer.create engine ~duration:config.Config.ack_coalesce (fun () ->
               flush (Lazy.force t));
+        sync_timer =
+          Ba_sim.Timer.create engine ~duration:config.Config.rto (fun () ->
+              let t = Lazy.force t in
+              if t.alive && t.syncing then send_pos t);
         nr = 0;
         vr = 0;
+        alive = true;
+        epoch = 0;
+        syncing = false;
         acks_sent = 0;
         dup_acks_sent = 0;
         corrupt_dropped = 0;
+        stale_epoch_dropped = 0;
+        resync_rounds = 0;
+        restarts = 0;
       }
   in
   Lazy.force t
+
+(* The sender restarted into a later incarnation (we learn it from any
+   frame carrying a higher epoch): adopt the epoch and discard the
+   out-of-order buffer — the new incarnation will resend everything from
+   the position we announce, and frames of the old one are now stale. *)
+let adopt_epoch t e =
+  t.epoch <- e;
+  t.vr <- t.nr;
+  Ba_util.Ring_buffer.clear t.buffer;
+  Ba_sim.Timer.stop t.ack_timer
+
+let stop_syncing t =
+  if t.syncing then begin
+    t.syncing <- false;
+    Ba_sim.Timer.stop t.sync_timer
+  end
 
 (* Actions 3 + 4: record the reception, extend the contiguous run, and
    either flush immediately or leave the run open for coalescing. A
    frame that fails its checksum is discarded before any of that — it
    must neither be delivered nor acknowledged (the sender's timer will
    retransmit it), and its header cannot be trusted enough even to
-   re-ack. *)
+   re-ack. With incarnation epochs on, a frame from a dead incarnation
+   (lower epoch) is likewise rejected outright: accepting it is exactly
+   the duplicate-delivery bug the crash spec exhibits. *)
 let on_data t d =
-  if not (Ba_proto.Wire.data_ok d) then t.corrupt_dropped <- t.corrupt_dropped + 1
+  if not t.alive then ()
+  else if not (Ba_proto.Wire.data_ok d) then t.corrupt_dropped <- t.corrupt_dropped + 1
   else begin
-  let { Ba_proto.Wire.seq; payload; check = _ } = d in
-  let v = Seqcodec.decode_data t.codec ~nr:t.nr seq in
-  if v < t.nr then begin
-    (* Already accepted: its acknowledgment must have been lost; re-ack. *)
-    t.dup_acks_sent <- t.dup_acks_sent + 1;
-    send_ack t ~lo:v ~hi:v
-  end
-  else if v < t.nr + t.config.Config.window then begin
-    if not (Ba_util.Ring_buffer.mem t.buffer v) then Ba_util.Ring_buffer.set t.buffer v payload;
-    while Ba_util.Ring_buffer.mem t.buffer t.vr do
-      t.vr <- t.vr + 1
-    done;
-    if t.nr < t.vr then begin
-      if t.config.Config.ack_coalesce = 0 then flush t
-      else if not (Ba_sim.Timer.is_armed t.ack_timer) then Ba_sim.Timer.start t.ack_timer
+    let epochs = t.config.Config.resync_epochs in
+    if epochs && d.Ba_proto.Wire.epoch < t.epoch then
+      t.stale_epoch_dropped <- t.stale_epoch_dropped + 1
+    else begin
+      if epochs && d.Ba_proto.Wire.epoch > t.epoch then adopt_epoch t d.Ba_proto.Wire.epoch;
+      match d.Ba_proto.Wire.dkind with
+      | Ba_proto.Wire.Sync_req -> if epochs then send_pos t
+      | Ba_proto.Wire.Sync_fin -> stop_syncing t
+      | Ba_proto.Wire.Msg ->
+          (* Current-epoch data implies the sender knows our position:
+             an implicit FIN. *)
+          stop_syncing t;
+          let { Ba_proto.Wire.seq; payload; _ } = d in
+          let v = Seqcodec.decode_data t.codec ~nr:t.nr seq in
+          if v < t.nr then begin
+            (* Already accepted: its acknowledgment must have been lost; re-ack. *)
+            t.dup_acks_sent <- t.dup_acks_sent + 1;
+            send_ack t ~lo:v ~hi:v
+          end
+          else if v < t.nr + t.config.Config.window then begin
+            if not (Ba_util.Ring_buffer.mem t.buffer v) then
+              Ba_util.Ring_buffer.set t.buffer v payload;
+            while Ba_util.Ring_buffer.mem t.buffer t.vr do
+              t.vr <- t.vr + 1
+            done;
+            if t.nr < t.vr then begin
+              if t.config.Config.ack_coalesce = 0 then flush t
+              else if not (Ba_sim.Timer.is_armed t.ack_timer) then Ba_sim.Timer.start t.ack_timer
+            end
+          end
+          (* v >= nr + w cannot come from a conforming sender; drop defensively. *)
     end
   end
-  (* v >= nr + w cannot come from a conforming sender; drop defensively. *)
+
+(* Crash: all volatile state is gone — the out-of-order buffer, the
+   contiguous frontier [vr], pending timers. What survives is what the
+   application itself made durable: the delivered count [nr] (delivery
+   to the app is durable by definition) and, with [resync_epochs], the
+   incarnation epoch. *)
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.syncing <- false;
+    Ba_sim.Timer.stop t.ack_timer;
+    Ba_sim.Timer.stop t.sync_timer;
+    Ba_util.Ring_buffer.clear t.buffer;
+    t.vr <- t.nr
+  end
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    t.restarts <- t.restarts + 1;
+    if t.config.Config.resync_epochs then begin
+      t.epoch <- t.epoch + 1;
+      t.syncing <- true;
+      send_pos t
+    end
+    else begin
+      (* Negative control: a naive restart zeroes everything, so stale
+         in-flight copies of already-delivered data decode into the
+         fresh acceptance window — duplicate delivery. *)
+      t.nr <- 0;
+      t.vr <- 0
+    end
   end
 
 let nr t = t.nr
@@ -90,3 +185,9 @@ let buffered t = Ba_util.Ring_buffer.occupancy t.buffer
 let acks_sent t = t.acks_sent
 let dup_acks_sent t = t.dup_acks_sent
 let corrupt_dropped t = t.corrupt_dropped
+let alive t = t.alive
+let epoch t = t.epoch
+let syncing t = t.syncing
+let stale_epoch_dropped t = t.stale_epoch_dropped
+let resync_rounds t = t.resync_rounds
+let restarts t = t.restarts

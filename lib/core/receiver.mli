@@ -44,3 +44,35 @@ val corrupt_dropped : t -> int
 
 val flush : t -> unit
 (** Force out any pending coalesced acknowledgment now. *)
+
+(** {2 Crash–restart lifecycle}
+
+    [crash] wipes the volatile state: the out-of-order buffer, [vr], all
+    timers. The delivered count [nr] survives (delivery to the
+    application is durable by definition — the bytes are in its file),
+    as does the incarnation epoch when [resync_epochs] is set. While
+    down, every arriving frame is ignored.
+
+    [restart] with [resync_epochs]: bump the epoch and announce the
+    stable position with a POS handshake frame, retried on a timer until
+    the sender confirms with FIN (or implicitly, with fresh same-epoch
+    data). Frames from earlier incarnations are rejected by epoch.
+
+    [restart] without [resync_epochs] (negative control): come back with
+    [nr = vr = 0] and no handshake — the stale-state failure mode. *)
+
+val crash : t -> unit
+val restart : t -> unit
+
+val alive : t -> bool
+val epoch : t -> int
+val syncing : t -> bool
+(** Restarted and still announcing POS (no FIN / fresh data yet). *)
+
+val stale_epoch_dropped : t -> int
+(** Frames rejected because they carried an earlier incarnation's epoch. *)
+
+val resync_rounds : t -> int
+(** Handshake frames (POS) sent, including retries. *)
+
+val restarts : t -> int

@@ -102,7 +102,7 @@ let stop_timer t seq =
 let on_ack t a =
   if not (Ba_proto.Wire.ack_ok a) then ()
   else begin
-  let { Ba_proto.Wire.lo; hi; check = _ } = a in
+  let { Ba_proto.Wire.lo; hi; _ } = a in
   let count = Seqcodec.span t.codec ~lo ~hi in
   for k = 0 to count - 1 do
     let wire = Seqcodec.shift t.codec lo k in

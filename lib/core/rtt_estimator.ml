@@ -1,6 +1,7 @@
 type t = {
   floor : int;
   ceiling : int;
+  initial_rto : int;
   mutable srtt : float;
   mutable rttvar : float;
   mutable current : int;
@@ -12,7 +13,9 @@ let clamp t v = max t.floor (min t.ceiling v)
 let create ?(floor = 1) ?(ceiling = max_int) ~initial_rto () =
   if floor <= 0 then invalid_arg "Rtt_estimator.create: floor must be positive";
   if ceiling < floor then invalid_arg "Rtt_estimator.create: ceiling < floor";
-  let t = { floor; ceiling; srtt = 0.; rttvar = 0.; current = 0; samples = 0 } in
+  let t =
+    { floor; ceiling; initial_rto; srtt = 0.; rttvar = 0.; current = 0; samples = 0 }
+  in
   t.current <- clamp t initial_rto;
   t
 
@@ -39,4 +42,20 @@ let srtt t = t.srtt
 let rttvar t = t.rttvar
 let samples t = t.samples
 
-let backoff t = t.current <- clamp t (t.current * 2)
+(* Saturate instead of doubling once past ceiling/2: with the default
+   [ceiling = max_int], [current * 2] would eventually overflow to a
+   negative value that [clamp] pins at [floor] — collapsing the timeout
+   to its minimum in the middle of an outage (a retransmit storm). The
+   ceiling itself still caps the backoff, and the next genuine sample
+   ([observe] with [samples > 0]) rebuilds [current] from srtt/rttvar,
+   so a long outage cannot leave the rto pinned at the cap forever. *)
+let backoff t =
+  t.current <- (if t.current >= t.ceiling / 2 then t.ceiling else clamp t (t.current * 2))
+
+(* Crash–restart support: the estimator lives in volatile memory, so a
+   restarted sender comes back exactly as freshly created. *)
+let reset t =
+  t.srtt <- 0.;
+  t.rttvar <- 0.;
+  t.samples <- 0;
+  t.current <- clamp t t.initial_rto

@@ -34,6 +34,14 @@ val samples : t -> int
 (** Number of samples observed. *)
 
 val backoff : t -> unit
-(** Exponential backoff after a retransmission: double the current rto
-    (still clamped to the ceiling). The next genuine sample resumes
-    normal smoothing. *)
+(** Exponential backoff after a retransmission: double the current rto,
+    saturating at the ceiling (never overflowing past it — doubling an
+    already-huge rto must not wrap negative and collapse to the floor).
+    The next genuine sample resumes normal smoothing, so the rto cannot
+    stay pinned at the cap once the path recovers (Karn's rule, applied
+    by the caller, guarantees that sample is untainted). *)
+
+val reset : t -> unit
+(** Return to the freshly created state ([initial_rto], no samples) —
+    the estimator is volatile, so a crashed-and-restarted sender starts
+    estimating from scratch. *)

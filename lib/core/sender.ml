@@ -6,10 +6,17 @@ type t = {
   buffer : string Ba_util.Ring_buffer.t;  (* payloads of [na, ns) *)
   acked : unit Ba_util.Ring_buffer.t;  (* out-of-order acked members of [na, ns) *)
   timer : Ba_sim.Timer.t;
+  sync_timer : Ba_sim.Timer.t;  (* REQ retry while awaiting the receiver's POS *)
   guard : Window_guard.t;
   mutable na : int;
   mutable ns : int;
+  mutable alive : bool;
+  mutable epoch : int;  (* incarnation; stable storage *)
+  mutable syncing : bool;  (* restarted; REQ sent, POS pending *)
   mutable retransmissions : int;
+  mutable stale_epoch_dropped : int;
+  mutable resync_rounds : int;  (* handshake frames sent (REQ + FIN) *)
+  mutable restarts : int;
 }
 
 (* Transmitting any data message restarts the single timer: the paper's
@@ -18,13 +25,13 @@ let transmit t seq =
   match Ba_util.Ring_buffer.get t.buffer seq with
   | None -> invalid_arg "Sender.transmit: no buffered payload"
   | Some payload ->
-      t.tx (Ba_proto.Wire.make_data ~seq:(Seqcodec.encode t.codec seq) ~payload);
+      t.tx (Ba_proto.Wire.make_data_e ~epoch:t.epoch ~seq:(Seqcodec.encode t.codec seq) ~payload);
       Ba_sim.Timer.start t.timer
 
 let outstanding t = t.ns - t.na
 
 let rec pump t =
-  if outstanding t < t.config.Config.window then begin
+  if t.alive && (not t.syncing) && outstanding t < t.config.Config.window then begin
     if t.ns >= Window_guard.frontier t.guard then
       (* A retransmitted copy may still be in flight; sending past its
          decode window would risk mis-reconstruction at the receiver. *)
@@ -40,11 +47,12 @@ let rec pump t =
     end
   end
 
-let is_done t = outstanding t = 0 && Ba_proto.Source.exhausted t.source
+let is_done t =
+  t.alive && (not t.syncing) && outstanding t = 0 && Ba_proto.Source.exhausted t.source
 
 (* Action 2: resend the oldest outstanding message. *)
 let on_timeout t =
-  if outstanding t > 0 then begin
+  if t.alive && (not t.syncing) && outstanding t > 0 then begin
     t.retransmissions <- t.retransmissions + 1;
     (* With unbounded wire numbers decode is exact and no hold is needed. *)
     if t.config.Config.wire_modulus <> None then
@@ -52,6 +60,15 @@ let on_timeout t =
         ~hold_for:(Config.hold_duration t.config);
     transmit t t.na
   end
+
+let send_req t =
+  t.resync_rounds <- t.resync_rounds + 1;
+  t.tx (Ba_proto.Wire.make_sync_req ~epoch:t.epoch);
+  Ba_sim.Timer.start t.sync_timer
+
+let send_fin t =
+  t.resync_rounds <- t.resync_rounds + 1;
+  t.tx (Ba_proto.Wire.make_sync_fin ~epoch:t.epoch)
 
 let create engine config ~tx ~next_payload =
   Config.validate config;
@@ -67,40 +84,125 @@ let create engine config ~tx ~next_payload =
         buffer = Ba_util.Ring_buffer.create config.Config.window;
         acked = Ba_util.Ring_buffer.create config.Config.window;
         timer = Ba_sim.Timer.create engine ~duration:config.Config.rto (fun () -> on_timeout (Lazy.force t));
+        sync_timer =
+          Ba_sim.Timer.create engine ~duration:config.Config.rto (fun () ->
+              let t = Lazy.force t in
+              if t.alive && t.syncing then send_req t);
         guard = Window_guard.create engine;
         na = 0;
         ns = 0;
+        alive = true;
+        epoch = 0;
+        syncing = false;
         retransmissions = 0;
+        stale_epoch_dropped = 0;
+        resync_rounds = 0;
+        restarts = 0;
       }
   in
   Lazy.force t
+
+(* Crash wipes everything volatile; only the epoch (and the replayable
+   application outbox inside {!Ba_proto.Source}) is durable. *)
+let wipe_volatile t =
+  Ba_sim.Timer.stop t.timer;
+  Ba_sim.Timer.stop t.sync_timer;
+  Ba_util.Ring_buffer.clear t.buffer;
+  Ba_util.Ring_buffer.clear t.acked;
+  Window_guard.clear t.guard;
+  t.na <- 0;
+  t.ns <- 0
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.syncing <- false;
+    wipe_volatile t
+  end
+
+let resync_to t pos =
+  Ba_proto.Source.rewind t.source ~to_:pos;
+  t.na <- pos;
+  t.ns <- pos;
+  t.syncing <- false;
+  Ba_sim.Timer.stop t.sync_timer
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    t.restarts <- t.restarts + 1;
+    if t.config.Config.resync_epochs then begin
+      t.epoch <- t.epoch + 1;
+      t.syncing <- true;
+      send_req t
+    end
+    else begin
+      Ba_proto.Source.rewind t.source ~to_:0;
+      pump t
+    end
+  end
 
 (* Action 1: mark every covered sequence number that is still
    outstanding, then slide na over the acknowledged prefix. Stale
    duplicates (covering already-acknowledged messages) decode outside
    [na, ns) and are ignored; a corrupted acknowledgment is ignored
    entirely — acting on a mangled range could acknowledge data the
-   receiver never accepted. *)
+   receiver never accepted. Epoch handling mirrors {!Sender_multi}. *)
 let on_ack t a =
-  if not (Ba_proto.Wire.ack_ok a) then ()
+  if not t.alive then ()
+  else if not (Ba_proto.Wire.ack_ok a) then ()
   else begin
-  let { Ba_proto.Wire.lo; hi; check = _ } = a in
-  let count = Seqcodec.span t.codec ~lo ~hi in
-  for k = 0 to count - 1 do
-    let wire = Seqcodec.shift t.codec lo k in
-    let seq = Seqcodec.decode_ack t.codec ~na:t.na wire in
-    if seq >= t.na && seq < t.ns then Ba_util.Ring_buffer.set t.acked seq ()
-  done;
-  while Ba_util.Ring_buffer.mem t.acked t.na do
-    Ba_util.Ring_buffer.remove t.acked t.na;
-    Ba_util.Ring_buffer.remove t.buffer t.na;
-    t.na <- t.na + 1
-  done;
-  if outstanding t = 0 then Ba_sim.Timer.stop t.timer;
-  pump t
+    let epochs = t.config.Config.resync_epochs in
+    if epochs && a.Ba_proto.Wire.epoch < t.epoch then
+      t.stale_epoch_dropped <- t.stale_epoch_dropped + 1
+    else if epochs && a.Ba_proto.Wire.epoch > t.epoch then begin
+      match a.Ba_proto.Wire.akind with
+      | Ba_proto.Wire.Sync_pos ->
+          t.epoch <- a.Ba_proto.Wire.epoch;
+          t.syncing <- false;
+          wipe_volatile t;
+          resync_to t a.Ba_proto.Wire.lo;
+          send_fin t;
+          pump t
+      | Ba_proto.Wire.Ack -> t.stale_epoch_dropped <- t.stale_epoch_dropped + 1
+    end
+    else begin
+      match a.Ba_proto.Wire.akind with
+      | Ba_proto.Wire.Sync_pos ->
+          if t.syncing then begin
+            resync_to t a.Ba_proto.Wire.lo;
+            send_fin t;
+            pump t
+          end
+          else send_fin t
+      | Ba_proto.Wire.Ack ->
+          if not t.syncing then begin
+            let { Ba_proto.Wire.lo; hi; _ } = a in
+            let count = Seqcodec.span t.codec ~lo ~hi in
+            for k = 0 to count - 1 do
+              let wire = Seqcodec.shift t.codec lo k in
+              let seq = Seqcodec.decode_ack t.codec ~na:t.na wire in
+              if seq >= t.na && seq < t.ns then Ba_util.Ring_buffer.set t.acked seq ()
+            done;
+            while Ba_util.Ring_buffer.mem t.acked t.na do
+              Ba_util.Ring_buffer.remove t.acked t.na;
+              Ba_util.Ring_buffer.remove t.buffer t.na;
+              t.na <- t.na + 1
+            done;
+            if outstanding t = 0 then Ba_sim.Timer.stop t.timer;
+            pump t
+          end
+    end
   end
 
 let na t = t.na
 let ns t = t.ns
 let retransmissions t = t.retransmissions
 let acked_total t = t.na
+
+let alive t = t.alive
+let epoch t = t.epoch
+let syncing t = t.syncing
+let stale_epoch_dropped t = t.stale_epoch_dropped
+let resync_rounds t = t.resync_rounds
+let restarts t = t.restarts

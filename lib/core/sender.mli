@@ -45,3 +45,32 @@ val retransmissions : t -> int
 
 val acked_total : t -> int
 (** Messages acknowledged so far (= [na]). *)
+
+(** {2 Crash–restart lifecycle}
+
+    [crash] wipes the volatile state — window buffers, [na]/[ns], all
+    timers, retransmission-frontier holds. Stable storage keeps the
+    incarnation epoch (with [resync_epochs]) and the application outbox
+    ({!Ba_proto.Source} can replay any issued payload). While down,
+    frames are ignored and [pump] is a no-op.
+
+    [restart] with [resync_epochs]: bump the epoch and run the REQ → POS
+    → FIN handshake; on POS the sender aligns [na = ns = pos], rewinds
+    the outbox there and resumes. Without it (negative control), resume
+    blind from position 0 with the old epoch. *)
+
+val crash : t -> unit
+val restart : t -> unit
+val alive : t -> bool
+val epoch : t -> int
+
+val syncing : t -> bool
+(** Restarted and still awaiting the receiver's POS. *)
+
+val stale_epoch_dropped : t -> int
+(** Acknowledgments rejected for carrying a dead incarnation's epoch. *)
+
+val resync_rounds : t -> int
+(** Handshake frames (REQ + FIN) sent, including retries. *)
+
+val restarts : t -> int

@@ -11,10 +11,17 @@ type t = {
   resent : int Ba_util.Ring_buffer.t;  (* per-message retransmission count (Karn's rule + backoff) *)
   estimator : Rtt_estimator.t option;
   guard : Window_guard.t;
+  sync_timer : Ba_sim.Timer.t;  (* REQ retry while awaiting the receiver's POS *)
   mutable na : int;
   mutable ns : int;
+  mutable alive : bool;
+  mutable epoch : int;  (* incarnation; stable storage *)
+  mutable syncing : bool;  (* restarted; REQ sent, POS pending *)
   mutable retransmissions : int;
   mutable corrupt_acks_dropped : int;
+  mutable stale_epoch_dropped : int;
+  mutable resync_rounds : int;  (* handshake frames sent (REQ + FIN) *)
+  mutable restarts : int;
   (* AIMD congestion window (dynamic_window mode): cwnd counts messages,
      ack_credit accumulates fractional additive increase. *)
   mutable cwnd : int;
@@ -60,11 +67,25 @@ let rto_for t seq =
       let factor = 1 lsl min retx 6 in
       min (base_rto t * factor) (60 * t.config.Config.rto)
 
+(* Handshake message 1 (REQ): a restarted sender has no idea how much of
+   its outbox the receiver already delivered; ask. Retried on a timer
+   until POS arrives. *)
+let send_req t =
+  t.resync_rounds <- t.resync_rounds + 1;
+  t.tx (Ba_proto.Wire.make_sync_req ~epoch:t.epoch);
+  Ba_sim.Timer.start t.sync_timer
+
+let send_fin t =
+  t.resync_rounds <- t.resync_rounds + 1;
+  t.tx (Ba_proto.Wire.make_sync_fin ~epoch:t.epoch)
+
 (* Action 2': the timer of message [seq] expired, meaning no copy of it
    or of a covering acknowledgment survives in either channel; resend it
    and re-arm its own timer only. *)
 let rec on_timeout t seq =
-  if seq >= t.na && seq < t.ns && not (Ba_util.Ring_buffer.mem t.acked seq) then begin
+  if t.alive && (not t.syncing) && seq >= t.na && seq < t.ns
+     && not (Ba_util.Ring_buffer.mem t.acked seq)
+  then begin
     t.retransmissions <- t.retransmissions + 1;
     on_loss_signal t;
     (* Karn's algorithm, second half: the rule above (sample_rtt) only
@@ -89,7 +110,7 @@ and transmit t seq =
   match Ba_util.Ring_buffer.get t.buffer seq with
   | None -> invalid_arg "Sender_multi.transmit: no buffered payload"
   | Some payload ->
-      t.tx (Ba_proto.Wire.make_data ~seq:(Seqcodec.encode t.codec seq) ~payload);
+      t.tx (Ba_proto.Wire.make_data_e ~epoch:t.epoch ~seq:(Seqcodec.encode t.codec seq) ~payload);
       let timer =
         match Ba_util.Ring_buffer.get t.timers seq with
         | Some timer -> timer
@@ -104,7 +125,7 @@ and transmit t seq =
       Ba_sim.Timer.start_for timer (rto_for t seq)
 
 let rec pump t =
-  if outstanding t < effective_window t then begin
+  if t.alive && (not t.syncing) && outstanding t < effective_window t then begin
     if t.ns >= Window_guard.frontier t.guard then
       (* A retransmitted copy may still be in flight; sending past its
          decode window would risk mis-reconstruction at the receiver. *)
@@ -121,7 +142,8 @@ let rec pump t =
     end
   end
 
-let is_done t = outstanding t = 0 && Ba_proto.Source.exhausted t.source
+let is_done t =
+  t.alive && (not t.syncing) && outstanding t = 0 && Ba_proto.Source.exhausted t.source
 
 let create engine config ~tx ~next_payload =
   Config.validate config;
@@ -141,26 +163,40 @@ let create engine config ~tx ~next_payload =
     end
     else None
   in
-  {
-    config;
-    codec;
-    engine;
-    tx;
-    source;
-    buffer = Ba_util.Ring_buffer.create config.Config.window;
-    acked = Ba_util.Ring_buffer.create config.Config.window;
-    timers = Ba_util.Ring_buffer.create config.Config.window;
-    sent_at = Ba_util.Ring_buffer.create config.Config.window;
-    resent = Ba_util.Ring_buffer.create config.Config.window;
-    estimator;
-    guard = Window_guard.create engine;
-    na = 0;
-    ns = 0;
-    retransmissions = 0;
-    corrupt_acks_dropped = 0;
-    cwnd = 1;
-    ack_credit = 0;
-  }
+  let rec t =
+    lazy
+      {
+        config;
+        codec;
+        engine;
+        tx;
+        source;
+        buffer = Ba_util.Ring_buffer.create config.Config.window;
+        acked = Ba_util.Ring_buffer.create config.Config.window;
+        timers = Ba_util.Ring_buffer.create config.Config.window;
+        sent_at = Ba_util.Ring_buffer.create config.Config.window;
+        resent = Ba_util.Ring_buffer.create config.Config.window;
+        estimator;
+        guard = Window_guard.create engine;
+        sync_timer =
+          Ba_sim.Timer.create engine ~duration:config.Config.rto (fun () ->
+              let t = Lazy.force t in
+              if t.alive && t.syncing then send_req t);
+        na = 0;
+        ns = 0;
+        alive = true;
+        epoch = 0;
+        syncing = false;
+        retransmissions = 0;
+        corrupt_acks_dropped = 0;
+        stale_epoch_dropped = 0;
+        resync_rounds = 0;
+        restarts = 0;
+        cwnd = 1;
+        ack_credit = 0;
+      }
+  in
+  Lazy.force t
 
 let stop_timer t seq =
   match Ba_util.Ring_buffer.get t.timers seq with
@@ -187,33 +223,123 @@ let sample_rtt t seq =
         | None -> ()
       end
 
+(* Wipe all volatile state: payload/ack/timer rings, the congestion and
+   rtt estimators, the retransmission-frontier holds. [na]/[ns] are
+   zeroed too (they are meaningless without the buffers); the truth about
+   position lives at the receiver and comes back via POS. Stable storage
+   keeps only the epoch and, implicitly, the application outbox
+   ({!Ba_proto.Source} retains issued payloads for replay). *)
+let wipe_volatile t =
+  Ba_util.Ring_buffer.iter (fun _ timer -> Ba_sim.Timer.stop timer) t.timers;
+  Ba_util.Ring_buffer.clear t.timers;
+  Ba_util.Ring_buffer.clear t.buffer;
+  Ba_util.Ring_buffer.clear t.acked;
+  Ba_util.Ring_buffer.clear t.sent_at;
+  Ba_util.Ring_buffer.clear t.resent;
+  Window_guard.clear t.guard;
+  Option.iter Rtt_estimator.reset t.estimator;
+  Ba_sim.Timer.stop t.sync_timer;
+  t.na <- 0;
+  t.ns <- 0;
+  t.cwnd <- 1;
+  t.ack_credit <- 0
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    t.syncing <- false;
+    wipe_volatile t
+  end
+
+(* Adopt the receiver-announced resume position: align [na]/[ns] there
+   and rewind the outbox so [pump] replays from it. *)
+let resync_to t pos =
+  Ba_proto.Source.rewind t.source ~to_:pos;
+  t.na <- pos;
+  t.ns <- pos;
+  t.syncing <- false;
+  Ba_sim.Timer.stop t.sync_timer
+
+let restart t =
+  if not t.alive then begin
+    t.alive <- true;
+    t.restarts <- t.restarts + 1;
+    if t.config.Config.resync_epochs then begin
+      t.epoch <- t.epoch + 1;
+      t.syncing <- true;
+      send_req t
+    end
+    else begin
+      (* Negative control: resume blind from zero, replaying the whole
+         outbox against a receiver that may be far ahead. *)
+      Ba_proto.Source.rewind t.source ~to_:0;
+      pump t
+    end
+  end
+
 (* A corrupted acknowledgment is discarded outright: a mangled block
    range could cover messages the receiver never accepted, which is a
    safety violation, not just waste. Duplicated acknowledgments are
    harmless — every covered position is already guarded by the
-   [na <= seq < ns && not acked] test below. *)
+   [na <= seq < ns && not acked] test below. With epochs on, frames from
+   a dead incarnation are rejected the same way the receiver rejects
+   stale data; a *higher* epoch means the receiver restarted and its POS
+   tells us everything we need. *)
 let on_ack t a =
-  if not (Ba_proto.Wire.ack_ok a) then t.corrupt_acks_dropped <- t.corrupt_acks_dropped + 1
+  if not t.alive then ()
+  else if not (Ba_proto.Wire.ack_ok a) then
+    t.corrupt_acks_dropped <- t.corrupt_acks_dropped + 1
   else begin
-  let { Ba_proto.Wire.lo; hi; check = _ } = a in
-  let count = Seqcodec.span t.codec ~lo ~hi in
-  for k = 0 to count - 1 do
-    let wire = Seqcodec.shift t.codec lo k in
-    let seq = Seqcodec.decode_ack t.codec ~na:t.na wire in
-    if seq >= t.na && seq < t.ns && not (Ba_util.Ring_buffer.mem t.acked seq) then begin
-      sample_rtt t seq;
-      Ba_util.Ring_buffer.set t.acked seq ();
-      stop_timer t seq
+    let epochs = t.config.Config.resync_epochs in
+    if epochs && a.Ba_proto.Wire.epoch < t.epoch then
+      t.stale_epoch_dropped <- t.stale_epoch_dropped + 1
+    else if epochs && a.Ba_proto.Wire.epoch > t.epoch then begin
+      (* Only a restarted receiver mints a higher epoch, and it only
+         sends POS until we confirm — adopt its epoch and position. *)
+      match a.Ba_proto.Wire.akind with
+      | Ba_proto.Wire.Sync_pos ->
+          t.epoch <- a.Ba_proto.Wire.epoch;
+          wipe_volatile t;
+          resync_to t a.Ba_proto.Wire.lo;
+          send_fin t;
+          pump t
+      | Ba_proto.Wire.Ack -> t.stale_epoch_dropped <- t.stale_epoch_dropped + 1
     end
-  done;
-  let na_before = t.na in
-  while Ba_util.Ring_buffer.mem t.acked t.na do
-    Ba_util.Ring_buffer.remove t.acked t.na;
-    forget t t.na;
-    t.na <- t.na + 1
-  done;
-  on_progress t (t.na - na_before);
-  pump t
+    else begin
+      match a.Ba_proto.Wire.akind with
+      | Ba_proto.Wire.Sync_pos ->
+          if t.syncing then begin
+            resync_to t a.Ba_proto.Wire.lo;
+            send_fin t;
+            pump t
+          end
+          else
+            (* Duplicate POS: our FIN was lost and the receiver is still
+               retrying. Re-confirm; do not move the window. *)
+            send_fin t
+      | Ba_proto.Wire.Ack ->
+          if not t.syncing then begin
+            let { Ba_proto.Wire.lo; hi; _ } = a in
+            let count = Seqcodec.span t.codec ~lo ~hi in
+            for k = 0 to count - 1 do
+              let wire = Seqcodec.shift t.codec lo k in
+              let seq = Seqcodec.decode_ack t.codec ~na:t.na wire in
+              if seq >= t.na && seq < t.ns && not (Ba_util.Ring_buffer.mem t.acked seq) then begin
+                sample_rtt t seq;
+                Ba_util.Ring_buffer.set t.acked seq ();
+                stop_timer t seq
+              end
+            done;
+            let na_before = t.na in
+            while Ba_util.Ring_buffer.mem t.acked t.na do
+              Ba_util.Ring_buffer.remove t.acked t.na;
+              forget t t.na;
+              t.na <- t.na + 1
+            done;
+            on_progress t (t.na - na_before);
+            pump t
+          end
+    end
   end
 
 let na t = t.na
@@ -227,3 +353,10 @@ let rto_now t = base_rto t
 let srtt t = Option.map Rtt_estimator.srtt t.estimator
 
 let cwnd t = t.cwnd
+
+let alive t = t.alive
+let epoch t = t.epoch
+let syncing t = t.syncing
+let stale_epoch_dropped t = t.stale_epoch_dropped
+let resync_rounds t = t.resync_rounds
+let restarts t = t.restarts

@@ -46,3 +46,28 @@ val srtt : t -> float option
 val cwnd : t -> int
 (** Current AIMD congestion window ([dynamic_window] mode); equals 1 and
     is unused otherwise. *)
+
+(** {2 Crash–restart lifecycle}
+
+    Same model as {!Sender}: [crash] wipes every volatile structure
+    (buffers, per-message timers, the congestion window, the RTT
+    estimator, frontier holds); the epoch and the replayable outbox are
+    stable. [restart] with [resync_epochs] runs REQ → POS → FIN and
+    resumes from the receiver-announced position; without it, replays
+    blind from zero. *)
+
+val crash : t -> unit
+val restart : t -> unit
+val alive : t -> bool
+val epoch : t -> int
+
+val syncing : t -> bool
+(** Restarted and still awaiting the receiver's POS. *)
+
+val stale_epoch_dropped : t -> int
+(** Acknowledgments rejected for carrying a dead incarnation's epoch. *)
+
+val resync_rounds : t -> int
+(** Handshake frames (REQ + FIN) sent, including retries. *)
+
+val restarts : t -> int

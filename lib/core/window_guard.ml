@@ -8,6 +8,12 @@ type t = {
 
 let create engine = { engine; holds = []; retry_armed = false }
 
+(* Crash–restart support: holds protect in-flight copies of the dead
+   incarnation, whose frames the restarted world rejects by epoch, so
+   they are simply dropped. An already-armed retry fires harmlessly —
+   it re-checks the (now empty) hold list. *)
+let clear t = t.holds <- []
+
 let prune t =
   let now = Ba_sim.Engine.now t.engine in
   t.holds <- List.filter (fun h -> h.expiry > now) t.holds

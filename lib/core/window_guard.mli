@@ -30,6 +30,10 @@ val frontier : t -> int
 (** Lowest active cap, or [max_int] when unrestricted. Expired holds are
     pruned on the fly. *)
 
+val clear : t -> unit
+(** Drop all active holds (crash–restart wipes the volatile sender; the
+    stale copies the holds were guarding are rejected by epoch instead). *)
+
 val when_blocked : t -> (unit -> unit) -> unit
 (** [when_blocked t retry] arranges for [retry ()] to run when the
     earliest active hold expires (no-op when unrestricted). At most one

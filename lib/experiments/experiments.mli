@@ -86,6 +86,14 @@ val c1_chaos_matrix : ?jobs:int -> quick:bool -> unit -> table
     clean everywhere, bounded go-back-N to break under reorder, and the
     unvalidated baselines to deliver corrupted payloads. *)
 
+val c2_crash_recovery : ?jobs:int -> quick:bool -> unit -> table
+(** Crash–restart recovery: the {!Ba_verify.Chaos.Crash} class (sender,
+    receiver and staggered double crashes, seed-derived) against the
+    block-ack senders with incarnation epochs on, plus the epoch-less
+    "naive restart" negative control. Reports the safety/recovery
+    verdict alongside the recovery bill: restarts, resync handshake
+    frames, restart-to-recovery ticks and retransmitted bytes. *)
+
 val grids : (string * (quick:bool -> jobs:int -> table)) list
 (** All experiments in presentation order as [(id, grid)] closures, so a
     driver can time each grid individually (the bench harness records

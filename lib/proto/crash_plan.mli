@@ -1,0 +1,36 @@
+(** Scheduled endpoint crash–restart events: the process-fault analogue
+    of {!Ba_channel.Fault_plan}.
+
+    A plan is a list of events, each crashing one endpoint at a tick and
+    restarting it [down_for] ticks later. Like the channel plans, a
+    crash plan is replayable: campaigns derive it as a pure function of
+    the seed and print it as part of any failure's replay key. *)
+
+type endpoint = Sender_end | Receiver_end
+
+type event = { at : int; endpoint : endpoint; down_for : int }
+
+type t = event list
+
+val none : t
+
+val make : event list -> t
+(** Validates and sorts by crash tick. Raises [Invalid_argument] on a
+    negative tick or non-positive [down_for]. *)
+
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit
+(** Replay-key format: [crash(S@150+80)] = sender crashes at tick 150
+    and restarts 80 ticks later; events join with ["+"]; the empty plan
+    prints ["none"]. *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse the {!pp} replay-key format back into a plan (["none"] parses
+    to {!none}); inverse of {!pp}, so a campaign failure's process-fault
+    line can be fed verbatim to [ba_chaos --replay]. *)
+
+val quiesced_after : t -> int
+(** First tick by which every scheduled crash has restarted. *)

@@ -37,7 +37,7 @@ let jain = function
 let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
     ?(data_delay = Ba_channel.Dist.Uniform (40, 60))
     ?(ack_delay = Ba_channel.Dist.Uniform (40, 60)) ?data_bottleneck ?ack_bottleneck ?deadline
-    ?on_setup specs =
+    ?on_setup ?on_flows specs =
   if specs = [] then invalid_arg "Fabric.run: at least one flow required";
   List.iter (fun s -> Proto_config.validate s.config) specs;
   let n = List.length specs in
@@ -83,6 +83,11 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
       flows.(i) <- Some f)
     specs;
   (match on_setup with Some g -> g engine | None -> ());
+  (* Per-flow instrumentation hook: lets callers schedule process faults
+     (crash/restart of one flow's endpoints) before traffic starts. *)
+  (match on_flows with
+  | Some g -> g engine (Array.map Option.get flows)
+  | None -> ());
   Array.iter (function Some f -> Flow.pump f | None -> ()) flows;
   Ba_sim.Engine.run ~until:deadline engine;
   let ticks = Ba_sim.Engine.now engine in

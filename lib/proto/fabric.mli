@@ -56,12 +56,20 @@ val run :
   ?ack_bottleneck:int * int ->
   ?deadline:int ->
   ?on_setup:(Ba_sim.Engine.t -> unit) ->
+  ?on_flows:(Ba_sim.Engine.t -> Flow.t array -> unit) ->
   spec list ->
   result
 (** [run specs] drives every flow to completion (or to the deadline,
     which defaults to an allowance scaled by the {e aggregate} workload).
     Defaults mirror {!Harness.run}: seed 42, no loss, delay
     [Uniform (40, 60)] both ways.
+
+    [on_flows] is called once after every flow is created and before any
+    traffic is pumped, with the flows in spec order — the hook for
+    scheduling process faults against a {e single} flow (e.g.
+    {!Flow.crash_receiver} at a chosen tick) to check that one
+    endpoint's crash cannot stall or corrupt the other [n-1] flows
+    sharing the links.
 
     [data_bottleneck]/[ack_bottleneck] are [(service_time, queue_capacity)]
     pairs for the shared links — the contended resource. Without one the

@@ -29,6 +29,11 @@ type result = {
   latencies : float list;
   ack_overhead : float;
   efficiency : float;
+  crashes : int;
+  restarts : int;
+  resync_rounds : int;
+  resync_ticks : Ba_util.Stats.summary option;
+  retx_bytes : int;
 }
 
 type t = {
@@ -44,6 +49,17 @@ type t = {
   sender_done : unit -> bool;
   sender_retransmissions : unit -> int;
   sender_outstanding : unit -> int;
+  do_sender_crash : unit -> unit;
+  do_sender_restart : unit -> unit;
+  do_receiver_crash : unit -> unit;
+  do_receiver_restart : unit -> unit;
+  crash_supported : bool;
+  resync_rounds : unit -> int;
+  crashes : int ref;
+  restarts : int ref;
+  resync_ticks : Ba_util.Stats.t;
+  pending_restarts : int list ref;
+  retx_bytes : int ref;
   delivered : int ref;
   duplicates : int ref;
   misordered : int ref;
@@ -66,7 +82,21 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
   and data_sent = ref 0
   and acks_sent = ref 0
   and next_expected = ref 0
-  and completed_at = ref None in
+  and completed_at = ref None
+  and crashes = ref 0
+  and restarts = ref 0
+  and pending_restarts = ref []
+  and retx_bytes = ref 0 in
+  let resync_ticks = Ba_util.Stats.create () in
+  (* Ticks-to-resync: every restart opens a recovery interval that the
+     next successful in-order delivery (or completion) closes. *)
+  let resolve_restarts () =
+    let now = Ba_sim.Engine.now engine in
+    List.iter
+      (fun t0 -> Ba_util.Stats.add resync_ticks (float_of_int (now - t0)))
+      !pending_restarts;
+    pending_restarts := []
+  in
   let seen = Ba_util.Bitset.create ~initial_capacity:messages () in
   let expected_payloads = Hashtbl.create 97 in
   let pulled_at = Hashtbl.create 97 in
@@ -75,6 +105,7 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
     match !sender with
     | Some s when !delivered >= messages && P.sender_done s && !completed_at = None ->
         completed_at := Some (Ba_sim.Engine.now engine);
+        resolve_restarts ();
         (match on_complete with Some f -> f () | None -> ())
     | Some _ | None -> ()
   in
@@ -94,6 +125,7 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
         else begin
           Ba_util.Bitset.set seen i;
           incr delivered;
+          resolve_restarts ();
           (match Hashtbl.find_opt pulled_at i with
           | Some t0 ->
               Ba_util.Stats.add latency_stats (float_of_int (Ba_sim.Engine.now engine - t0))
@@ -115,10 +147,20 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
         | None -> ());
         Some p
   in
+  (* Payload-keyed retransmission bytes: workload payloads are unique
+     per message, so a repeated payload is a retransmitted copy.
+     Handshake frames carry no payload and are excluded. *)
+  let tx_payloads = Hashtbl.create 97 in
   let s =
     P.create_sender engine config
       ~tx:(fun d ->
         incr data_sent;
+        (match d.Wire.dkind with
+        | Wire.Msg ->
+            if Hashtbl.mem tx_payloads d.Wire.payload then
+              retx_bytes := !retx_bytes + Wire.data_bytes d
+            else Hashtbl.replace tx_payloads d.Wire.payload ()
+        | Wire.Sync_req | Wire.Sync_fin -> ());
         data_tx d)
       ~next_payload
   in
@@ -144,6 +186,26 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
         P.sender_on_ack s a;
         check_done ());
     do_pump = (fun () -> P.sender_pump s);
+    do_sender_crash = (fun () -> incr crashes; P.sender_crash s);
+    do_sender_restart =
+      (fun () ->
+        incr restarts;
+        pending_restarts := Ba_sim.Engine.now engine :: !pending_restarts;
+        P.sender_restart s;
+        check_done ());
+    do_receiver_crash = (fun () -> incr crashes; P.receiver_crash r);
+    do_receiver_restart =
+      (fun () ->
+        incr restarts;
+        pending_restarts := Ba_sim.Engine.now engine :: !pending_restarts;
+        P.receiver_restart r);
+    crash_supported = P.crash_tolerant;
+    resync_rounds = (fun () -> P.sender_resync_rounds s + P.receiver_resync_rounds r);
+    crashes;
+    restarts;
+    resync_ticks;
+    pending_restarts;
+    retx_bytes;
     sender_done = (fun () -> P.sender_done s);
     sender_retransmissions = (fun () -> P.sender_retransmissions s);
     sender_outstanding = (fun () -> P.sender_outstanding s);
@@ -168,6 +230,11 @@ let retransmissions t = t.sender_retransmissions ()
 let outstanding t = t.sender_outstanding ()
 let is_complete t = !(t.delivered) >= t.messages && t.sender_done ()
 let completed_at t = !(t.completed_at)
+let crash_tolerant t = t.crash_supported
+let crash_sender t = t.do_sender_crash ()
+let restart_sender t = t.do_sender_restart ()
+let crash_receiver t = t.do_receiver_crash ()
+let restart_receiver t = t.do_receiver_restart ()
 
 let zero_stats =
   {
@@ -197,6 +264,13 @@ let result t ?data_stats ?ack_stats ~ticks () =
   in
   let delivered = !(t.delivered) in
   let payload_bytes_delivered = delivered * t.payload_size in
+  (* A restart no delivery ever resolved (a stuck run, or a crash with
+     nothing left to deliver) is charged up to the horizon — honest, if
+     pessimistic. *)
+  List.iter
+    (fun t0 -> Ba_util.Stats.add t.resync_ticks (float_of_int (ticks - t0)))
+    !(t.pending_restarts);
+  t.pending_restarts := [];
   {
     protocol = t.protocol;
     completed = is_complete t;
@@ -231,4 +305,11 @@ let result t ?data_stats ?ack_stats ~ticks () =
     efficiency =
       (if dstats.Ba_channel.Link.sent = 0 then 0.
        else float_of_int delivered /. float_of_int dstats.Ba_channel.Link.sent);
+    crashes = !(t.crashes);
+    restarts = !(t.restarts);
+    resync_rounds = t.resync_rounds ();
+    resync_ticks =
+      (if Ba_util.Stats.count t.resync_ticks = 0 then None
+       else Some (Ba_util.Stats.summary t.resync_ticks));
+    retx_bytes = !(t.retx_bytes);
   }

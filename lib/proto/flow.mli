@@ -40,6 +40,13 @@ type result = {
           delivery order (for histograms) *)
   ack_overhead : float;  (** ack bytes per delivered payload byte *)
   efficiency : float;  (** delivered / data_sent: 1.0 means no waste *)
+  crashes : int;  (** endpoint crashes injected into this flow *)
+  restarts : int;  (** endpoint restarts *)
+  resync_rounds : int;  (** handshake frames (REQ/POS/FIN) sent, retries included *)
+  resync_ticks : Ba_util.Stats.summary option;
+      (** per-restart recovery time: restart tick to the next in-order
+          delivery (or completion); [None] when nothing restarted *)
+  retx_bytes : int;  (** bytes of retransmitted payload copies on the wire *)
 }
 
 type t
@@ -90,6 +97,21 @@ val is_complete : t -> bool
 
 val completed_at : t -> int option
 (** Tick at which the flow completed, if it has. *)
+
+(** {2 Crash–restart}
+
+    Fault the flow's {e processes} rather than its channel. The calls
+    delegate to the protocol's lifecycle
+    ({!Protocol.S.sender_crash} etc.) and raise [Invalid_argument] when
+    {!crash_tolerant} is [false]. Crashing an already-down endpoint (or
+    restarting a live one) is a no-op at the protocol layer but still
+    counted here, so overlapping plans stay visible in the result. *)
+
+val crash_tolerant : t -> bool
+val crash_sender : t -> unit
+val restart_sender : t -> unit
+val crash_receiver : t -> unit
+val restart_receiver : t -> unit
 
 val result : t -> ?data_stats:Ba_channel.Link.stats -> ?ack_stats:Ba_channel.Link.stats -> ticks:int -> unit -> result
 (** Snapshot the flow's verdict. [data_stats] / [ack_stats] attribute

@@ -24,6 +24,11 @@ type result = Flow.result = {
   latencies : float list;
   ack_overhead : float;
   efficiency : float;
+  crashes : int;
+  restarts : int;
+  resync_rounds : int;
+  resync_ticks : Ba_util.Stats.summary option;
+  retx_bytes : int;
 }
 
 type setup = {
@@ -35,8 +40,9 @@ type setup = {
 let run (module P : Protocol.S) ?(seed = 42) ?(messages = 1000) ?(payload_size = 32)
     ?(config = Proto_config.default) ?(data_loss = 0.) ?(ack_loss = 0.)
     ?(data_delay = Ba_channel.Dist.Uniform (40, 60)) ?(ack_delay = Ba_channel.Dist.Uniform (40, 60))
-    ?data_bottleneck ?data_plan ?ack_plan ?deadline ?on_setup () =
+    ?data_bottleneck ?data_plan ?ack_plan ?(crash_plan = Crash_plan.none) ?deadline ?on_setup () =
   Proto_config.validate config;
+  Crash_plan.validate crash_plan;
   let engine = Ba_sim.Engine.create ~seed () in
   let deadline =
     match deadline with
@@ -71,6 +77,20 @@ let run (module P : Protocol.S) ?(seed = 42) ?(messages = 1000) ?(payload_size =
       ()
   in
   flow := Some f;
+  (* Process faults: each event schedules a crash and, [down_for] ticks
+     later, the matching restart. *)
+  List.iter
+    (fun (e : Crash_plan.event) ->
+      let crash, restart =
+        match e.Crash_plan.endpoint with
+        | Crash_plan.Sender_end -> (Flow.crash_sender, Flow.restart_sender)
+        | Crash_plan.Receiver_end -> (Flow.crash_receiver, Flow.restart_receiver)
+      in
+      ignore (Ba_sim.Engine.schedule_at engine ~at:e.Crash_plan.at (fun () -> crash f));
+      ignore
+        (Ba_sim.Engine.schedule_at engine ~at:(e.Crash_plan.at + e.Crash_plan.down_for)
+           (fun () -> restart f)))
+    crash_plan;
   (match on_setup with
   | Some g -> g { engine; data_link; ack_link }
   | None -> ());
@@ -91,4 +111,14 @@ let pp_result ppf r =
     (if r.completed then "completed" else "STUCK")
     r.ticks r.delivered r.messages r.duplicates r.misordered r.corrupted r.data_sent
     r.data_dropped r.data_reordered r.acks_sent r.acks_dropped r.retransmissions r.goodput
-    r.ack_overhead r.efficiency
+    r.ack_overhead r.efficiency;
+  (* Crash-free runs keep the historical (cram-pinned) one-line format;
+     recovery metrics appear only when the plan actually faulted a
+     process. *)
+  if r.crashes > 0 then
+    Format.fprintf ppf ", crashes=%d restarts=%d resync-rounds=%d resync-ticks=%s retx-bytes=%d"
+      r.crashes r.restarts r.resync_rounds
+      (match r.resync_ticks with
+      | None -> "-"
+      | Some s -> Printf.sprintf "%.0f/%.0f" s.Ba_util.Stats.mean s.Ba_util.Stats.max)
+      r.retx_bytes

@@ -40,6 +40,12 @@ type result = Flow.result = {
           delivery order (for histograms) *)
   ack_overhead : float;  (** ack bytes per delivered payload byte *)
   efficiency : float;  (** delivered / data_sent: 1.0 means no waste *)
+  crashes : int;  (** endpoint crashes injected into this run *)
+  restarts : int;  (** endpoint restarts *)
+  resync_rounds : int;  (** resync handshake frames sent (REQ/POS/FIN) *)
+  resync_ticks : Ba_util.Stats.summary option;
+      (** per-restart recovery time; [None] when nothing restarted *)
+  retx_bytes : int;  (** bytes of retransmitted payload copies on the wire *)
 }
 
 type setup = {
@@ -63,6 +69,7 @@ val run :
   ?data_bottleneck:int * int ->
   ?data_plan:Ba_channel.Fault_plan.t ->
   ?ack_plan:Ba_channel.Fault_plan.t ->
+  ?crash_plan:Crash_plan.t ->
   ?deadline:int ->
   ?on_setup:(setup -> unit) ->
   unit ->
@@ -78,7 +85,11 @@ val run :
     link's seeded stream, so a run is a pure function of [seed]. Both
     links mangle messages with {!Wire.corrupt_data} /
     {!Wire.corrupt_ack} when a plan asks for a [Corrupt] verdict, so
-    robust endpoints can detect and discard them by checksum. *)
+    robust endpoints can detect and discard them by checksum.
+
+    [crash_plan] schedules endpoint process faults: each event crashes
+    the named endpoint at its tick and restarts it [down_for] ticks
+    later (see {!Crash_plan}); requires a crash-tolerant protocol. *)
 
 val pp_result : Format.formatter -> result -> unit
 

@@ -7,6 +7,13 @@ type t = {
   dynamic_window : bool;
   adaptive_rto : bool;
   max_transit : int option;
+  resync_epochs : bool;
+      (* [true]: crash-restart bumps the incarnation epoch (stable
+         storage) and runs the REQ/POS/FIN resync handshake before
+         resuming. [false]: the negative control — a restart comes back
+         with zeroed volatile state, no epoch bump and no handshake,
+         which is exactly the stale-state failure mode the self-
+         stabilizing-ARQ literature warns about. *)
 }
 
 let default =
@@ -19,6 +26,7 @@ let default =
     dynamic_window = false;
     adaptive_rto = false;
     max_transit = None;
+    resync_epochs = true;
   }
 
 let validate t =
@@ -42,7 +50,7 @@ let validate t =
           (Printf.sprintf "Proto_config: wire modulus %d < window+1=%d" n (t.window + 1))
 
 let make ?window ?rto ?wire_modulus ?ack_coalesce ?stenning_gap ?dynamic_window ?adaptive_rto
-    ?max_transit () =
+    ?max_transit ?resync_epochs () =
   let t =
     {
       window = Option.value ~default:default.window window;
@@ -53,6 +61,7 @@ let make ?window ?rto ?wire_modulus ?ack_coalesce ?stenning_gap ?dynamic_window 
       dynamic_window = Option.value ~default:default.dynamic_window dynamic_window;
       adaptive_rto = Option.value ~default:default.adaptive_rto adaptive_rto;
       max_transit;
+      resync_epochs = Option.value ~default:default.resync_epochs resync_epochs;
     }
   in
   validate t;

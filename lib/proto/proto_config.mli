@@ -37,6 +37,15 @@ type t = {
           holds shrink from [rto] to [2 * max_transit + ack_coalesce],
           reducing post-loss throttling. Must satisfy
           [rto > 2 * max_transit + ack_coalesce]. *)
+  resync_epochs : bool;
+      (** Crash–restart semantics for the endpoints that support a
+          [crash]/[restart] lifecycle. [true] (default): restart bumps a
+          stable-storage incarnation epoch and runs the REQ/POS/FIN
+          resync handshake ({!Wire}) before resuming, so old-incarnation
+          traffic is rejected. [false]: the negative control — restart
+          returns with zeroed volatile state, no epoch and no handshake,
+          reproducing the duplicate-delivery failure the explorer's
+          crash model exhibits. *)
 }
 
 val default : t
@@ -51,6 +60,7 @@ val make :
   ?dynamic_window:bool ->
   ?adaptive_rto:bool ->
   ?max_transit:int ->
+  ?resync_epochs:bool ->
   unit ->
   t
 (** [default] with overrides; validates all fields. *)

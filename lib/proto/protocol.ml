@@ -25,6 +25,33 @@ module type S = sig
   val sender_outstanding : sender -> int
   val sender_retransmissions : sender -> int
   val ack_wire_bytes : int
+  val crash_tolerant : bool
+  val sender_crash : sender -> unit
+  val sender_restart : sender -> unit
+  val receiver_crash : receiver -> unit
+  val receiver_restart : receiver -> unit
+  val sender_resync_rounds : sender -> int
+  val receiver_resync_rounds : receiver -> int
 end
 
 type t = (module S)
+
+module No_crash (N : sig
+  val name : string
+
+  type sender
+  type receiver
+end) =
+struct
+  let crash_tolerant = false
+
+  let unsupported () =
+    invalid_arg (Printf.sprintf "%s: crash-restart lifecycle not supported" N.name)
+
+  let sender_crash (_ : N.sender) = unsupported ()
+  let sender_restart (_ : N.sender) = unsupported ()
+  let receiver_crash (_ : N.receiver) = unsupported ()
+  let receiver_restart (_ : N.receiver) = unsupported ()
+  let sender_resync_rounds (_ : N.sender) = 0
+  let receiver_resync_rounds (_ : N.receiver) = 0
+end

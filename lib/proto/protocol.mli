@@ -48,6 +48,48 @@ module type S = sig
 
   val ack_wire_bytes : int
   (** Size of this protocol's acknowledgment on the wire. *)
+
+  (** {2 Crash–restart lifecycle}
+
+      Protocols with [crash_tolerant = true] support faulting the
+      processes, not just the channel: [*_crash] wipes an endpoint's
+      volatile state and makes it deaf until [*_restart]. What restart
+      means is the protocol's business (the block-ack endpoints bump an
+      incarnation epoch and run a resync handshake when the config's
+      [resync_epochs] is set, or come back zeroed as a negative control
+      when it is not). Protocols with [crash_tolerant = false] raise
+      [Invalid_argument] from all four lifecycle calls; campaign runners
+      must skip the crash fault class for them. *)
+
+  val crash_tolerant : bool
+
+  val sender_crash : sender -> unit
+  val sender_restart : sender -> unit
+  val receiver_crash : receiver -> unit
+  val receiver_restart : receiver -> unit
+
+  val sender_resync_rounds : sender -> int
+  (** Handshake frames this sender sent while resynchronising (0 for
+      protocols without a handshake). *)
+
+  val receiver_resync_rounds : receiver -> int
 end
 
 type t = (module S)
+
+(** Drop-in stubs for protocols that predate (or cannot support) the
+    crash lifecycle: [crash_tolerant = false], lifecycle calls raise. *)
+module No_crash (N : sig
+  val name : string
+
+  type sender
+  type receiver
+end) : sig
+  val crash_tolerant : bool
+  val sender_crash : N.sender -> unit
+  val sender_restart : N.sender -> unit
+  val receiver_crash : N.receiver -> unit
+  val receiver_restart : N.receiver -> unit
+  val sender_resync_rounds : N.sender -> int
+  val receiver_resync_rounds : N.receiver -> int
+end

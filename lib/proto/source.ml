@@ -1,20 +1,53 @@
-type t = { supplier : unit -> string option; mutable pending : string option }
+type t = {
+  supplier : unit -> string option;
+  history : (int, string) Hashtbl.t;
+  mutable issued : int;
+  mutable cursor : int;
+  mutable pending : string option;
+}
 
-let create supplier = { supplier; pending = None }
+let create supplier = { supplier; history = Hashtbl.create 64; issued = 0; cursor = 0; pending = None }
 
 let next t =
-  match t.pending with
-  | Some _ as p ->
-      t.pending <- None;
-      p
-  | None -> t.supplier ()
+  if t.cursor < t.issued then begin
+    (* Replaying the outbox after a resync rewind. *)
+    let p = Hashtbl.find t.history t.cursor in
+    t.cursor <- t.cursor + 1;
+    Some p
+  end
+  else begin
+    let fresh =
+      match t.pending with
+      | Some _ as p ->
+          t.pending <- None;
+          p
+      | None -> t.supplier ()
+    in
+    match fresh with
+    | None -> None
+    | Some p ->
+        Hashtbl.replace t.history t.issued p;
+        t.issued <- t.issued + 1;
+        t.cursor <- t.issued;
+        Some p
+  end
 
 let exhausted t =
-  match t.pending with
-  | Some _ -> false
-  | None -> (
-      match t.supplier () with
-      | None -> true
-      | Some p ->
-          t.pending <- Some p;
-          false)
+  if t.cursor < t.issued then false
+  else
+    match t.pending with
+    | Some _ -> false
+    | None -> (
+        match t.supplier () with
+        | None -> true
+        | Some p ->
+            t.pending <- Some p;
+            false)
+
+let issued t = t.issued
+
+let rewind t ~to_ =
+  if to_ < 0 || to_ > t.issued then
+    invalid_arg
+      (Printf.sprintf "Source.rewind: position %d outside issued range [0,%d]" to_ t.issued);
+  t.cursor <- to_

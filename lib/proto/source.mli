@@ -18,3 +18,17 @@ val exhausted : t -> bool
 (** [true] when nothing is available right now: the lookahead slot is
     empty and a fresh poll returned [None]. A payload obtained by the
     poll is kept for the next {!next}. *)
+
+val issued : t -> int
+(** Total payloads ever handed out (distinct positions, not counting
+    replays). Position [k] in this count is the resync handshake's
+    currency: the receiver's POS names the next position it expects. *)
+
+val rewind : t -> to_:int -> unit
+(** Replay the outbox from position [to_]: subsequent {!next} calls
+    re-yield previously issued payloads in order before pulling fresh
+    ones. The source retains everything it ever issued (it stands in for
+    the application's durable outbox), which is what lets a crashed
+    sender — whose volatile retransmission buffer is gone — resume from
+    the position the receiver announces. Raises [Invalid_argument] when
+    [to_] exceeds {!issued}. *)

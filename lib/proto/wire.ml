@@ -1,6 +1,16 @@
-type data = { seq : int; payload : string; check : int }
+(* Frames carry an incarnation [epoch] so a restarted endpoint can
+   reject traffic from its peer's (or its own) previous life, and a
+   [kind] discriminator for the three resync-handshake messages
+   (REQ/POS/FIN) that re-establish a common position after a crash.
+   Epoch 0 with kind [Msg]/[Ack] is exactly the pre-crash wire format. *)
 
-type ack = { lo : int; hi : int; check : int }
+type data_kind = Msg | Sync_req | Sync_fin
+
+type data = { seq : int; payload : string; epoch : int; dkind : data_kind; check : int }
+
+type ack_kind = Ack | Sync_pos
+
+type ack = { lo : int; hi : int; epoch : int; akind : ack_kind; check : int }
 
 (* FNV-1a over the payload bytes, folded with the header numbers (offset
    basis truncated to OCaml's 63-bit int). The simulation never needs
@@ -18,18 +28,55 @@ let fnv_int h v =
   done;
   !h
 
-let data_checksum ~seq ~payload =
+let data_kind_tag = function Msg -> 0 | Sync_req -> 1 | Sync_fin -> 2
+let ack_kind_tag = function Ack -> 0 | Sync_pos -> 1
+
+let data_checksum ~seq ~payload ~epoch ~dkind =
   let h = ref (fnv_int fnv_offset seq) in
+  (* Epoch-0 [Msg] frames hash exactly as before the crash-tolerance
+     layer existed: folding two extra zero ints would be harmless but
+     this keeps the whole zero-epoch wire image bit-identical. *)
+  if epoch <> 0 || dkind <> Msg then
+    h := fnv_int (fnv_int !h epoch) (data_kind_tag dkind);
   String.iter (fun c -> h := fnv_byte !h (Char.code c)) payload;
   !h
 
-let ack_checksum ~lo ~hi = fnv_int (fnv_int fnv_offset lo) hi
+let ack_checksum ~lo ~hi ~epoch ~akind =
+  let h = fnv_int (fnv_int fnv_offset lo) hi in
+  if epoch <> 0 || akind <> Ack then fnv_int (fnv_int h epoch) (ack_kind_tag akind) else h
 
-let make_data ~seq ~payload = { seq; payload; check = data_checksum ~seq ~payload }
-let make_ack ~lo ~hi = { lo; hi; check = ack_checksum ~lo ~hi }
+let make_data_e ~epoch ~seq ~payload =
+  { seq; payload; epoch; dkind = Msg; check = data_checksum ~seq ~payload ~epoch ~dkind:Msg }
 
-let data_ok (d : data) = d.check = data_checksum ~seq:d.seq ~payload:d.payload
-let ack_ok (a : ack) = a.check = ack_checksum ~lo:a.lo ~hi:a.hi
+let make_ack_e ~epoch ~lo ~hi =
+  { lo; hi; epoch; akind = Ack; check = ack_checksum ~lo ~hi ~epoch ~akind:Ack }
+
+(* Epoch-0 constructors: the pre-crash wire format, used by every
+   protocol that never restarts. *)
+let make_data ~seq ~payload = make_data_e ~epoch:0 ~seq ~payload
+let make_ack ~lo ~hi = make_ack_e ~epoch:0 ~lo ~hi
+
+(* Handshake frames. [Sync_pos] carries the receiver's stable delivered
+   count in [lo] (and mirrors it in [hi]); it is an absolute position,
+   deliberately exempt from the wire modulus — resync is rare, so the
+   paper's tight sequence-number economy does not apply to it. *)
+let make_sync_req ~epoch =
+  { seq = 0; payload = ""; epoch; dkind = Sync_req;
+    check = data_checksum ~seq:0 ~payload:"" ~epoch ~dkind:Sync_req }
+
+let make_sync_fin ~epoch =
+  { seq = 0; payload = ""; epoch; dkind = Sync_fin;
+    check = data_checksum ~seq:0 ~payload:"" ~epoch ~dkind:Sync_fin }
+
+let make_sync_pos ~epoch ~pos =
+  { lo = pos; hi = pos; epoch; akind = Sync_pos;
+    check = ack_checksum ~lo:pos ~hi:pos ~epoch ~akind:Sync_pos }
+
+let data_ok (d : data) =
+  d.check = data_checksum ~seq:d.seq ~payload:d.payload ~epoch:d.epoch ~dkind:d.dkind
+
+let ack_ok (a : ack) =
+  a.check = ack_checksum ~lo:a.lo ~hi:a.hi ~epoch:a.epoch ~akind:a.akind
 
 (* Deterministic mangling for the link's [Corrupt] verdict: damage the
    message without touching the stored checksum, so validation fails.
@@ -50,5 +97,17 @@ let ack_bytes_single = 4
 
 let data_bytes d = data_header_bytes + String.length d.payload
 
-let pp_data ppf d = Format.fprintf ppf "data(seq=%d,%dB)" d.seq (String.length d.payload)
-let pp_ack ppf a = Format.fprintf ppf "ack(%d,%d)" a.lo a.hi
+let pp_data ppf d =
+  match d.dkind with
+  | Msg ->
+      if d.epoch = 0 then Format.fprintf ppf "data(seq=%d,%dB)" d.seq (String.length d.payload)
+      else Format.fprintf ppf "data(seq=%d,%dB,e=%d)" d.seq (String.length d.payload) d.epoch
+  | Sync_req -> Format.fprintf ppf "sync-req(e=%d)" d.epoch
+  | Sync_fin -> Format.fprintf ppf "sync-fin(e=%d)" d.epoch
+
+let pp_ack ppf a =
+  match a.akind with
+  | Ack ->
+      if a.epoch = 0 then Format.fprintf ppf "ack(%d,%d)" a.lo a.hi
+      else Format.fprintf ppf "ack(%d,%d,e=%d)" a.lo a.hi a.epoch
+  | Sync_pos -> Format.fprintf ppf "sync-pos(e=%d,pos=%d)" a.epoch a.lo

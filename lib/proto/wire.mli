@@ -14,14 +14,47 @@
     Construct messages with {!make_data}/{!make_ack} (which compute the
     checksum) and validate arrivals with {!data_ok}/{!ack_ok}. Like a
     hardware FCS, the checksum is excluded from the byte-overhead
-    accounting below. *)
+    accounting below.
 
-type data = { seq : int; payload : string; check : int }
+    Frames additionally carry an incarnation {e epoch} and a frame
+    {e kind} for the crash–restart machinery: a restarted endpoint bumps
+    its epoch (stable storage) and runs a 3-message resync handshake —
+    REQ (a restarted sender asks for the receiver's position), POS (the
+    receiver states its stable delivered count), FIN (the sender
+    confirms cut-over; fresh same-epoch data acts as an implicit FIN).
+    Epoch-0 [Msg]/[Ack] frames are bit-identical to the pre-crash wire
+    format, so protocols that never restart are unaffected. *)
 
-type ack = { lo : int; hi : int; check : int }
+type data_kind = Msg | Sync_req | Sync_fin
+
+type data = { seq : int; payload : string; epoch : int; dkind : data_kind; check : int }
+
+type ack_kind = Ack | Sync_pos
+
+type ack = { lo : int; hi : int; epoch : int; akind : ack_kind; check : int }
 
 val make_data : seq:int -> payload:string -> data
 val make_ack : lo:int -> hi:int -> ack
+
+val make_data_e : epoch:int -> seq:int -> payload:string -> data
+(** [Msg] frame stamped with the sender's current incarnation epoch. *)
+
+val make_ack_e : epoch:int -> lo:int -> hi:int -> ack
+
+val make_sync_req : epoch:int -> data
+(** Handshake message 1: a restarted sender (fresh epoch, empty volatile
+    state) asks the receiver where to resume. *)
+
+val make_sync_pos : epoch:int -> pos:int -> ack
+(** Handshake message 2: the receiver's stable delivered count [pos],
+    carried as an absolute position in [lo] (mirrored in [hi]) — resync
+    is rare, so it is exempt from the wire modulus. Also sent
+    spontaneously by a restarted receiver (the receiver is the position
+    authority, so its restart skips REQ). *)
+
+val make_sync_fin : epoch:int -> data
+(** Handshake message 3: the sender confirms it has adopted [pos] and
+    the new epoch; the receiver stops resending POS. *)
 
 val data_ok : data -> bool
 (** The stored checksum matches the contents; receivers must discard
@@ -31,8 +64,8 @@ val ack_ok : ack -> bool
 (** Senders must ignore a failing acknowledgment — acting on a mangled
     block range could acknowledge data the receiver never accepted. *)
 
-val data_checksum : seq:int -> payload:string -> int
-val ack_checksum : lo:int -> hi:int -> int
+val data_checksum : seq:int -> payload:string -> epoch:int -> dkind:data_kind -> int
+val ack_checksum : lo:int -> hi:int -> epoch:int -> akind:ack_kind -> int
 
 val corrupt_data : data -> data
 (** Deterministically damage the frame without fixing up its checksum

@@ -78,6 +78,12 @@ let names = List.map (fun e -> e.name) all
 
 let robust = List.filter (fun e -> e.robust) all
 
+(* Single source of truth: the protocol module says whether it supports
+   the crash-restart lifecycle (only the block-ack endpoints do). *)
+let crash_tolerant e =
+  let module P = (val e.protocol : Ba_proto.Protocol.S) in
+  P.crash_tolerant
+
 let find name =
   List.find_opt (fun e -> String.equal e.name name || List.mem name e.aliases) all
 
@@ -92,12 +98,12 @@ let parse name =
 let protocol name = Option.map (fun e -> e.protocol) (find name)
 
 let config ?(window = 16) ?rto ?modulus ?ack_coalesce ?max_transit ?adaptive_rto ?stenning_gap
-    ?dynamic_window entry () =
+    ?dynamic_window ?resync_epochs entry () =
   let wire_modulus =
     match modulus with Some m -> Some m | None -> entry.default_modulus ~window
   in
   Ba_proto.Proto_config.make ~window ?rto ?wire_modulus:(Option.map Option.some wire_modulus)
-    ?ack_coalesce ?max_transit ?adaptive_rto ?stenning_gap ?dynamic_window ()
+    ?ack_coalesce ?max_transit ?adaptive_rto ?stenning_gap ?dynamic_window ?resync_epochs ()
 
 let pp_list ppf () =
   List.iter

@@ -31,6 +31,11 @@ val names : string list
 val robust : entry list
 (** The chaos-audited subset of {!all}. *)
 
+val crash_tolerant : entry -> bool
+(** Whether the entry's protocol supports the crash–restart lifecycle
+    ({!Ba_proto.Protocol.S.crash_tolerant}); campaign runners skip the
+    [crash] fault class for protocols that do not. *)
+
 val find : string -> entry option
 (** Resolve a canonical name or alias. *)
 
@@ -49,6 +54,7 @@ val config :
   ?adaptive_rto:bool ->
   ?stenning_gap:int ->
   ?dynamic_window:bool ->
+  ?resync_epochs:bool ->
   entry ->
   unit ->
   Ba_proto.Proto_config.t

@@ -1,0 +1,527 @@
+open Spec_types
+module M = Ba_channel.Multiset
+
+module Make (P : sig
+  val w : int
+  val n : int
+  val limit : int
+  val epochs : bool
+  val max_crashes : int
+  val victims : [ `Sender | `Receiver | `Both ]
+end) =
+struct
+  let () =
+    if P.w <= 0 then invalid_arg "Ba_spec_crash: w must be positive";
+    if P.n <= 0 || P.n mod P.w <> 0 then
+      invalid_arg "Ba_spec_crash: n must be a positive multiple of w";
+    if P.limit < 0 then invalid_arg "Ba_spec_crash: limit must be >= 0";
+    if P.max_crashes < 0 then invalid_arg "Ba_spec_crash: max_crashes must be >= 0"
+
+  (* Sender-to-receiver traffic: data frames plus the handshake's REQ
+     ("where are we?") and FIN ("position adopted"). Receiver-to-sender:
+     block acks plus POS ("resume at [pos]"). Every frame carries its
+     issuer's incarnation epoch; POS carries the receiver's durable
+     delivered count as an absolute (modulus-exempt) position, exactly as
+     the implementation's resync frames do. *)
+  type dmsg = Data of { wv : int; gv : int; ep : int } | Req of { ep : int } | Fin of { ep : int }
+  type amsg = Ack of { wi : int; wj : int; gi : int; gj : int; ep : int } | Pos of { ep : int; pos : int }
+
+  type state = {
+    (* Bounded sender state (all volatile but the epoch). *)
+    bna : int;
+    bns : int;
+    backd : Iset.t;
+    ep_s : int;  (** sender incarnation; stable storage *)
+    sync_s : bool;  (** restarted: REQ sent, POS pending; window frozen *)
+    (* Bounded receiver state (volatile but the epoch and, via the
+       application, the delivered count). *)
+    bnr : int;
+    bvr : int;
+    brcvd : Iset.t;
+    ep_r : int;  (** receiver incarnation; stable storage *)
+    sync_r : bool;  (** restarted: POS sent, FIN (or fresh data) pending *)
+    (* Channels. *)
+    csr : dmsg M.t;
+    crs : amsg M.t;
+    (* Ghost state: unbounded mirrors, never read by guards. *)
+    g_na : int;
+    g_ns : int;
+    g_ackd : Iset.t;
+    g_nr : int;
+    g_vr : int;
+    g_rcvd : Iset.t;
+    (* Application truth, which no crash can rewrite: [g_issued] counts
+       payloads the user program ever submitted (the durable outbox);
+       [g_del] is what it has seen delivered; [dup] records the first
+       value handed over twice. *)
+    g_issued : int;
+    g_del : Iset.t;
+    dup : int option;
+    crashes : int;
+  }
+
+  let name =
+    Printf.sprintf "blockack-crash-%s(w=%d,n=%d,limit=%d,crashes<=%d)"
+      (if P.epochs then "epochs" else "naive")
+      P.w P.n P.limit P.max_crashes
+
+  let initial =
+    {
+      bna = 0;
+      bns = 0;
+      backd = Iset.empty;
+      ep_s = 0;
+      sync_s = false;
+      bnr = 0;
+      bvr = 0;
+      brcvd = Iset.empty;
+      ep_r = 0;
+      sync_r = false;
+      csr = M.empty;
+      crs = M.empty;
+      g_na = 0;
+      g_ns = 0;
+      g_ackd = Iset.empty;
+      g_nr = 0;
+      g_vr = 0;
+      g_rcvd = Iset.empty;
+      g_issued = 0;
+      g_del = Iset.empty;
+      dup = None;
+      crashes = 0;
+    }
+
+  let wrap m = Ba_util.Modseq.wrap ~n:P.n m
+  let succ m = Ba_util.Modseq.succ ~n:P.n m
+  let dist a b = Ba_util.Modseq.distance ~n:P.n a b
+  let slot wire = wire mod P.w
+  let iset_below limit s = Iset.of_list (List.filter (fun m -> m < limit) (Iset.elements s))
+
+  (* ---------------------------------------------------------------- *)
+  (* The paper's actions, epoch-stamped. *)
+
+  let send_new s =
+    if (not s.sync_s) && dist s.bna s.bns < P.w && s.g_ns < P.limit then
+      [ { label = Printf.sprintf "send(%d|w%d,e%d)" s.g_ns s.bns s.ep_s;
+          kind = Protocol;
+          target =
+            { s with
+              csr = M.add (Data { wv = s.bns; gv = s.g_ns; ep = s.ep_s }) s.csr;
+              bns = succ s.bns;
+              g_ns = s.g_ns + 1;
+              g_issued = max s.g_issued (s.g_ns + 1)
+            } } ]
+    else []
+
+  let timeout s =
+    if
+      (not s.sync_s) && s.bna <> s.bns && M.is_empty s.csr && M.is_empty s.crs && s.bnr = s.bvr
+      && not (Iset.mem (slot s.bnr) s.brcvd)
+    then
+      [ { label = Printf.sprintf "timeout->resend(w%d,e%d)" s.bna s.ep_s;
+          kind = Protocol;
+          target = { s with csr = M.add (Data { wv = s.bna; gv = s.g_na; ep = s.ep_s }) s.csr } } ]
+    else []
+
+  (* Receiver-side epoch adoption: the sender restarted into a later
+     incarnation, so the out-of-order buffer holds frames of a dead one —
+     discard it (its contents will be resent from the position we
+     announce) and track the new epoch. Durable state (vr, the delivered
+     count) is untouched: delivery cannot be revoked. *)
+  let r_adopt s ep =
+    { s with ep_r = ep; brcvd = Iset.empty; g_rcvd = iset_below s.g_vr s.g_rcvd }
+
+  (* POS doubles as a cumulative acknowledgment of everything delivered,
+     so the receiver's ack debt [nr, vr) is settled by sending it. *)
+  let send_pos s =
+    { s with
+      bnr = s.bvr;
+      g_nr = s.g_vr;
+      crs = M.add (Pos { ep = s.ep_r; pos = s.g_vr }) s.crs
+    }
+
+  (* Sender-side resync: adopt the receiver's position as the whole
+     window — everything below [pos] was delivered (POS says so), nothing
+     at or above it is outstanding. The durable application outbox
+     replays the tail through send_new. *)
+  let s_resync s ~ep ~pos =
+    { s with
+      ep_s = ep;
+      sync_s = false;
+      bna = wrap pos;
+      bns = wrap pos;
+      backd = Iset.empty;
+      g_na = pos;
+      g_ns = pos;
+      g_ackd = Iset.add_range ~lo:0 ~hi:(pos - 1) s.g_ackd
+    }
+
+  let recv_data s =
+    List.concat_map
+      (fun (m : dmsg) ->
+        let csr = M.remove m s.csr in
+        match m with
+        | Req { ep } ->
+            if not P.epochs then []
+            else if ep < s.ep_r then
+              [ { label = Printf.sprintf "drop_stale_req(e%d)" ep;
+                  kind = Protocol;
+                  target = { s with csr } } ]
+            else
+              let s' = if ep > s.ep_r then r_adopt s ep else s in
+              [ { label = Printf.sprintf "recv_req(e%d)->pos(%d)" ep s'.g_vr;
+                  kind = Protocol;
+                  target = send_pos { s' with csr } } ]
+        | Fin { ep } ->
+            if not P.epochs then []
+            else if ep < s.ep_r then
+              [ { label = Printf.sprintf "drop_stale_fin(e%d)" ep;
+                  kind = Protocol;
+                  target = { s with csr } } ]
+            else
+              let s' = if ep > s.ep_r then r_adopt s ep else s in
+              [ { label = Printf.sprintf "recv_fin(e%d)" ep;
+                  kind = Protocol;
+                  target = { s' with csr; sync_r = false } } ]
+        | Data { wv; gv; ep } ->
+            if P.epochs && ep < s.ep_r then
+              [ { label = Printf.sprintf "drop_stale_data(%d,e%d)" gv ep;
+                  kind = Protocol;
+                  target = { s with csr } } ]
+            else begin
+              (* Higher epoch: adopt first. Same epoch: fresh data is an
+                 implicit FIN. Either way the frame then decodes against
+                 the (possibly just cleared) receive window. *)
+              let s = if P.epochs && ep > s.ep_r then r_adopt s ep else s in
+              let s = { s with csr; sync_r = false } in
+              let target =
+                if dist s.bnr wv < P.w then
+                  { s with brcvd = Iset.add (slot wv) s.brcvd; g_rcvd = Iset.add gv s.g_rcvd }
+                else
+                  { s with
+                    crs = M.add (Ack { wi = wv; wj = wv; gi = gv; gj = gv; ep = s.ep_r }) s.crs
+                  }
+              in
+              [ { label = Printf.sprintf "recv_data(w%d,e%d)" wv ep; kind = Protocol; target } ]
+            end)
+      (M.distinct s.csr)
+
+  let advance_vr s =
+    if Iset.mem (slot s.bvr) s.brcvd then
+      [ { label = Printf.sprintf "deliver(%d|w%d)" s.g_vr s.bvr;
+          kind = Protocol;
+          target =
+            { s with
+              brcvd = Iset.remove (slot s.bvr) s.brcvd;
+              bvr = succ s.bvr;
+              dup = (if s.dup = None && Iset.mem s.g_vr s.g_del then Some s.g_vr else s.dup);
+              g_del = Iset.add s.g_vr s.g_del;
+              g_vr = s.g_vr + 1
+            } } ]
+    else []
+
+  let send_ack s =
+    if s.bnr <> s.bvr then
+      [ { label = Printf.sprintf "send_ack(w%d,w%d,e%d)" s.bnr (wrap (s.bvr - 1)) s.ep_r;
+          kind = Protocol;
+          target =
+            { s with
+              crs =
+                M.add
+                  (Ack { wi = s.bnr; wj = wrap (s.bvr - 1); gi = s.g_nr; gj = s.g_vr - 1; ep = s.ep_r })
+                  s.crs;
+              bnr = s.bvr;
+              g_nr = s.g_vr
+            } } ]
+    else []
+
+  let recv_ack s =
+    List.concat_map
+      (fun (m : amsg) ->
+        let crs = M.remove m s.crs in
+        match m with
+        | Pos { ep; pos } ->
+            if not P.epochs then []
+            else if ep < s.ep_s then
+              [ { label = Printf.sprintf "drop_stale_pos(e%d)" ep;
+                  kind = Protocol;
+                  target = { s with crs } } ]
+            else if ep > s.ep_s || s.sync_s then
+              (* Adopt the position (receiver is the authority) and
+                 confirm with FIN. *)
+              let s' = s_resync { s with crs } ~ep ~pos in
+              [ { label = Printf.sprintf "recv_pos(e%d,%d)->resync" ep pos;
+                  kind = Protocol;
+                  target = { s' with csr = M.add (Fin { ep = s'.ep_s }) s'.csr } } ]
+            else
+              (* Same epoch, already synced: our FIN was lost. Re-confirm
+                 without touching the window. *)
+              [ { label = Printf.sprintf "recv_pos(e%d,%d)->refin" ep pos;
+                  kind = Protocol;
+                  target = { s with crs; csr = M.add (Fin { ep = s.ep_s }) s.csr } } ]
+        | Ack a ->
+            if P.epochs && (a.ep <> s.ep_s || s.sync_s) then
+              [ { label = Printf.sprintf "drop_ack(w%d,w%d,e%d)" a.wi a.wj a.ep;
+                  kind = Protocol;
+                  target = { s with crs } } ]
+            else begin
+              let covered = dist a.wi a.wj + 1 in
+              let outstanding = dist s.bna s.bns in
+              let rec mark k backd =
+                if k >= covered then backd
+                else begin
+                  let y = wrap (a.wi + k) in
+                  let backd =
+                    if dist s.bna y < outstanding then Iset.add (slot y) backd else backd
+                  in
+                  mark (k + 1) backd
+                end
+              in
+              let backd = mark 0 s.backd in
+              let rec advance bna backd g_na =
+                if Iset.mem (slot bna) backd then
+                  advance (succ bna) (Iset.remove (slot bna) backd) (g_na + 1)
+                else (bna, backd, g_na)
+              in
+              let bna, backd, g_na = advance s.bna backd s.g_na in
+              let g_ackd = Iset.add_range ~lo:a.gi ~hi:a.gj s.g_ackd in
+              [ { label = Printf.sprintf "recv_ack(w%d,w%d,e%d)" a.wi a.wj a.ep;
+                  kind = Protocol;
+                  target = { s with crs; backd; bna; g_na; g_ackd } } ]
+            end)
+      (M.distinct s.crs)
+
+  (* ---------------------------------------------------------------- *)
+  (* Handshake retries: like action 2, guarded on the environment's
+     knowledge that nothing is in transit (the timer idealization). *)
+
+  let resend_req s =
+    if P.epochs && s.sync_s && M.is_empty s.csr && M.is_empty s.crs then
+      [ { label = Printf.sprintf "resync_timeout->req(e%d)" s.ep_s;
+          kind = Protocol;
+          target = { s with csr = M.add (Req { ep = s.ep_s }) s.csr } } ]
+    else []
+
+  let resend_pos s =
+    if P.epochs && s.sync_r && M.is_empty s.csr && M.is_empty s.crs then
+      [ { label = Printf.sprintf "resync_timeout->pos(e%d,%d)" s.ep_r s.g_vr;
+          kind = Protocol;
+          target = send_pos s } ]
+    else []
+
+  (* ---------------------------------------------------------------- *)
+  (* Environment faults. A crash and its restart are collapsed into one
+     atomic transition: the down window only loses in-transit frames,
+     which the Loss transitions already model. *)
+
+  let crash_sender s =
+    if s.crashes >= P.max_crashes || P.victims = `Receiver then []
+    else
+      let base =
+        { s with
+          bna = 0;
+          bns = 0;
+          backd = Iset.empty;
+          g_na = 0;
+          g_ns = 0;
+          crashes = s.crashes + 1
+        }
+      in
+      let target =
+        if P.epochs then
+          let ep = s.ep_s + 1 in
+          { base with ep_s = ep; sync_s = true; csr = M.add (Req { ep }) base.csr }
+        else base
+      in
+      [ { label = Printf.sprintf "crash_sender(e%d)" target.ep_s; kind = Crash; target } ]
+
+  let crash_receiver s =
+    if s.crashes >= P.max_crashes || P.victims = `Sender then []
+    else if P.epochs then
+      (* Durable: epoch and the delivered count (g_vr). The unacked run
+         [nr, vr) and the out-of-order buffer are volatile; POS re-acks
+         the former. *)
+      let ep = s.ep_r + 1 in
+      let base =
+        r_adopt { s with sync_r = true; crashes = s.crashes + 1; bnr = s.bvr; g_nr = s.g_vr } ep
+      in
+      [ { label = Printf.sprintf "crash_receiver(e%d)" ep; kind = Crash; target = send_pos base } ]
+    else
+      [ { label = "crash_receiver";
+          kind = Crash;
+          target =
+            { s with
+              bnr = 0;
+              bvr = 0;
+              brcvd = Iset.empty;
+              g_nr = 0;
+              g_vr = 0;
+              g_rcvd = Iset.empty;
+              crashes = s.crashes + 1
+            } } ]
+
+  let lose s =
+    List.map
+      (fun (m : dmsg) ->
+        let label =
+          match m with
+          | Data { gv; _ } -> Printf.sprintf "lose_data(%d)" gv
+          | Req { ep } -> Printf.sprintf "lose_req(e%d)" ep
+          | Fin { ep } -> Printf.sprintf "lose_fin(e%d)" ep
+        in
+        { label; kind = Loss; target = { s with csr = M.remove m s.csr } })
+      (M.distinct s.csr)
+    @ List.map
+        (fun (m : amsg) ->
+          let label =
+            match m with
+            | Ack { gi; gj; _ } -> Printf.sprintf "lose_ack(%d,%d)" gi gj
+            | Pos { ep; pos } -> Printf.sprintf "lose_pos(e%d,%d)" ep pos
+          in
+          { label; kind = Loss; target = { s with crs = M.remove m s.crs } })
+        (M.distinct s.crs)
+
+  let transitions s =
+    send_new s @ recv_ack s @ timeout s @ recv_data s @ advance_vr s @ send_ack s @ resend_req s
+    @ resend_pos s @ crash_sender s @ crash_receiver s @ lose s
+
+  (* ---------------------------------------------------------------- *)
+  (* Checks. At-most-once delivery is asserted in {e every} reachable
+     state — it is the property crashes threaten. The paper's assertions
+     6–8 are a closure property: they hold in crash-free runs and, with
+     epochs, in every {e stabilized} state (epochs agree, no handshake
+     pending, no stale frame in transit) — the self-stabilization claim.
+     In between (and always, in naive mode, once a crash has happened)
+     they are legitimately violated; that violation is the bug the
+     handshake exists to contain. *)
+
+  let fail fmt = Format.kasprintf (fun m -> Some m) fmt
+
+  let slots_of predicate lo hi =
+    let rec go m acc =
+      if m >= hi then acc else go (m + 1) (if predicate m then Iset.add (m mod P.w) acc else acc)
+    in
+    go (max 0 lo) Iset.empty
+
+  let refinement s =
+    if s.bna <> wrap s.g_na then fail "refinement: bna=%d <> na mod n=%d" s.bna (wrap s.g_na)
+    else if s.bns <> wrap s.g_ns then fail "refinement: bns=%d <> ns mod n" s.bns
+    else if s.bnr <> wrap s.g_nr then fail "refinement: bnr=%d <> nr mod n" s.bnr
+    else if s.bvr <> wrap s.g_vr then fail "refinement: bvr=%d <> vr mod n" s.bvr
+    else begin
+      let expected_ackd = slots_of (fun m -> Iset.mem m s.g_ackd && m >= s.g_na) s.g_na s.g_ns in
+      if s.backd <> expected_ackd then
+        fail "refinement: ackd slots %a <> ghost %a" Iset.pp s.backd Iset.pp expected_ackd
+      else begin
+        let expected_rcvd =
+          slots_of (fun m -> Iset.mem m s.g_rcvd && m >= s.g_vr) s.g_vr (s.g_nr + P.w)
+        in
+        if s.brcvd <> expected_rcvd then
+          fail "refinement: rcvd slots %a <> ghost %a" Iset.pp s.brcvd Iset.pp expected_rcvd
+        else None
+      end
+    end
+
+  let reconstruction s =
+    match
+      M.distinct s.csr
+      |> List.find_opt (function Data { wv; gv; _ } -> wv <> wrap gv | Req _ | Fin _ -> false)
+    with
+    | Some (Data { wv; gv; _ }) -> fail "wire: data carries w%d but truth %d" wv gv
+    | Some _ | None -> (
+        match
+          M.distinct s.crs
+          |> List.find_opt (function
+               | Ack { wi; wj; gi; gj; _ } -> wi <> wrap gi || wj <> wrap gj
+               | Pos _ -> false)
+        with
+        | Some (Ack { wi; wj; gi; gj; _ }) ->
+            fail "wire: ack carries (w%d,w%d) but truth (%d,%d)" wi wj gi gj
+        | Some _ | None -> None)
+
+  let stabilized s =
+    (not s.sync_s) && (not s.sync_r) && s.ep_s = s.ep_r
+    && List.for_all
+         (function Data { ep; _ } | Req { ep } | Fin { ep } -> ep = s.ep_s)
+         (M.distinct s.csr)
+    && List.for_all (function Ack { ep; _ } | Pos { ep; _ } -> ep = s.ep_s) (M.distinct s.crs)
+
+  let ghost_view s =
+    {
+      Invariant.w = P.w;
+      na = s.g_na;
+      ns = s.g_ns;
+      nr = s.g_nr;
+      vr = s.g_vr;
+      ackd = (fun m -> Iset.mem m s.g_ackd);
+      rcvd = (fun m -> Iset.mem m s.g_rcvd);
+      sr_count =
+        (fun m ->
+          M.filter_count (function Data { gv; _ } -> gv = m | Req _ | Fin _ -> false) s.csr);
+      rs_count =
+        (fun m ->
+          M.filter_count
+            (function Ack { gi; gj; _ } -> gi <= m && m <= gj | Pos _ -> false)
+            s.crs);
+      horizon = P.limit + P.w + 2;
+    }
+
+  (* The bounded/ghost mirror is meaningful wherever the protocol is
+     honest about incarnations: always with epochs, only pre-crash
+     without (the naive restart knowingly corrupts the correspondence —
+     the application-level symptoms below are its indictment). *)
+  let mirror_ok s = P.epochs || s.crashes = 0
+
+  let check s =
+    match s.dup with
+    | Some v -> fail "duplicate delivery: value %d handed to the application twice" v
+    | None ->
+        if Iset.exists (fun m -> m >= s.g_issued) s.g_del then
+          fail "phantom delivery: a value the application never submitted was delivered"
+        else (
+          match (if mirror_ok s then refinement s else None) with
+          | Some _ as e -> e
+          | None -> (
+              match (if mirror_ok s then reconstruction s else None) with
+              | Some _ as e -> e
+              | None ->
+                  let closure_holds = if P.epochs then stabilized s else s.crashes = 0 in
+                  if closure_holds then Invariant.check (ghost_view s) else None))
+
+  let terminal s = s.g_na >= P.limit
+
+  (* The paper's measure na+ns+nr+vr is rewound by resync, so this spec
+     uses a crash-robust one: delivered values are never forgotten and
+     epochs never decrease along protocol actions. *)
+  let measure s = Iset.cardinal s.g_del + s.ep_s + s.ep_r
+
+  let pp ppf s =
+    Format.fprintf ppf
+      "S{bna=%d bns=%d ackd=%a e%d%s | na=%d ns=%d} R{bnr=%d bvr=%d rcvd=%a e%d%s | nr=%d vr=%d} \
+       del=%a crashes=%d CSR=%a CRS=%a"
+      s.bna s.bns Iset.pp s.backd s.ep_s
+      (if s.sync_s then "!" else "")
+      s.g_na s.g_ns s.bnr s.bvr Iset.pp s.brcvd s.ep_r
+      (if s.sync_r then "!" else "")
+      s.g_nr s.g_vr Iset.pp s.g_del s.crashes
+      (M.pp (fun ppf -> function
+         | Data { wv; gv; ep } -> Format.fprintf ppf "%d|w%d|e%d" gv wv ep
+         | Req { ep } -> Format.fprintf ppf "req|e%d" ep
+         | Fin { ep } -> Format.fprintf ppf "fin|e%d" ep))
+      s.csr
+      (M.pp (fun ppf -> function
+         | Ack { gi; gj; wi; wj; ep } -> Format.fprintf ppf "(%d,%d)|w(%d,%d)|e%d" gi gj wi wj ep
+         | Pos { ep; pos } -> Format.fprintf ppf "pos(%d)|e%d" pos ep))
+      s.crs
+end
+
+let default ~w ?n ~limit ~epochs ?(max_crashes = 1) ?(victims = `Both) () =
+  let n = match n with Some n -> n | None -> 2 * w in
+  (module Make (struct
+    let w = w
+    let n = n
+    let limit = limit
+    let epochs = epochs
+    let max_crashes = max_crashes
+    let victims = victims
+  end) : Spec_types.SPEC)

@@ -1,4 +1,4 @@
-type kind = Protocol | Loss
+type kind = Protocol | Loss | Crash
 
 type 'state transition = { label : string; kind : kind; target : 'state }
 

@@ -9,6 +9,11 @@
 type kind =
   | Protocol  (** one of the paper's actions 0–5 / 2′ *)
   | Loss  (** environment drops an in-transit message *)
+  | Crash
+      (** environment crashes and restarts an endpoint, wiping its
+          volatile state. Like [Loss], excluded from the progress
+          measure and from the liveness pass's forward edges — progress
+          is only demanded of fault-free suffixes. *)
 
 type 'state transition = { label : string; kind : kind; target : 'state }
 

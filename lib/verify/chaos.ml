@@ -1,9 +1,11 @@
 module Fault_plan = Ba_channel.Fault_plan
+module Crash_plan = Ba_proto.Crash_plan
 module Harness = Ba_proto.Harness
 
-type fault_class = Bursty_loss | Duplication | Corruption | Outage | Reorder
+type fault_class = Bursty_loss | Duplication | Corruption | Outage | Reorder | Crash
 
-let all_classes = [ Bursty_loss; Duplication; Corruption; Outage; Reorder ]
+let channel_classes = [ Bursty_loss; Duplication; Corruption; Outage; Reorder ]
+let all_classes = channel_classes @ [ Crash ]
 
 let class_name = function
   | Bursty_loss -> "bursty-loss"
@@ -11,6 +13,7 @@ let class_name = function
   | Corruption -> "corruption"
   | Outage -> "outage"
   | Reorder -> "reorder"
+  | Crash -> "crash"
 
 let class_of_name = function
   | "bursty-loss" -> Some Bursty_loss
@@ -18,6 +21,7 @@ let class_of_name = function
   | "corruption" -> Some Corruption
   | "outage" -> Some Outage
   | "reorder" -> Some Reorder
+  | "crash" -> Some Crash
   | _ -> None
 
 (* The schedules vary with the seed — outage windows shift, duplicate
@@ -56,13 +60,44 @@ let plans_for fault ~seed =
          ambiguity the paper's introduction builds its case on. *)
       ( Fault_plan.make ~delay_spike:(0.3, 350) (),
         Fault_plan.make ~delay_spike:(0.15, 250) () )
+  | Crash ->
+      (* Crash is a process fault, not a channel fault: the links stay
+         clean so the class tests exactly one adversary (the schedule
+         lives in {!crash_plan_for}). *)
+      (Fault_plan.make (), Fault_plan.make ())
+
+(* Which endpoint dies, when, and for how long all rotate with the seed,
+   so the 50-seed grid covers sender-only, receiver-only and staggered
+   double crashes at assorted points in the transfer. Pure data, like the
+   channel plans: the printed plan is the replay key. *)
+let crash_plan_for ~seed =
+  let at = 120 + (90 * (seed mod 5)) in
+  let down_for = 100 + (60 * (seed mod 4)) in
+  match seed mod 3 with
+  | 0 -> Crash_plan.make [ { Crash_plan.at; endpoint = Crash_plan.Receiver_end; down_for } ]
+  | 1 -> Crash_plan.make [ { Crash_plan.at; endpoint = Crash_plan.Sender_end; down_for } ]
+  | _ ->
+      Crash_plan.make
+        [
+          { Crash_plan.at; endpoint = Crash_plan.Receiver_end; down_for };
+          { Crash_plan.at = at + 400; endpoint = Crash_plan.Sender_end; down_for };
+        ]
 
 type failure = {
   seed : int;
   fault : fault_class;
   data_plan : Fault_plan.t;
   ack_plan : Fault_plan.t;
+  crash_plan : Crash_plan.t;
   result : Harness.result;
+}
+
+type recovery = {
+  restarts : int;
+  resync_rounds : int;
+  mean_resync_ticks : float;
+  max_resync_ticks : float;
+  retx_bytes : int;
 }
 
 type class_report = {
@@ -72,6 +107,8 @@ type class_report = {
   incomplete : int;
   both : int;
   first_failure : failure option;
+  supported : bool;
+  recovery : recovery option;
 }
 
 type report = { protocol : string; classes : class_report list }
@@ -91,6 +128,13 @@ let robust_config =
   Ba_proto.Proto_config.make ~window:16 ~wire_modulus:(Some 32) ~rto:1000 ~max_transit:410
     ~adaptive_rto:true ()
 
+(* The negative control for the crash class: same timing, but restarts
+   come back zeroed instead of bumping their incarnation epoch — the
+   configuration whose duplicate delivery the epochs exist to close. *)
+let naive_restart_config =
+  Ba_proto.Proto_config.make ~window:16 ~wire_modulus:(Some 32) ~rto:1000 ~max_transit:410
+    ~adaptive_rto:true ~resync_epochs:false ()
+
 let gbn_config =
   Ba_proto.Proto_config.make ~window:16 ~wire_modulus:(Some 17) ~rto:1000 ~max_transit:410 ()
 
@@ -99,15 +143,22 @@ let gbn_config =
    exactly one adversary. In particular bounded go-back-N — sound on
    FIFO channels — survives every class except the one that actually
    reorders. *)
-let run_one ?(messages = 60) ?(config = robust_config) protocol fault ~seed =
+let run_cell ?(messages = 60) ?(config = robust_config) protocol fault ~seed =
   let data_plan, ack_plan = plans_for fault ~seed in
+  let crash_plan = match fault with Crash -> crash_plan_for ~seed | _ -> Crash_plan.none in
   let delay = Ba_channel.Dist.Constant 50 in
   let result =
     Harness.run protocol ~seed ~messages ~config ~data_delay:delay ~ack_delay:delay ~data_plan
-      ~ack_plan ()
+      ~ack_plan ~crash_plan ()
   in
-  if safe result && result.Harness.completed then None
-  else Some { seed; fault; data_plan; ack_plan; result }
+  let failure =
+    if safe result && result.Harness.completed then None
+    else Some { seed; fault; data_plan; ack_plan; crash_plan; result }
+  in
+  (failure, result)
+
+let run_one ?messages ?config protocol fault ~seed =
+  fst (run_cell ?messages ?config protocol fault ~seed)
 
 let default_seeds = List.init 50 (fun i -> i + 1)
 
@@ -119,61 +170,128 @@ let run_campaign ?messages ?config ?(seeds = default_seeds) ?(classes = all_clas
      seed, so the cells farm out to a domain pool. Pool.map returns the
      outcomes in input order, which makes the fold below — and therefore
      the whole report — identical at any job count. *)
-  let cells = List.concat_map (fun fault -> List.map (fun seed -> (fault, seed)) seeds) classes in
+  (* The crash class only makes sense against protocols implementing the
+     crash-restart lifecycle; for the rest it is reported as skipped
+     rather than silently dropped. *)
+  let runnable fault = fault <> Crash || P.crash_tolerant in
+  let cells =
+    List.concat_map
+      (fun fault -> if runnable fault then List.map (fun seed -> (fault, seed)) seeds else [])
+      classes
+  in
   let outcomes =
     Ba_parallel.Pool.map ?pool ~jobs
-      (fun (fault, seed) -> run_one ?messages ?config protocol fault ~seed)
+      (fun (fault, seed) -> run_cell ?messages ?config protocol fault ~seed)
       cells
   in
+  let recovery_of results =
+    let restarts = List.fold_left (fun a (r : Harness.result) -> a + r.Harness.restarts) 0 results in
+    if restarts = 0 then None
+    else begin
+      let rounds =
+        List.fold_left (fun a (r : Harness.result) -> a + r.Harness.resync_rounds) 0 results
+      and retx_bytes =
+        List.fold_left (fun a (r : Harness.result) -> a + r.Harness.retx_bytes) 0 results
+      and count = ref 0
+      and total = ref 0.
+      and max_ticks = ref 0. in
+      List.iter
+        (fun (r : Harness.result) ->
+          match r.Harness.resync_ticks with
+          | None -> ()
+          | Some s ->
+              count := !count + s.Ba_util.Stats.count;
+              total := !total +. (s.Ba_util.Stats.mean *. float_of_int s.Ba_util.Stats.count);
+              if s.Ba_util.Stats.max > !max_ticks then max_ticks := s.Ba_util.Stats.max)
+        results;
+      Some
+        {
+          restarts;
+          resync_rounds = rounds;
+          mean_resync_ticks = (if !count = 0 then 0. else !total /. float_of_int !count);
+          max_resync_ticks = !max_ticks;
+          retx_bytes;
+        }
+    end
+  in
   let audit fault =
-    let unsafe = ref 0 and incomplete = ref 0 and both = ref 0 and first = ref None in
-    List.iter2
-      (fun (cell_fault, _) outcome ->
-        match outcome with
-        | _ when cell_fault <> fault -> ()
-        | None -> ()
-        | Some f ->
-            let is_unsafe = not (safe f.result) in
-            let is_incomplete = not f.result.Harness.completed in
-            if is_unsafe then incr unsafe;
-            if is_incomplete then incr incomplete;
-            if is_unsafe && is_incomplete then incr both;
-            (* Seeds are swept in the caller's order; track the smallest
-               failing one regardless. *)
-            (match !first with
-            | Some g when g.seed <= f.seed -> ()
-            | Some _ | None -> first := Some f))
-      cells outcomes;
-    {
-      fault;
-      runs = List.length seeds;
-      unsafe = !unsafe;
-      incomplete = !incomplete;
-      both = !both;
-      first_failure = !first;
-    }
+    if not (runnable fault) then
+      {
+        fault;
+        runs = 0;
+        unsafe = 0;
+        incomplete = 0;
+        both = 0;
+        first_failure = None;
+        supported = false;
+        recovery = None;
+      }
+    else begin
+      let unsafe = ref 0 and incomplete = ref 0 and both = ref 0 and first = ref None in
+      let results = ref [] in
+      List.iter2
+        (fun (cell_fault, _) (outcome, result) ->
+          if cell_fault = fault then begin
+            results := result :: !results;
+            match outcome with
+            | None -> ()
+            | Some f ->
+                let is_unsafe = not (safe f.result) in
+                let is_incomplete = not f.result.Harness.completed in
+                if is_unsafe then incr unsafe;
+                if is_incomplete then incr incomplete;
+                if is_unsafe && is_incomplete then incr both;
+                (* Seeds are swept in the caller's order; track the smallest
+                   failing one regardless. *)
+                (match !first with
+                | Some g when g.seed <= f.seed -> ()
+                | Some _ | None -> first := Some f)
+          end)
+        cells outcomes;
+      {
+        fault;
+        runs = List.length seeds;
+        unsafe = !unsafe;
+        incomplete = !incomplete;
+        both = !both;
+        first_failure = !first;
+        supported = true;
+        recovery = recovery_of !results;
+      }
+    end
   in
   { protocol = P.name; classes = List.map audit classes }
 
 let clean r = List.for_all (fun c -> c.unsafe = 0 && c.incomplete = 0) r.classes
 
 let pp_failure ppf f =
-  Format.fprintf ppf "@[<v>seed=%d fault=%s@,data: %a@,ack:  %a@,%a@]" f.seed
-    (class_name f.fault) Fault_plan.pp f.data_plan Fault_plan.pp f.ack_plan Harness.pp_result
-    f.result
+  Format.fprintf ppf "@[<v>seed=%d fault=%s@,data: %a@,ack:  %a" f.seed (class_name f.fault)
+    Fault_plan.pp f.data_plan Fault_plan.pp f.ack_plan;
+  if f.crash_plan <> Crash_plan.none then Format.fprintf ppf "@,proc: %a" Crash_plan.pp f.crash_plan;
+  Format.fprintf ppf "@,%a@]" Harness.pp_result f.result
 
 (* [unsafe] and [incomplete] are counts of runs with each symptom, not a
    partition: a run that is both unsafe and stuck appears in both. The
    [both=] segment makes the overlap explicit whenever it is nonzero, so
    the distinct failing-run count is unsafe + incomplete - both. *)
 let pp_class_report ppf c =
-  Format.fprintf ppf "%-12s %3d runs  unsafe=%-3d incomplete=%-3d %s%s" (class_name c.fault)
-    c.runs c.unsafe c.incomplete
-    (if c.both > 0 then Printf.sprintf "both=%-3d " c.both else "")
-    (if c.unsafe = 0 && c.incomplete = 0 then "ok" else "FAIL");
-  match c.first_failure with
-  | None -> ()
-  | Some f -> Format.fprintf ppf "@,  first failure: @[<v>%a@]" pp_failure f
+  if not c.supported then
+    Format.fprintf ppf "%-12s skipped (protocol not crash-tolerant)" (class_name c.fault)
+  else begin
+    Format.fprintf ppf "%-12s %3d runs  unsafe=%-3d incomplete=%-3d %s%s" (class_name c.fault)
+      c.runs c.unsafe c.incomplete
+      (if c.both > 0 then Printf.sprintf "both=%-3d " c.both else "")
+      (if c.unsafe = 0 && c.incomplete = 0 then "ok" else "FAIL");
+    (match c.recovery with
+    | None -> ()
+    | Some r ->
+        Format.fprintf ppf
+          "@,  recovery: restarts=%d rounds=%d resync-ticks=%.0f mean/%.0f max retx=%dB" r.restarts
+          r.resync_rounds r.mean_resync_ticks r.max_resync_ticks r.retx_bytes);
+    match c.first_failure with
+    | None -> ()
+    | Some f -> Format.fprintf ppf "@,  first failure: @[<v>%a@]" pp_failure f
+  end
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>%s:@,%a@]" r.protocol

@@ -18,27 +18,50 @@ type fault_class =
   | Corruption  (** payload/header mangling, caught only by checksums *)
   | Outage  (** scheduled dark windows on both links *)
   | Reorder  (** heavy delay spikes, so copies overtake each other *)
+  | Crash  (** endpoint crash–restart: volatile state wiped mid-transfer *)
 
 val all_classes : fault_class list
+
+val channel_classes : fault_class list
+(** The channel-fault subset of {!all_classes} — everything except
+    [Crash], which faults a process rather than a link. *)
 
 val class_name : fault_class -> string
 val class_of_name : string -> fault_class option
 (** Lower-case names: ["bursty-loss"], ["duplication"], ["corruption"],
-    ["outage"], ["reorder"]. *)
+    ["outage"], ["reorder"], ["crash"]. *)
 
 val plans_for : fault_class -> seed:int -> Ba_channel.Fault_plan.t * Ba_channel.Fault_plan.t
 (** [(data_plan, ack_plan)] for one run. The plans vary with [seed]
     (outage timing, duplicate fan-out) so a sweep explores more than one
     schedule, and both are pure data: print them with
-    {!Ba_channel.Fault_plan.pp} to get the replay key. *)
+    {!Ba_channel.Fault_plan.pp} to get the replay key. [Crash] leaves
+    both links clean (its schedule is {!crash_plan_for}). *)
+
+val crash_plan_for : seed:int -> Ba_proto.Crash_plan.t
+(** The [Crash] class's process-fault schedule for one run: the victim
+    (sender, receiver, or both staggered), the crash tick and the
+    downtime all rotate with [seed]. Pure data — print it with
+    {!Ba_proto.Crash_plan.pp} to get the replay key. *)
 
 type failure = {
   seed : int;
   fault : fault_class;
   data_plan : Ba_channel.Fault_plan.t;
   ack_plan : Ba_channel.Fault_plan.t;
+  crash_plan : Ba_proto.Crash_plan.t;  (** [none] for channel classes *)
   result : Ba_proto.Harness.result;
 }
+
+type recovery = {
+  restarts : int;  (** endpoint restarts across the class's runs *)
+  resync_rounds : int;  (** REQ/POS/FIN handshake frames, retries included *)
+  mean_resync_ticks : float;  (** mean restart-to-recovery time *)
+  max_resync_ticks : float;
+  retx_bytes : int;  (** payload bytes retransmitted across the runs *)
+}
+(** Aggregated recovery cost for a fault class (crash campaigns only —
+    channel classes report no restarts). *)
 
 type class_report = {
   fault : fault_class;
@@ -50,6 +73,13 @@ type class_report = {
           tallies are symptom counts, not a partition, so the number of
           distinct failing runs is [unsafe + incomplete - both]. *)
   first_failure : failure option;  (** minimal failing seed, if any *)
+  supported : bool;
+      (** [false] when the class was skipped because the protocol lacks
+          the required lifecycle (crash class on a non-crash-tolerant
+          protocol); such rows have [runs = 0]. *)
+  recovery : recovery option;
+      (** recovery cost over the class's runs; [None] when nothing
+          restarted (every channel-fault class). *)
 }
 
 type report = { protocol : string; classes : class_report list }
@@ -94,6 +124,11 @@ val robust_config : Ba_proto.Proto_config.t
 (** The configuration the robust protocols are audited under: window 16,
     wire modulus 32 ([2w], the paper's bound), adaptive RTO so outages
     exercise timer backoff. *)
+
+val naive_restart_config : Ba_proto.Proto_config.t
+(** {!robust_config} with [resync_epochs = false]: restarts come back
+    zeroed with no incarnation bump and no resync handshake. The crash
+    campaign's negative control — it demonstrably delivers duplicates. *)
 
 val gbn_config : Ba_proto.Proto_config.t
 (** The textbook go-back-N configuration: same window but the classic

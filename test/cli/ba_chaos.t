@@ -27,6 +27,8 @@ failing seed and fault schedule are printed as the replay key):
   corruption     6 runs  unsafe=0   incomplete=0   ok
   outage         6 runs  unsafe=0   incomplete=0   ok
   reorder        6 runs  unsafe=0   incomplete=0   ok
+  crash          6 runs  unsafe=0   incomplete=0   ok
+    recovery: restarts=1 rounds=2 resync-ticks=100 mean/100 max retx=560B
   
   selective-repeat:
   bursty-loss    6 runs  unsafe=0   incomplete=0   ok
@@ -34,6 +36,7 @@ failing seed and fault schedule are printed as the replay key):
   corruption     6 runs  unsafe=0   incomplete=0   ok
   outage         6 runs  unsafe=0   incomplete=0   ok
   reorder        6 runs  unsafe=0   incomplete=0   ok
+  crash        skipped (protocol not crash-tolerant)
   
   demonstrated: bounded go-back-N misbehaves under reorder
     seed=1 fault=reorder
@@ -90,3 +93,42 @@ sequential one, replay keys included:
   Try 'ba_chaos --help' for more information.
   [124]
 
+
+
+The crash fault class schedules endpoint crash-restarts (a process
+fault: both channel plans stay empty) and reports the recovery cost —
+restarts, REQ/POS/FIN handshake frames, restart-to-recovery time and
+retransmitted payload bytes. Crash schedules are a pure function of
+the seed like every other class, so the sweep is byte-identical at any
+job count:
+
+  $ ../../bin/ba_chaos.exe --seeds 6 --messages 60 --classes crash --protocol blockack --no-demo
+  blockack-multi:
+  crash          6 runs  unsafe=0   incomplete=0   ok
+    recovery: restarts=5 rounds=12 resync-ticks=120 mean/150 max retx=1760B
+  
+
+  $ ../../bin/ba_chaos.exe --seeds 6 --messages 60 --classes crash --protocol blockack --no-demo --jobs 1 > crash1.out
+  $ ../../bin/ba_chaos.exe --seeds 6 --messages 60 --classes crash --protocol blockack --no-demo --jobs 4 > crash4.out
+  $ cmp crash1.out crash4.out && echo identical
+  identical
+
+--replay re-runs one campaign cell from a failure's replay key; the
+fault schedule is derived from the seed, so the cell is reproduced
+exactly. Replaying the crash class against a protocol without the
+crash-restart lifecycle is rejected:
+
+  $ ../../bin/ba_chaos.exe --replay "seed=3 fault=crash" --messages 60
+  replay: seed=3 fault=crash protocol=blockack-multi — clean
+
+  $ ../../bin/ba_chaos.exe --replay "seed=7 fault=reorder" --protocol go-back-n --messages 30
+  replayed failure:
+  seed=7 fault=reorder
+  data: spike(0.30,+350)
+  ack:  spike(0.15,+250)
+  go-back-n: STUCK in 1600000 ticks — 16/30 delivered (dup=0 ooo=0 bad=0), data sent=110 dropped=0 reord=31, acks=99 dropped=0, retx=80, goodput=0.010/ktick, ack-ovh=0.7734, eff=0.145
+  [1]
+
+  $ ../../bin/ba_chaos.exe --replay "seed=3 fault=crash" --protocol selective-repeat
+  ba_chaos: selective-repeat does not implement the crash-restart lifecycle
+  [2]

@@ -238,6 +238,57 @@ let test_plan_pp_replay_key () =
     (Format.asprintf "%a" FP.pp plan);
   check Alcotest.string "empty key" "none" (Format.asprintf "%a" FP.pp FP.none)
 
+let roundtrip name plan =
+  let key = Format.asprintf "%a" FP.pp plan in
+  match FP.of_string key with
+  | Error msg -> Alcotest.failf "%s: %S did not parse: %s" name key msg
+  | Ok p ->
+      check Alcotest.string (name ^ " renders back identically") key
+        (Format.asprintf "%a" FP.pp p)
+
+let test_plan_of_string_roundtrip () =
+  roundtrip "none" FP.none;
+  roundtrip "bursty"
+    (FP.make
+       ~bursty:{ FP.p_enter_bad = 0.05; p_exit_bad = 0.2; loss_good = 0.01; loss_bad = 0.8 }
+       ());
+  roundtrip "dup" (FP.make ~duplicate:0.25 ~copies:3 ());
+  roundtrip "corrupt" (FP.make ~corrupt:0.15 ());
+  roundtrip "spike" (FP.make ~delay_spike:(0.3, 350) ());
+  roundtrip "outages"
+    (FP.make
+       ~outages:
+         [ { FP.from_tick = 100; until_tick = 400 }; { FP.from_tick = 900; until_tick = 1200 } ]
+       ());
+  roundtrip "everything"
+    (FP.make
+       ~bursty:{ FP.p_enter_bad = 0.05; p_exit_bad = 0.2; loss_good = 0.; loss_bad = 0.8 }
+       ~duplicate:0.1 ~corrupt:0.05 ~delay_spike:(0.2, 250)
+       ~outages:[ { FP.from_tick = 2000; until_tick = 4000 } ]
+       ())
+
+let test_plan_of_string_campaign_keys () =
+  (* Every replay key the chaos campaign can print must parse back — the
+     whole point of ba_chaos --replay. *)
+  let module Chaos = Ba_verify.Chaos in
+  List.iter
+    (fun fault ->
+      List.iter
+        (fun seed ->
+          let data_plan, ack_plan = Chaos.plans_for fault ~seed in
+          roundtrip (Chaos.class_name fault ^ " data plan") data_plan;
+          roundtrip (Chaos.class_name fault ^ " ack plan") ack_plan)
+        [ 1; 5; 17; 42 ])
+    Chaos.all_classes
+
+let test_plan_of_string_rejects_garbage () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  check Alcotest.bool "unknown token" true (is_error (FP.of_string "gremlins(0.5)"));
+  check Alcotest.bool "duplicate singleton fault" true
+    (is_error (FP.of_string "corr(0.10)+corr(0.20)"));
+  check Alcotest.bool "invalid probability" true (is_error (FP.of_string "corr(1.50)"));
+  check Alcotest.bool "empty outage" true (is_error (FP.of_string "out[10,10)"))
+
 (* The realized Gilbert-Elliott burst lengths must match the configured
    means: mean bad burst = 1/p_exit_bad, mean good run = 1/p_enter_bad
    (equivalently, bad-state occupancy = p_enter/(p_enter + p_exit)). *)
@@ -432,6 +483,11 @@ let () =
           Alcotest.test_case "validation" `Quick test_plan_validation;
           Alcotest.test_case "none always delivers" `Quick test_plan_none_always_delivers;
           Alcotest.test_case "pp replay key" `Quick test_plan_pp_replay_key;
+          Alcotest.test_case "of_string roundtrip" `Quick test_plan_of_string_roundtrip;
+          Alcotest.test_case "of_string parses campaign keys" `Quick
+            test_plan_of_string_campaign_keys;
+          Alcotest.test_case "of_string rejects garbage" `Quick
+            test_plan_of_string_rejects_garbage;
           Alcotest.test_case "GE burst lengths" `Slow test_ge_burst_lengths;
           Alcotest.test_case "GE loss follows state" `Quick test_ge_loss_follows_state;
           Alcotest.test_case "duplicate stats" `Quick test_link_duplicate_stats;

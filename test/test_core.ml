@@ -486,6 +486,55 @@ let test_multi_karn_excludes_retransmit_samples () =
     "retransmitted message left srtt untouched" srtt_before (Blockack.Sender_multi.srtt s)
 
 (* ------------------------------------------------------------------ *)
+(* Rtt_estimator backoff regression *)
+
+module Rtt = Blockack.Rtt_estimator
+
+let test_rtt_backoff_never_overflows () =
+  (* With the default ceiling = max_int, repeated doubling used to wrap
+     negative and get clamped back to the floor — collapsing the timeout
+     to its minimum in the middle of an outage. The saturating backoff
+     must instead march monotonically up to the ceiling and stay there. *)
+  let e = Rtt.create ~initial_rto:1000 () in
+  let prev = ref (Rtt.rto e) in
+  for _ = 1 to 80 do
+    Rtt.backoff e;
+    let now = Rtt.rto e in
+    if now < !prev then Alcotest.failf "rto regressed from %d to %d during backoff" !prev now;
+    prev := now
+  done;
+  check Alcotest.int "saturated at the ceiling" max_int (Rtt.rto e)
+
+let test_rtt_backoff_caps_at_ceiling () =
+  let e = Rtt.create ~ceiling:5000 ~initial_rto:800 () in
+  for _ = 1 to 10 do
+    Rtt.backoff e
+  done;
+  check Alcotest.int "capped" 5000 (Rtt.rto e)
+
+let test_rtt_sample_unpins_backoff () =
+  (* Once the path recovers, a genuine (Karn-clean) sample must rebuild
+     the rto from srtt/rttvar rather than leaving it pinned at the cap. *)
+  let e = Rtt.create ~ceiling:100_000 ~initial_rto:500 () in
+  Rtt.observe e 40;
+  for _ = 1 to 12 do
+    Rtt.backoff e
+  done;
+  check Alcotest.int "pinned at cap mid-outage" 100_000 (Rtt.rto e);
+  Rtt.observe e 40;
+  check Alcotest.bool "post-recovery sample rebuilt the estimate" true (Rtt.rto e < 1000)
+
+let test_rtt_reset_restores_initial () =
+  let e = Rtt.create ~floor:10 ~ceiling:5000 ~initial_rto:300 () in
+  Rtt.observe e 40;
+  Rtt.observe e 60;
+  Rtt.backoff e;
+  Rtt.reset e;
+  check Alcotest.int "initial rto restored" 300 (Rtt.rto e);
+  check Alcotest.int "samples cleared" 0 (Rtt.samples e);
+  check (Alcotest.float 1e-9) "srtt cleared" 0. (Rtt.srtt e)
+
+(* ------------------------------------------------------------------ *)
 (* Window_guard *)
 
 let test_guard_unrestricted_initially () =
@@ -580,6 +629,35 @@ let test_connection_incremental_sends () =
   check (Alcotest.list Alcotest.string) "both, in order" [ "first"; "second" ]
     (List.rev !received)
 
+let test_connection_crash_restart () =
+  (* Kill each endpoint once mid-transfer over a lossy link: with epochs
+     on (the default config) every message still arrives exactly once,
+     in order. *)
+  let received = ref [] in
+  let conn =
+    Blockack.Connection.create ~data_loss:0.1 ~ack_loss:0.1
+      ~on_receive:(fun m -> received := m :: !received)
+      ()
+  in
+  for i = 1 to 120 do
+    Blockack.Connection.send conn (Printf.sprintf "msg-%d" i)
+  done;
+  Blockack.Connection.run ~until:600 conn;
+  Blockack.Connection.crash_receiver conn;
+  Blockack.Connection.run ~until:900 conn;
+  Blockack.Connection.restart_receiver conn;
+  Blockack.Connection.run ~until:2500 conn;
+  Blockack.Connection.crash_sender conn;
+  Blockack.Connection.run ~until:2900 conn;
+  Blockack.Connection.restart_sender conn;
+  Blockack.Connection.run conn;
+  check Alcotest.bool "idle after restarts" true (Blockack.Connection.idle conn);
+  check
+    (Alcotest.list Alcotest.string)
+    "every message exactly once, in order"
+    (List.init 120 (fun i -> Printf.sprintf "msg-%d" (i + 1)))
+    (List.rev !received)
+
 let () =
   Alcotest.run "blockack_core"
     [
@@ -646,6 +724,13 @@ let () =
           Alcotest.test_case "retransmit samples excluded" `Quick
             test_multi_karn_excludes_retransmit_samples;
         ] );
+      ( "rtt_estimator",
+        [
+          Alcotest.test_case "backoff never overflows" `Quick test_rtt_backoff_never_overflows;
+          Alcotest.test_case "backoff caps at ceiling" `Quick test_rtt_backoff_caps_at_ceiling;
+          Alcotest.test_case "sample unpins the cap" `Quick test_rtt_sample_unpins_backoff;
+          Alcotest.test_case "reset restores initial state" `Quick test_rtt_reset_restores_initial;
+        ] );
       ( "window_guard",
         [
           Alcotest.test_case "unrestricted initially" `Quick test_guard_unrestricted_initially;
@@ -658,5 +743,7 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_connection_roundtrip;
           Alcotest.test_case "lossy" `Quick test_connection_lossy;
           Alcotest.test_case "incremental sends" `Quick test_connection_incremental_sends;
+          Alcotest.test_case "crash and restart both endpoints" `Quick
+            test_connection_crash_restart;
         ] );
     ]

@@ -85,6 +85,77 @@ let test_jain () =
   check Alcotest.bool "between 1/n and 1" true (mixed > 0.5 && mixed < 1.0)
 
 (* ------------------------------------------------------------------ *)
+(* Single-flow endpoint failure: a crash inside one flow must be invisible
+   to the other n-1 flows sharing the links. *)
+
+module Flow = Ba_proto.Flow
+module Engine = Ba_sim.Engine
+
+(* Four blockack-multi flows; flow 0's receiver crashes mid-transfer and
+   restarts 400 ticks later. *)
+let crash_specs ~messages =
+  let e = entry "blockack-multi" in
+  let config = Registry.config ~window:6 ~rto:800 e () in
+  List.init 4 (fun _ -> Fabric.spec ~config ~messages e.Registry.protocol)
+
+let run_with_crash ~seed ~victim specs =
+  Fabric.run ~seed ~data_loss:0.05 ~ack_loss:0.05 ~data_delay:(Dist.Uniform (40, 80))
+    ~ack_delay:(Dist.Uniform (40, 80)) ~data_bottleneck:(3, 16)
+    ~on_flows:(fun engine flows ->
+      ignore (Engine.schedule_at engine ~at:600 (fun () -> Flow.crash_receiver flows.(victim)));
+      ignore (Engine.schedule_at engine ~at:1000 (fun () -> Flow.restart_receiver flows.(victim))))
+    specs
+
+let test_single_flow_crash_isolated () =
+  List.iter
+    (fun seed ->
+      let r = run_with_crash ~seed ~victim:0 (crash_specs ~messages:30) in
+      check Alcotest.bool "every flow still completes" true r.Fabric.completed;
+      List.iteri
+        (fun i (f : Harness.result) ->
+          check Alcotest.bool (Printf.sprintf "flow %d correct" i) true (Harness.correct f);
+          if i = 0 then begin
+            check Alcotest.int "victim saw the crash" 1 f.Harness.crashes;
+            check Alcotest.int "victim saw the restart" 1 f.Harness.restarts
+          end
+          else begin
+            check Alcotest.int (Printf.sprintf "flow %d crash-free" i) 0 f.Harness.crashes;
+            check Alcotest.int (Printf.sprintf "flow %d no resync" i) 0 f.Harness.resync_rounds
+          end)
+        r.Fabric.flows)
+    [ 1; 2; 3 ]
+
+let test_single_flow_crash_no_stall () =
+  (* The survivors must not be slowed to the victim's recovery schedule:
+     each non-victim flow finishes no later than in a crash-free run of
+     the same seed plus a small scheduling tolerance. *)
+  let specs = crash_specs ~messages:30 in
+  let baseline = run_lossy ~seed:11 specs in
+  let crashed = run_with_crash ~seed:11 ~victim:0 specs in
+  List.iteri
+    (fun i ((b : Harness.result), (c : Harness.result)) ->
+      if i > 0 then begin
+        if not c.Harness.completed then Alcotest.failf "survivor flow %d stalled" i;
+        (* Generous bound: contention shifts individual timings, but a
+           survivor must not be held up for anything like the victim's
+           400-tick outage plus resync. *)
+        if float_of_int c.Harness.ticks > (1.5 *. float_of_int b.Harness.ticks) +. 400. then
+          Alcotest.failf "survivor flow %d slowed from %d to %d ticks" i b.Harness.ticks
+            c.Harness.ticks
+      end)
+    (List.combine baseline.Fabric.flows crashed.Fabric.flows
+    |> List.map (fun (a, b) -> (a, b)))
+
+let test_fabric_crash_deterministic () =
+  let snap () =
+    let r = run_with_crash ~seed:5 ~victim:0 (crash_specs ~messages:25) in
+    (r.Fabric.ticks, List.map (fun (f : Harness.result) -> f.Harness.delivered) r.Fabric.flows)
+  in
+  check
+    Alcotest.(pair int (list int))
+    "same seed, same crashed-fabric run" (snap ()) (snap ())
+
+(* ------------------------------------------------------------------ *)
 (* Registry *)
 
 let test_registry_names () =
@@ -154,6 +225,15 @@ let () =
             test_fabric_flow_accounting;
           Alcotest.test_case "empty spec list rejected" `Quick test_fabric_rejects_empty;
           Alcotest.test_case "Jain's fairness index" `Quick test_jain;
+        ] );
+      ( "crash isolation",
+        [
+          Alcotest.test_case "single-flow crash is invisible to the others" `Quick
+            test_single_flow_crash_isolated;
+          Alcotest.test_case "survivors do not stall on the victim's recovery" `Quick
+            test_single_flow_crash_no_stall;
+          Alcotest.test_case "crashed fabric run is deterministic" `Quick
+            test_fabric_crash_deterministic;
         ] );
       ( "registry",
         [

@@ -99,6 +99,52 @@ let test_assertion_8_violations () =
     (Invariant.assertion_8 valid_dup_data)
 
 (* ------------------------------------------------------------------ *)
+(* Crash–restart spec: the naive restart's two failure symptoms, and the
+   epoch handshake's self-stabilization proof (safety in every state,
+   assertions 6-8 in every stabilized state, progress from every state). *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let crash_spec ~epochs ~victims ?(max_crashes = 1) ?(w = 1) ?n ?(limit = 2) () =
+  Ba_model.Ba_spec_crash.default ~w ?n ~limit ~epochs ~max_crashes ~victims ()
+
+let test_crash_naive_receiver_duplicates () =
+  let r = Explorer.run_spec ~max_states:500_000 (crash_spec ~epochs:false ~victims:`Receiver ()) in
+  match r.Explorer.violation with
+  | Some (msg, path) ->
+      check Alcotest.bool "duplicate delivery named" true (contains ~needle:"duplicate delivery" msg);
+      check Alcotest.bool "counterexample nonempty" true (List.length path > 1)
+  | None -> Alcotest.fail "naive receiver restart should deliver a duplicate"
+
+let test_crash_naive_sender_phantom () =
+  let r = Explorer.run_spec ~max_states:500_000 (crash_spec ~epochs:false ~victims:`Sender ()) in
+  match r.Explorer.violation with
+  | Some (msg, _) ->
+      check Alcotest.bool "phantom delivery named" true (contains ~needle:"phantom delivery" msg)
+  | None -> Alcotest.fail "naive sender restart should deliver a phantom payload"
+
+let assert_crash_verified name ~victims ?max_crashes ?w ?n ?limit () =
+  let r =
+    Explorer.run_spec ~max_states:500_000
+      (crash_spec ~epochs:true ~victims ?max_crashes ?w ?n ?limit ())
+  in
+  (match r.Explorer.violation with
+  | None -> ()
+  | Some (msg, _) -> Alcotest.failf "%s: unexpected violation: %s" name msg);
+  check Alcotest.bool (name ^ " not capped") false r.Explorer.capped;
+  check (Alcotest.option Alcotest.bool) (name ^ " live") (Some true) r.Explorer.live
+
+let test_crash_epochs_safe_and_live () =
+  assert_crash_verified "epochs w=1 c=1" ~victims:`Both ();
+  assert_crash_verified "epochs w=1 c=2" ~victims:`Both ~max_crashes:2 ()
+
+let test_crash_epochs_safe_and_live_w2 () =
+  assert_crash_verified "epochs w=2 c=1" ~victims:`Both ~w:2 ~limit:3 ()
+
+(* ------------------------------------------------------------------ *)
 (* Explorer on the paper's protocols. *)
 
 let run_spec ?(max_states = 500_000) spec = Explorer.run_spec ~max_states spec
@@ -544,6 +590,16 @@ let () =
             test_explorer_detects_deadlock_and_nonlive;
           Alcotest.test_case "measure decrease detection" `Quick
             test_explorer_detects_measure_decrease;
+        ] );
+      ( "crash",
+        [
+          Alcotest.test_case "naive receiver restart delivers duplicates" `Quick
+            test_crash_naive_receiver_duplicates;
+          Alcotest.test_case "naive sender restart delivers phantoms" `Quick
+            test_crash_naive_sender_phantom;
+          Alcotest.test_case "epochs safe and live (w=1)" `Quick test_crash_epochs_safe_and_live;
+          Alcotest.test_case "epochs safe and live (w=2)" `Slow
+            test_crash_epochs_safe_and_live_w2;
         ] );
       ( "scenario",
         [
