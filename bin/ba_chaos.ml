@@ -1,7 +1,8 @@
 (* ba_chaos: adversarial campaign runner.
 
    Sweeps seeds x fault classes (bursty loss, duplication, corruption,
-   outages, reordering, endpoint crash-restart) through the experiment
+   outages, reordering, endpoint crash-restart, memory overload) through
+   the experiment
    harness and checks that the robust protocols — block acknowledgment
    and selective repeat, both with the paper's 2w wire modulus — stay
    safe (no duplicate, misordered or corrupted delivery) and recover
@@ -147,7 +148,7 @@ let messages =
 let classes =
   let doc =
     "Comma-separated fault classes to run (default: all of bursty-loss, duplication, \
-     corruption, outage, reorder, crash)."
+     corruption, outage, reorder, crash, overload)."
   in
   Arg.(value & opt (list string) [] & info [ "classes" ] ~doc)
 
@@ -187,7 +188,7 @@ let cmd =
     ]
   in
   Cmd.v
-    (Cmd.info "ba_chaos" ~doc ~man)
+    (Cmd.info "ba_chaos" ~doc ~man ~version:Ba_cli.version)
     Term.(const run $ seeds $ messages $ classes $ protocol $ no_demo $ Ba_cli.jobs $ replay_key)
 
 let () = exit (Cmd.eval' cmd)

@@ -6,7 +6,9 @@
      ba_check --spec section5 -w 2 -n 3 --limit 6     # finds the n<2w bug
      ba_check --spec gbn -w 2 -n 3 --limit 6          # finds the intro scenario
      ba_check --spec crash-naive -w 1 --limit 2       # finds duplicate delivery
-     ba_check --spec crash-epochs -w 1 --limit 2      # proves the handshake safe *)
+     ba_check --spec crash-epochs -w 1 --limit 2      # proves the handshake safe
+     ba_check --spec pressure -w 2 --limit 3          # proves buffer drops ≡ loss
+     ba_check --spec pressure-naive -w 2 --limit 2    # finds the ack-before-buffer bug *)
 
 open Cmdliner
 
@@ -18,6 +20,8 @@ let specs =
     ("gbn", `Gbn);
     ("crash-naive", `Crash_naive);
     ("crash-epochs", `Crash_epochs);
+    ("pressure", `Pressure);
+    ("pressure-naive", `Pressure_naive);
   ]
 
 let victims = [ ("sender", `Sender); ("receiver", `Receiver); ("both", `Both) ]
@@ -33,6 +37,8 @@ let run spec w n limit max_states no_liveness crashes victims =
         Ba_model.Ba_spec_crash.default ~w ?n ~limit ~epochs:false ~max_crashes:crashes ~victims ()
     | `Crash_epochs ->
         Ba_model.Ba_spec_crash.default ~w ?n ~limit ~epochs:true ~max_crashes:crashes ~victims ()
+    | `Pressure -> Ba_model.Ba_spec_pressure.default ~w ~limit ~naive:false
+    | `Pressure_naive -> Ba_model.Ba_spec_pressure.default ~w ~limit ~naive:true
   in
   let result =
     Ba_verify.Explorer.run_spec ~max_states ~check_liveness:(not no_liveness) spec_module
@@ -46,7 +52,9 @@ let spec =
      timeouts), section5 (finite wire sequence numbers; see --modulus), gbn (bounded \
      go-back-N, the intro's strawman), crash-naive (endpoint crash-restart without \
      incarnation epochs: exhibits duplicate delivery), crash-epochs (crash-restart with \
-     the epoch resync handshake: safe and live)."
+     the epoch resync handshake: safe and live), pressure (receiver may drop any \
+     out-of-order frame for buffer-full: safe and live — drops are channel losses), \
+     pressure-naive (ack-before-buffer: violates assertion 8)."
   in
   Arg.(value & opt (enum specs) `S2 & info [ "spec" ] ~doc)
 
@@ -99,7 +107,7 @@ let cmd =
     ]
   in
   Cmd.v
-    (Cmd.info "ba_check" ~doc ~man)
+    (Cmd.info "ba_check" ~doc ~man ~version:Ba_cli.version)
     Term.(const run $ spec $ w $ n $ limit $ max_states $ no_liveness $ crashes $ victims_arg)
 
 let () = exit (Cmd.eval' cmd)

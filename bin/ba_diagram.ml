@@ -128,7 +128,7 @@ let until_time =
 let cmd =
   let doc = "render a block-acknowledgment transfer as a time-sequence diagram" in
   Cmd.v
-    (Cmd.info "ba_diagram" ~doc)
+    (Cmd.info "ba_diagram" ~doc ~version:Ba_cli.version)
     Term.(
       const run $ messages $ loss $ jitter $ window $ coalesce $ simple $ kill_first_ack
       $ seed $ from_time $ until_time)

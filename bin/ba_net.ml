@@ -10,7 +10,8 @@
      ba_net --connections 8 --messages 50
      ba_net --mix blockack-multi:4,go-back-n:4 --capacity 2:64 --loss 0.01
      ba_net --connections 256 --messages 20 --capacity 1:256 --adaptive
-     ba_net --sweep 1,4,16,64 --messages 20 --jobs 4   # S1-style scaling sweep *)
+     ba_net --sweep 1,4,16,64 --messages 20 --jobs 4   # S1-style scaling sweep
+     ba_net --soak 5 --messages 30 --jobs 4            # S2-style overload soak *)
 
 open Cmdliner
 module Registry = Ba_registry.Registry
@@ -107,8 +108,120 @@ let run_sweep ~counts ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capac
   then 0
   else 1
 
+(* Long-horizon overload soak: each round doubles the offered load with
+   a surge of late-starting flows under a fabric memory budget and an
+   armed watchdog, and (when the protocol supports the crash lifecycle)
+   stalls one victim flow's receiver through the surge so the watchdog
+   machinery — resync, quarantine, probation release — actually runs.
+   Rounds are independent Fabric runs farmed to the pool and collected
+   in submission order, so the table is byte-identical at any --jobs. *)
+let soak_surge_at = 2000
+let soak_stall_for = 5000
+
+let run_soak ~rounds ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capacity ~window
+    ~rto ~modulus ~adaptive ~seed ~budget ~jobs =
+  let specs_of_mix ~start_at =
+    List.concat_map
+      (fun (e, count) ->
+        let config = Registry.config ~window ~rto ?modulus ~adaptive_rto:adaptive e () in
+        List.init count (fun _ ->
+            Fabric.spec ~config ~messages ~payload_size ~start_at e.Registry.protocol))
+      mix
+  in
+  let base_specs = specs_of_mix ~start_at:0 in
+  let specs = base_specs @ specs_of_mix ~start_at:soak_surge_at in
+  (* The stall victim is the first *surge* flow: it is guaranteed to
+     still be mid-transfer when its receiver goes dark, so the watchdog
+     escalation (resync, quarantine, probation release) actually runs. *)
+  let victim_index = List.length base_specs in
+  (* Three quarters of the unclamped need: tight enough that admission
+     must clamp, loose enough that every flow is still admitted. *)
+  let unclamped_need =
+    List.fold_left
+      (fun a (s : Fabric.spec) ->
+        a + (2 * s.Fabric.config.Ba_proto.Proto_config.window * s.Fabric.payload_size))
+      0 specs
+  in
+  let budget = match budget with Some b -> b | None -> unclamped_need * 3 / 4 in
+  let watchdog = { Ba_proto.Watchdog.default_config with Ba_proto.Watchdog.check_interval = 500 } in
+  let stall_victim engine (flows : Ba_proto.Flow.t array) =
+    if Array.length flows > victim_index && Ba_proto.Flow.crash_tolerant flows.(victim_index)
+    then begin
+      let victim = flows.(victim_index) in
+      ignore
+        (Ba_sim.Engine.schedule_at engine ~at:(soak_surge_at + 100) (fun () ->
+             Ba_proto.Flow.crash_receiver victim));
+      ignore
+        (Ba_sim.Engine.schedule_at engine ~at:(soak_surge_at + 100 + soak_stall_for) (fun () ->
+             Ba_proto.Flow.restart_receiver victim))
+    end
+  in
+  let outcomes =
+    Ba_parallel.Pool.map ~jobs
+      (fun round ->
+        Fabric.run ~seed:(seed + round) ~data_loss:loss ~ack_loss ~data_delay:delay
+          ~ack_delay:delay ?data_bottleneck:capacity ~memory_budget:budget ~watchdog
+          ~on_flows:stall_victim specs)
+      (List.init rounds (fun i -> i))
+  in
+  let rows =
+    List.mapi
+      (fun round (r : Fabric.result) ->
+        let recovery =
+          if r.Fabric.completed && r.Fabric.ticks > soak_surge_at then
+            string_of_int (r.Fabric.ticks - soak_surge_at)
+          else "-"
+        in
+        [
+          string_of_int round;
+          string_of_int (seed + round);
+          (if r.Fabric.completed then "yes" else "NO");
+          Printf.sprintf "%d/%d" r.Fabric.admitted (r.Fabric.admitted + r.Fabric.refused);
+          (match r.Fabric.clamped_window with Some c -> string_of_int c | None -> "-");
+          string_of_int r.Fabric.mem_peak_bytes;
+          string_of_int r.Fabric.quarantine_events;
+          string_of_int r.Fabric.watchdog_resyncs;
+          recovery;
+          (if List.for_all Ba_proto.Harness.correct r.Fabric.flows then "ok"
+           else if List.for_all Ba_verify.Chaos.safe r.Fabric.flows then "STUCK"
+           else "UNSAFE");
+        ])
+      outcomes
+  in
+  Ba_util.Table.print
+    ~headers:
+      [
+        "round"; "seed"; "completed"; "admitted"; "clamp"; "mem-peak"; "quarantines";
+        "resyncs"; "recovery"; "verdict";
+      ]
+    rows;
+  let peak = List.fold_left (fun a (r : Fabric.result) -> max a r.Fabric.mem_peak_bytes) 0 outcomes
+  and quarantines =
+    List.fold_left (fun a (r : Fabric.result) -> a + r.Fabric.quarantine_events) 0 outcomes
+  and resyncs =
+    List.fold_left (fun a (r : Fabric.result) -> a + r.Fabric.watchdog_resyncs) 0 outcomes
+  and worst_recovery =
+    List.fold_left
+      (fun a (r : Fabric.result) ->
+        if r.Fabric.completed then max a (r.Fabric.ticks - soak_surge_at) else a)
+      0 outcomes
+  in
+  Printf.printf "\nsoak: %d rounds, budget=%dB, peak=%dB (%s), quarantines=%d, resyncs=%d, \
+                 worst post-surge recovery=%d ticks\n"
+    rounds budget peak
+    (if peak <= budget then "under budget" else "OVER BUDGET")
+    quarantines resyncs worst_recovery;
+  if
+    peak <= budget
+    && List.for_all
+         (fun (r : Fabric.result) ->
+           r.Fabric.completed && List.for_all Ba_proto.Harness.correct r.Fabric.flows)
+         outcomes
+  then 0
+  else 1
+
 let run list_protocols connections mix messages payload_size loss ack_loss_opt base_delay
-    jitter capacity window rto modulus adaptive seed sweep jobs =
+    jitter capacity window rto modulus adaptive seed sweep soak budget jobs =
   if list_protocols then begin
     Format.printf "%a" Registry.pp_list ();
     exit 0
@@ -135,6 +248,16 @@ let run list_protocols connections mix messages payload_size loss ack_loss_opt b
         let svc, cap = Option.value ~default:(0, 0) capacity in
         (2 * (base_delay + jitter)) + (svc * cap) + 100
   in
+  match soak with
+  | Some rounds ->
+      let jobs = Ba_cli.resolve_jobs jobs in
+      if rounds < 1 then begin
+        Format.eprintf "ba_net: --soak rounds must be positive (got %d)@." rounds;
+        exit 2
+      end;
+      run_soak ~rounds ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capacity ~window
+        ~rto ~modulus ~adaptive ~seed ~budget ~jobs
+  | None ->
   match sweep with
   | Some counts ->
       let jobs = Ba_cli.resolve_jobs jobs in
@@ -268,6 +391,28 @@ let sweep =
            index, queue drops). Cells are independent simulations, so $(b,--jobs) runs \
            them in parallel with byte-identical output.")
 
+let soak =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "soak" ] ~docv:"ROUNDS"
+        ~doc:
+          "Long-horizon overload soak: run ROUNDS independent fabric rounds, each doubling \
+           the offered load with a surge of late-starting flows under a memory budget \
+           (default: 3/4 of the unclamped need, so admission must clamp) and an armed \
+           per-flow watchdog; when the protocol supports the crash lifecycle one victim \
+           flow's receiver is stalled through the surge so resync/quarantine machinery \
+           runs. Reports peak buffered bytes, quarantine events and post-surge recovery \
+           time per round. Rounds are independent simulations, so $(b,--jobs) runs them \
+           in parallel with byte-identical output.")
+
+let budget =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget" ] ~docv:"BYTES"
+        ~doc:"Override the soak's fabric memory budget in bytes (only with $(b,--soak)).")
+
 let cmd =
   let doc = "simulate N window-protocol connections over a shared bottleneck" in
   let man =
@@ -283,16 +428,16 @@ let cmd =
     ]
   in
   let wrap list_protocols connections mix messages payload_size loss ack_loss base_delay
-      jitter capacity no_capacity window rto modulus adaptive seed sweep jobs =
+      jitter capacity no_capacity window rto modulus adaptive seed sweep soak budget jobs =
     let capacity = if no_capacity then None else capacity in
     run list_protocols connections mix messages payload_size loss ack_loss base_delay jitter
-      capacity window rto modulus adaptive seed sweep jobs
+      capacity window rto modulus adaptive seed sweep soak budget jobs
   in
   Cmd.v
-    (Cmd.info "ba_net" ~doc ~man)
+    (Cmd.info "ba_net" ~doc ~man ~version:Ba_cli.version)
     Term.(
       const wrap $ list_protocols $ connections $ mix $ messages $ payload_size $ loss
       $ ack_loss $ base_delay $ jitter $ capacity $ no_capacity $ window $ rto $ modulus
-      $ adaptive $ seed $ sweep $ Ba_cli.jobs)
+      $ adaptive $ seed $ sweep $ soak $ budget $ Ba_cli.jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -136,7 +136,7 @@ let cmd =
     ]
   in
   Cmd.v
-    (Cmd.info "ba_sim" ~doc ~man)
+    (Cmd.info "ba_sim" ~doc ~man ~version:Ba_cli.version)
     Term.(
       const run $ list_protocols $ protocol $ messages $ payload_size $ loss $ ack_loss
       $ base_delay $ jitter $ window $ rto $ modulus $ coalesce $ gap $ seed $ seeds

@@ -165,4 +165,9 @@ let protocol : Ba_proto.Protocol.t =
       type nonrec sender = sender
       type nonrec receiver = receiver
     end)
+
+    include Ba_proto.Protocol.No_overload (struct
+      type nonrec sender = sender
+      type nonrec receiver = receiver
+    end)
   end)

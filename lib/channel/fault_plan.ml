@@ -75,6 +75,8 @@ let pp ppf t =
   | [] -> Format.pp_print_string ppf "none"
   | parts -> Format.pp_print_string ppf (String.concat "+" (List.rev parts))
 
+let to_string t = Format.asprintf "%a" pp t
+
 (* Split a replay key into fault tokens: '+' separates tokens only at
    bracket depth 0, because [spike(0.10,+40)] carries a '+' of its own. *)
 let split_tokens s =

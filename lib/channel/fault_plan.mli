@@ -76,6 +76,9 @@ val pp : Format.formatter -> t -> unit
     [ge(0.050->0.200,l=0.00/0.80)+dup(0.10x2)+out[2000,4000)] — the
     replay key printed by the chaos campaign. *)
 
+val to_string : t -> string
+(** The {!pp} rendering as a string — the exact replay-key token. *)
+
 val of_string : string -> (t, string) result
 (** Parse the {!pp} replay-key format back into a plan, so a failure
     line from the chaos campaign can be fed verbatim to

@@ -8,6 +8,10 @@
 
 open Cmdliner
 
+(* The one version constant every binary reports: `ba_sim --version`,
+   `ba_net --version` etc. all print this string via Cmd.info. *)
+let version = "0.5.0"
+
 let jobs_conv =
   let parse s =
     match int_of_string_opt s with

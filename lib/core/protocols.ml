@@ -7,6 +7,8 @@ module Common_receiver = struct
   let receiver_crash = Receiver.crash
   let receiver_restart = Receiver.restart
   let receiver_resync_rounds = Receiver.resync_rounds
+  let receiver_mem_bytes = Receiver.buffered_bytes
+  let receiver_pressure_dropped = Receiver.pressure_dropped
 end
 
 module Simple : Ba_proto.Protocol.S = struct
@@ -26,6 +28,8 @@ module Simple : Ba_proto.Protocol.S = struct
   let sender_crash = Sender.crash
   let sender_restart = Sender.restart
   let sender_resync_rounds = Sender.resync_rounds
+  let sender_mem_bytes = Sender.buffered_bytes
+  let sender_clamp_window = Sender.clamp_window
 end
 
 module Multi : Ba_proto.Protocol.S = struct
@@ -45,6 +49,8 @@ module Multi : Ba_proto.Protocol.S = struct
   let sender_crash = Sender_multi.crash
   let sender_restart = Sender_multi.restart
   let sender_resync_rounds = Sender_multi.resync_rounds
+  let sender_mem_bytes = Sender_multi.buffered_bytes
+  let sender_clamp_window = Sender_multi.clamp_window
 end
 
 let simple : Ba_proto.Protocol.t = (module Simple)
@@ -86,4 +92,11 @@ let reuse ?(lead_factor = 2) () : Ba_proto.Protocol.t =
       type nonrec sender = sender
       type nonrec receiver = receiver
     end)
+
+    (* Memory is still observable even without a clamp path: the reuse
+       sender buffers the whole lead band. *)
+    let sender_mem_bytes = Reuse_sender.buffered_bytes
+    let receiver_mem_bytes = Receiver.buffered_bytes
+    let sender_clamp_window (_ : sender) (_ : int) = ()
+    let receiver_pressure_dropped = Receiver.pressure_dropped
   end)

@@ -14,6 +14,8 @@ type t = {
   mutable acks_sent : int;
   mutable dup_acks_sent : int;
   mutable corrupt_dropped : int;
+  mutable pressure_dropped : int;  (* fresh in-window frames refused for buffer-full *)
+  mutable pressure_evicted : int;  (* buffered frames evicted by Drop_furthest *)
   mutable stale_epoch_dropped : int;
   mutable resync_rounds : int;  (* handshake frames sent (POS) *)
   mutable restarts : int;
@@ -77,6 +79,8 @@ let create engine config ~tx ~deliver =
         acks_sent = 0;
         dup_acks_sent = 0;
         corrupt_dropped = 0;
+        pressure_dropped = 0;
+        pressure_evicted = 0;
         stale_epoch_dropped = 0;
         resync_rounds = 0;
         restarts = 0;
@@ -99,6 +103,38 @@ let stop_syncing t =
     t.syncing <- false;
     Ba_sim.Timer.stop t.sync_timer
   end
+
+(* Budget admission (Jain, DEC-TR-342). Only the out-of-order slots
+   beyond the contiguous run count against [rx_budget]: slots in
+   [nr, vr) are committed — [flush] will acknowledge and deliver them —
+   and the run-extending frame [v = vr] is always admitted, which is
+   what keeps drop-new from livelocking on a full buffer. A refused or
+   evicted frame was never acknowledged, so the sender's per-message
+   timer retransmits it: a pressure drop is behaviorally a channel
+   loss, and the block-ack ranges stay sound. *)
+let admit t v payload =
+  let over_budget =
+    match t.config.Config.rx_budget with
+    | None -> false
+    | Some b ->
+        v > t.vr
+        && Ba_util.Ring_buffer.occupancy t.buffer - (t.vr - t.nr) >= b
+  in
+  if not over_budget then Ba_util.Ring_buffer.set t.buffer v payload
+  else
+    match t.config.Config.drop_policy with
+    | Config.Drop_new -> t.pressure_dropped <- t.pressure_dropped + 1
+    | Config.Drop_furthest ->
+        let furthest = ref (-1) in
+        Ba_util.Ring_buffer.iter
+          (fun i _ -> if i > t.vr && i > !furthest then furthest := i)
+          t.buffer;
+        if !furthest > v then begin
+          Ba_util.Ring_buffer.remove t.buffer !furthest;
+          t.pressure_evicted <- t.pressure_evicted + 1;
+          Ba_util.Ring_buffer.set t.buffer v payload
+        end
+        else t.pressure_dropped <- t.pressure_dropped + 1
 
 (* Actions 3 + 4: record the reception, extend the contiguous run, and
    either flush immediately or leave the run open for coalescing. A
@@ -132,8 +168,7 @@ let on_data t d =
             send_ack t ~lo:v ~hi:v
           end
           else if v < t.nr + t.config.Config.window then begin
-            if not (Ba_util.Ring_buffer.mem t.buffer v) then
-              Ba_util.Ring_buffer.set t.buffer v payload;
+            if not (Ba_util.Ring_buffer.mem t.buffer v) then admit t v payload;
             while Ba_util.Ring_buffer.mem t.buffer t.vr do
               t.vr <- t.vr + 1
             done;
@@ -182,6 +217,14 @@ let restart t =
 let nr t = t.nr
 let vr t = t.vr
 let buffered t = Ba_util.Ring_buffer.occupancy t.buffer
+
+let buffered_bytes t =
+  let n = ref 0 in
+  Ba_util.Ring_buffer.iter (fun _ p -> n := !n + String.length p) t.buffer;
+  !n
+
+let pressure_dropped t = t.pressure_dropped
+let pressure_evicted t = t.pressure_evicted
 let acks_sent t = t.acks_sent
 let dup_acks_sent t = t.dup_acks_sent
 let corrupt_dropped t = t.corrupt_dropped

@@ -33,6 +33,18 @@ val vr : t -> int
 val buffered : t -> int
 (** Out-of-order payloads currently held. *)
 
+val buffered_bytes : t -> int
+(** Total payload bytes in the reassembly buffer (memory accounting). *)
+
+val pressure_dropped : t -> int
+(** Fresh in-window frames refused because the [rx_budget] was full.
+    Never acknowledged, so the sender's timer retransmits them — a
+    budget drop is behaviorally a channel loss. *)
+
+val pressure_evicted : t -> int
+(** Buffered out-of-order frames evicted by [Drop_furthest] to admit a
+    frame nearer the delivery frontier. Likewise never acknowledged. *)
+
 val acks_sent : t -> int
 val dup_acks_sent : t -> int
 (** Singleton re-acknowledgments of old duplicates (subset of

@@ -72,6 +72,16 @@ let create engine config ~lead ~tx ~next_payload =
   Config.validate config;
   if lead < config.Config.window then
     invalid_arg "Reuse_sender.create: lead must be >= window";
+  (* Slot reuse decodes over the whole lead band, so the sound modulus
+     bound is the stricter [2 * lead], not the plain window's [2 * w].
+     Reject it here with the reuse-specific bound rather than letting
+     the codec report a misleading "2*window" (its window IS the lead). *)
+  (match config.Config.wire_modulus with
+  | Some n when n < 2 * lead ->
+      invalid_arg
+        (Printf.sprintf "Reuse_sender.create: modulus %d < 2*lead=%d loses information" n
+           (2 * lead))
+  | Some _ | None -> ());
   let codec = Seqcodec.create ~window:lead ~wire_modulus:config.Config.wire_modulus in
   let source = Ba_proto.Source.create next_payload in
   {
@@ -127,3 +137,8 @@ let na t = t.na
 let ns t = t.ns
 let retransmissions t = t.retransmissions
 let acked_total t = t.acked_total
+
+let buffered_bytes t =
+  let n = ref 0 in
+  Ba_util.Ring_buffer.iter (fun _ p -> n := !n + String.length p) t.buffer;
+  !n

@@ -42,3 +42,7 @@ val outstanding : t -> int
 val is_done : t -> bool
 val retransmissions : t -> int
 val acked_total : t -> int
+
+val buffered_bytes : t -> int
+(** Total payload bytes buffered across the lead band (memory
+    accounting). *)

@@ -17,6 +17,9 @@ type t = {
   mutable stale_epoch_dropped : int;
   mutable resync_rounds : int;  (* handshake frames sent (REQ + FIN) *)
   mutable restarts : int;
+  mutable wclamp : int option;
+      (* externally imposed window clamp (fabric backpressure); survives
+         crash–restart because the pressure is outside this endpoint *)
 }
 
 (* Transmitting any data message restarts the single timer: the paper's
@@ -30,8 +33,13 @@ let transmit t seq =
 
 let outstanding t = t.ns - t.na
 
+let effective_window t =
+  let w = t.config.Config.window in
+  let w = match t.config.Config.tx_budget with Some b -> min w b | None -> w in
+  match t.wclamp with Some c -> min w c | None -> w
+
 let rec pump t =
-  if t.alive && (not t.syncing) && outstanding t < t.config.Config.window then begin
+  if t.alive && (not t.syncing) && outstanding t < effective_window t then begin
     if t.ns >= Window_guard.frontier t.guard then
       (* A retransmitted copy may still be in flight; sending past its
          decode window would risk mis-reconstruction at the receiver. *)
@@ -98,6 +106,7 @@ let create engine config ~tx ~next_payload =
         stale_epoch_dropped = 0;
         resync_rounds = 0;
         restarts = 0;
+        wclamp = None;
       }
   in
   Lazy.force t
@@ -199,6 +208,17 @@ let na t = t.na
 let ns t = t.ns
 let retransmissions t = t.retransmissions
 let acked_total t = t.na
+
+let clamp_window t n =
+  if n < 1 then invalid_arg "Sender.clamp_window: clamp must be >= 1";
+  t.wclamp <- (if n >= t.config.Config.window then None else Some n)
+
+let window_clamp t = t.wclamp
+
+let buffered_bytes t =
+  let n = ref 0 in
+  Ba_util.Ring_buffer.iter (fun _ p -> n := !n + String.length p) t.buffer;
+  !n
 
 let alive t = t.alive
 let epoch t = t.epoch

@@ -46,6 +46,17 @@ val retransmissions : t -> int
 val acked_total : t -> int
 (** Messages acknowledged so far (= [na]). *)
 
+val clamp_window : t -> int -> unit
+(** Cap the effective window (fabric backpressure); [n >= window]
+    removes the clamp, [n < 1] raises. Composes with [tx_budget] —
+    the minimum wins — and survives crash–restart. *)
+
+val window_clamp : t -> int option
+(** The clamp currently in force, if any. *)
+
+val buffered_bytes : t -> int
+(** Total payload bytes in the retransmit buffer (memory accounting). *)
+
 (** {2 Crash–restart lifecycle}
 
     [crash] wipes the volatile state — window buffers, [na]/[ns], all

@@ -26,13 +26,22 @@ type t = {
      ack_credit accumulates fractional additive increase. *)
   mutable cwnd : int;
   mutable ack_credit : int;
+  mutable wclamp : int option;
+      (* externally imposed window clamp (fabric backpressure); survives
+         crash–restart because the pressure is outside this endpoint *)
 }
 
 let outstanding t = t.ns - t.na
 
+(* The effective window is the configured one narrowed by every active
+   pressure signal: the static retransmit-buffer budget, any fabric
+   backpressure clamp, and (in dynamic mode) the AIMD congestion
+   window. *)
 let effective_window t =
-  if t.config.Config.dynamic_window then min t.cwnd t.config.Config.window
-  else t.config.Config.window
+  let w = t.config.Config.window in
+  let w = match t.config.Config.tx_budget with Some b -> min w b | None -> w in
+  let w = match t.wclamp with Some c -> min w c | None -> w in
+  if t.config.Config.dynamic_window then min t.cwnd w else w
 
 (* Additive increase: one extra message of window per cwnd acknowledged
    (i.e. +1 per round trip at saturation). *)
@@ -194,6 +203,7 @@ let create engine config ~tx ~next_payload =
         restarts = 0;
         cwnd = 1;
         ack_credit = 0;
+        wclamp = None;
       }
   in
   Lazy.force t
@@ -353,6 +363,20 @@ let rto_now t = base_rto t
 let srtt t = Option.map Rtt_estimator.srtt t.estimator
 
 let cwnd t = t.cwnd
+
+(* Fabric backpressure: clamp the effective window to [n] messages
+   ([n >= window] removes the clamp). Only future pumps are affected —
+   already-outstanding messages finish under their own timers. *)
+let clamp_window t n =
+  if n < 1 then invalid_arg "Sender_multi.clamp_window: clamp must be >= 1";
+  t.wclamp <- (if n >= t.config.Config.window then None else Some n)
+
+let window_clamp t = t.wclamp
+
+let buffered_bytes t =
+  let n = ref 0 in
+  Ba_util.Ring_buffer.iter (fun _ p -> n := !n + String.length p) t.buffer;
+  !n
 
 let alive t = t.alive
 let epoch t = t.epoch

@@ -47,6 +47,19 @@ val cwnd : t -> int
 (** Current AIMD congestion window ([dynamic_window] mode); equals 1 and
     is unused otherwise. *)
 
+val clamp_window : t -> int -> unit
+(** [clamp_window t n] caps the effective window at [n] messages — the
+    fabric's backpressure path. [n >= window] removes the clamp; [n < 1]
+    raises. The clamp composes with [tx_budget] and the AIMD window (the
+    minimum wins) and survives crash–restart, since the pressure it
+    reflects is external to this endpoint. *)
+
+val window_clamp : t -> int option
+(** The clamp currently in force, if any. *)
+
+val buffered_bytes : t -> int
+(** Total payload bytes in the retransmit buffer (memory accounting). *)
+
 (** {2 Crash–restart lifecycle}
 
     Same model as {!Sender}: [crash] wipes every volatile structure

@@ -8,10 +8,12 @@ type spec = {
   config : Proto_config.t;
   messages : int;
   payload_size : int;
+  start_at : int;
 }
 
-let spec ?(config = Proto_config.default) ?(messages = 100) ?(payload_size = 32) protocol =
-  { protocol; config; messages; payload_size }
+let spec ?(config = Proto_config.default) ?(messages = 100) ?(payload_size = 32) ?(start_at = 0)
+    protocol =
+  { protocol; config; messages; payload_size; start_at }
 
 type result = {
   ticks : int;
@@ -21,6 +23,13 @@ type result = {
   fairness : float;
   data_stats : Ba_channel.Link.stats;
   ack_stats : Ba_channel.Link.stats;
+  admitted : int;
+  refused : int;
+  clamped_window : int option;
+  mem_peak_bytes : int;
+  quarantine_events : int;
+  watchdog_resyncs : int;
+  quarantined : int;
 }
 
 (* Jain's fairness index: (sum x)^2 / (n * sum x^2), 1.0 = perfectly even,
@@ -34,12 +43,71 @@ let jain = function
       if sq = 0. then 1.0
       else sum *. sum /. (float_of_int (List.length xs) *. sq)
 
+(* Worst-case bytes one flow can pin: a full effective window of
+   payloads in the sender's retransmit buffer plus as many again in the
+   receiver's reassembly window. Deliberately conservative — admission
+   guarantees the budget even when every admitted flow (surge flows
+   included) saturates simultaneously. *)
+let flow_cost s ~clamp = 2 * min s.config.Proto_config.window clamp * s.payload_size
+
+(* Graceful degradation, in preference order: admit everyone unclamped;
+   else admit everyone under the largest uniform window clamp that
+   fits; else clamp to 1 and admit the longest spec prefix that fits,
+   refusing the rest. *)
+let plan_admission ~budget specs =
+  let max_w = List.fold_left (fun acc s -> max acc s.config.Proto_config.window) 1 specs in
+  let total c = List.fold_left (fun acc s -> acc + flow_cost s ~clamp:c) 0 specs in
+  let rec fit c = if c >= 1 && total c > budget then fit (c - 1) else c in
+  let c = fit max_w in
+  if c >= 1 then (specs, 0, if c < max_w then Some c else None)
+  else begin
+    let rec split admitted used = function
+      | [] -> (List.rev admitted, 0)
+      | s :: rest ->
+          let used = used + flow_cost s ~clamp:1 in
+          if used > budget then (List.rev admitted, List.length (s :: rest))
+          else split (s :: admitted) used rest
+    in
+    let admitted, refused = split [] 0 specs in
+    if admitted = [] then invalid_arg "Fabric.run: memory_budget admits no flow";
+    (admitted, refused, Some 1)
+  end
+
 let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
     ?(data_delay = Ba_channel.Dist.Uniform (40, 60))
     ?(ack_delay = Ba_channel.Dist.Uniform (40, 60)) ?data_bottleneck ?ack_bottleneck ?deadline
-    ?on_setup ?on_flows specs =
+    ?memory_budget ?watchdog ?on_setup ?on_flows specs =
   if specs = [] then invalid_arg "Fabric.run: at least one flow required";
-  List.iter (fun s -> Proto_config.validate s.config) specs;
+  List.iter
+    (fun s ->
+      Proto_config.validate s.config;
+      if s.start_at < 0 then invalid_arg "Fabric.run: start_at must be >= 0")
+    specs;
+  (match memory_budget with
+  | Some b when b <= 0 -> invalid_arg "Fabric.run: memory_budget must be positive"
+  | Some _ | None -> ());
+  let specs, refused, clamp =
+    match memory_budget with
+    | None -> (specs, 0, None)
+    | Some budget -> plan_admission ~budget specs
+  in
+  (* The clamp is enforced twice over: the sender's effective window is
+     capped ({!Flow.clamp_window}) and the receiver's reassembly budget
+     is rewritten to match, so even a misbehaving sender cannot pin more
+     than the accounted slots. *)
+  let specs =
+    match clamp with
+    | None -> specs
+    | Some c ->
+        List.map
+          (fun s ->
+            let w = s.config.Proto_config.window in
+            if c >= w then s
+            else
+              let rx = Option.value ~default:w s.config.Proto_config.rx_budget in
+              { s with config = { s.config with Proto_config.rx_budget = Some (min c rx) } })
+          specs
+  in
   let n = List.length specs in
   let engine = Ba_sim.Engine.create ~seed () in
   let deadline =
@@ -54,6 +122,9 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
         (max 1 total * max_rto * 20) + 1_000_000
   in
   let flows : Flow.t option array = Array.make n None in
+  (* Quarantine gate: a gated flow's frames never reach the shared
+     links, so a livelocked neighbour cannot consume their capacity. *)
+  let gated = Array.make n false in
   let data_link =
     Ba_channel.Link.create engine ~loss:data_loss ~delay:data_delay ?bottleneck:data_bottleneck
       ~corrupt:(fun (i, d) -> (i, Wire.corrupt_data d))
@@ -73,23 +144,98 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
         Flow.create engine s.protocol ~id:i
           ~workload_seed:(seed + (7919 * (i + 1)))
           ~seed ~messages:s.messages ~payload_size:s.payload_size ~config:s.config
-          ~data_tx:(fun d -> Ba_channel.Link.send data_link (i, d))
-          ~ack_tx:(fun a -> Ba_channel.Link.send ack_link (i, a))
+          ~data_tx:(fun d -> if not gated.(i) then Ba_channel.Link.send data_link (i, d))
+          ~ack_tx:(fun a -> if not gated.(i) then Ba_channel.Link.send ack_link (i, a))
           ~on_complete:(fun () ->
             decr remaining;
             if !remaining = 0 then Ba_sim.Engine.stop engine)
           ()
       in
+      (match clamp with Some c -> Flow.clamp_window f c | None -> ());
       flows.(i) <- Some f)
     specs;
+  let starts = Array.of_list (List.map (fun s -> s.start_at) specs) in
+  let mem_peak = ref 0 in
+  let sample_mem () =
+    let total = Array.fold_left (fun acc -> function
+        | Some f -> acc + Flow.mem_bytes f
+        | None -> acc) 0 flows
+    in
+    if total > !mem_peak then mem_peak := total
+  in
+  let dogs =
+    match watchdog with
+    | None -> [||]
+    | Some wcfg ->
+        let dogs = Array.init n (fun _ -> Watchdog.create wcfg) in
+        let rec tick () =
+          sample_mem ();
+          Array.iteri
+            (fun i fo ->
+              match fo with
+              | None -> ()
+              | Some f ->
+                  if starts.(i) <= Ba_sim.Engine.now engine then begin
+                    match
+                      Watchdog.observe dogs.(i) ~delivered:(Flow.delivered f)
+                        ~completed:(Flow.is_complete f)
+                    with
+                    | Watchdog.Nothing -> ()
+                    | Watchdog.Resync ->
+                        (* Recover through the PR-4 handshake: wipe the
+                           sender's volatile state and let REQ/POS/FIN
+                           re-establish the window at the receiver's
+                           authoritative position. Protocols without a
+                           crash lifecycle have no recovery lever. *)
+                        if Flow.crash_tolerant f then begin
+                          Flow.crash_sender f;
+                          Flow.restart_sender f
+                        end
+                    | Watchdog.Quarantine -> gated.(i) <- true
+                    | Watchdog.Release ->
+                        gated.(i) <- false;
+                        if Flow.crash_tolerant f then begin
+                          Flow.crash_sender f;
+                          Flow.restart_sender f
+                        end
+                  end)
+            flows;
+          if !remaining > 0 then
+            ignore (Ba_sim.Engine.schedule engine ~delay:wcfg.Watchdog.check_interval tick)
+        in
+        ignore (Ba_sim.Engine.schedule engine ~delay:wcfg.Watchdog.check_interval tick);
+        dogs
+  in
+  (* Memory verification sampler: admission is a static worst-case
+     guarantee; the sampler observes what actually happened. Only armed
+     when someone is accounting (a budget or a watchdog is set), so
+     budget-free runs keep their exact historical event sequence. *)
+  (match memory_budget with
+  | Some _ when watchdog = None ->
+      let rec tick () =
+        sample_mem ();
+        if !remaining > 0 then ignore (Ba_sim.Engine.schedule engine ~delay:500 tick)
+      in
+      ignore (Ba_sim.Engine.schedule engine ~delay:500 tick)
+  | Some _ | None -> ());
   (match on_setup with Some g -> g engine | None -> ());
   (* Per-flow instrumentation hook: lets callers schedule process faults
      (crash/restart of one flow's endpoints) before traffic starts. *)
   (match on_flows with
   | Some g -> g engine (Array.map Option.get flows)
   | None -> ());
-  Array.iter (function Some f -> Flow.pump f | None -> ()) flows;
+  (* Surge flows (start_at > 0) exist from tick 0 — creation order fixes
+     determinism — but only start offering traffic at their start tick. *)
+  Array.iteri
+    (fun i fo ->
+      match fo with
+      | None -> ()
+      | Some f ->
+          if starts.(i) = 0 then Flow.pump f
+          else ignore (Ba_sim.Engine.schedule_at engine ~at:starts.(i) (fun () -> Flow.pump f)))
+    flows;
   Ba_sim.Engine.run ~until:deadline engine;
+  sample_mem ();
   let ticks = Ba_sim.Engine.now engine in
   let flow_results =
     Array.to_list flows
@@ -111,4 +257,15 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
     fairness = jain (List.map (fun r -> r.Flow.goodput) flow_results);
     data_stats = Ba_channel.Link.stats data_link;
     ack_stats = Ba_channel.Link.stats ack_link;
+    admitted = n;
+    refused;
+    clamped_window = clamp;
+    mem_peak_bytes = !mem_peak;
+    quarantine_events =
+      Array.fold_left (fun acc d -> acc + Watchdog.quarantine_events d) 0 dogs;
+    watchdog_resyncs = Array.fold_left (fun acc d -> acc + Watchdog.resync_events d) 0 dogs;
+    quarantined =
+      Array.fold_left
+        (fun acc d -> if Watchdog.state d = Watchdog.Quarantined then acc + 1 else acc)
+        0 dogs;
   }

@@ -10,6 +10,13 @@
     link-layer address, so injected corruption mangles frames but never
     the demultiplexing.
 
+    The fabric is also where overload is handled: a [memory_budget]
+    turns on admission control with graceful degradation (refuse new
+    flows, clamp existing windows — never OOM), and a [watchdog] config
+    arms a per-flow liveness machine that resyncs stalled flows through
+    the crash-restart handshake and quarantines repeat offenders off the
+    shared links (see {!Watchdog}).
+
     A run is a pure function of [seed]: links split the engine's random
     stream in creation order, flows are created in spec order (sender
     then receiver, as in the harness), and same-tick events fire in
@@ -20,25 +27,47 @@ type spec = {
   config : Proto_config.t;
   messages : int;  (** payloads this flow offers *)
   payload_size : int;
+  start_at : int;
+      (** tick at which this flow starts offering traffic (0 = from the
+          beginning). Late starters model a traffic surge hitting a
+          running fabric; they still participate in admission control
+          up front, so the memory guarantee covers the surge peak. *)
 }
 
 val spec :
-  ?config:Proto_config.t -> ?messages:int -> ?payload_size:int -> Protocol.t -> spec
-(** Defaults: [Proto_config.default], 100 messages, 32-byte payloads. *)
+  ?config:Proto_config.t ->
+  ?messages:int ->
+  ?payload_size:int ->
+  ?start_at:int ->
+  Protocol.t ->
+  spec
+(** Defaults: [Proto_config.default], 100 messages, 32-byte payloads,
+    [start_at = 0]. *)
 
 type result = {
   ticks : int;  (** simulated time until every flow finished (or the deadline) *)
-  completed : bool;  (** every flow delivered and acknowledged everything *)
+  completed : bool;  (** every admitted flow delivered and acknowledged everything *)
   flows : Flow.result list;
-      (** per-flow verdicts, in spec order. The record is the same one
-          {!Harness.run} returns, so chaos/safety checks written against
-          harness output apply to each entry unchanged. A finished flow's
-          [ticks] (hence goodput, latency) covers its own lifetime; an
-          unfinished one is measured over the whole run. *)
+      (** per-flow verdicts for the {e admitted} flows, in spec order.
+          The record is the same one {!Harness.run} returns, so
+          chaos/safety checks written against harness output apply to
+          each entry unchanged. A finished flow's [ticks] (hence
+          goodput, latency) covers its own lifetime; an unfinished one
+          is measured over the whole run. *)
   aggregate_goodput : float;  (** total delivered payloads per 1000 ticks *)
   fairness : float;  (** Jain's index over per-flow goodput *)
   data_stats : Ba_channel.Link.stats;  (** the shared data link's counters *)
   ack_stats : Ba_channel.Link.stats;  (** the shared ack link's counters *)
+  admitted : int;  (** flows admitted (= length of [flows]) *)
+  refused : int;  (** flows refused outright by admission control *)
+  clamped_window : int option;
+      (** the uniform effective-window clamp admission imposed, if any *)
+  mem_peak_bytes : int;
+      (** peak observed payload bytes buffered across all endpoints
+          (sampled; 0 when neither budget nor watchdog was set) *)
+  quarantine_events : int;  (** total watchdog quarantine entries *)
+  watchdog_resyncs : int;  (** watchdog-initiated resync recoveries *)
+  quarantined : int;  (** flows still quarantined when the run ended *)
 }
 
 val jain : float list -> float
@@ -55,6 +84,8 @@ val run :
   ?data_bottleneck:int * int ->
   ?ack_bottleneck:int * int ->
   ?deadline:int ->
+  ?memory_budget:int ->
+  ?watchdog:Watchdog.config ->
   ?on_setup:(Ba_sim.Engine.t -> unit) ->
   ?on_flows:(Ba_sim.Engine.t -> Flow.t array -> unit) ->
   spec list ->
@@ -63,6 +94,24 @@ val run :
     which defaults to an allowance scaled by the {e aggregate} workload).
     Defaults mirror {!Harness.run}: seed 42, no loss, delay
     [Uniform (40, 60)] both ways.
+
+    [memory_budget] (bytes) bounds the worst-case payload memory the
+    whole fabric can pin (each flow is charged
+    [2 · effective_window · payload_size]: retransmit buffer plus
+    reassembly window). Degradation is graceful and in preference
+    order: admit everyone unclamped if the budget allows; else admit
+    everyone under the largest uniform window clamp that fits (enforced
+    both by {!Flow.clamp_window} on the sender and by rewriting the
+    receiver's [rx_budget]); else clamp to 1 and admit the longest spec
+    prefix that fits, refusing the rest. Raises [Invalid_argument] when
+    not even one clamped flow fits.
+
+    [watchdog] arms a per-flow {!Watchdog}: every [check_interval]
+    ticks each started, unfinished flow is checked for delivery
+    progress; stalled flows are resynced via crash+restart of their
+    sender (the REQ/POS/FIN handshake), and repeat offenders are
+    quarantined — their frames are gated off the shared links until
+    probation ends, so the other [n−1] flows keep their throughput.
 
     [on_flows] is called once after every flow is created and before any
     traffic is pumped, with the flows in spec order — the hook for
@@ -76,4 +125,5 @@ val run :
     links have infinite capacity and flows only share the loss/delay
     process.
 
-    Raises [Invalid_argument] on an empty spec list. *)
+    Raises [Invalid_argument] on an empty spec list or a negative
+    [start_at]. *)

@@ -34,6 +34,7 @@ type result = {
   resync_rounds : int;
   resync_ticks : Ba_util.Stats.summary option;
   retx_bytes : int;
+  pressure_drops : int;
 }
 
 type t = {
@@ -49,6 +50,10 @@ type t = {
   sender_done : unit -> bool;
   sender_retransmissions : unit -> int;
   sender_outstanding : unit -> int;
+  sender_mem : unit -> int;
+  receiver_mem : unit -> int;
+  do_clamp : int -> unit;
+  pressure : unit -> int;
   do_sender_crash : unit -> unit;
   do_sender_restart : unit -> unit;
   do_receiver_crash : unit -> unit;
@@ -209,6 +214,10 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
     sender_done = (fun () -> P.sender_done s);
     sender_retransmissions = (fun () -> P.sender_retransmissions s);
     sender_outstanding = (fun () -> P.sender_outstanding s);
+    sender_mem = (fun () -> P.sender_mem_bytes s);
+    receiver_mem = (fun () -> P.receiver_mem_bytes r);
+    do_clamp = (fun n -> P.sender_clamp_window s n);
+    pressure = (fun () -> P.receiver_pressure_dropped r);
     delivered;
     duplicates;
     misordered;
@@ -231,6 +240,9 @@ let outstanding t = t.sender_outstanding ()
 let is_complete t = !(t.delivered) >= t.messages && t.sender_done ()
 let completed_at t = !(t.completed_at)
 let crash_tolerant t = t.crash_supported
+let mem_bytes t = t.sender_mem () + t.receiver_mem ()
+let clamp_window t n = t.do_clamp n
+let pressure_drops t = t.pressure ()
 let crash_sender t = t.do_sender_crash ()
 let restart_sender t = t.do_sender_restart ()
 let crash_receiver t = t.do_receiver_crash ()
@@ -312,4 +324,5 @@ let result t ?data_stats ?ack_stats ~ticks () =
       (if Ba_util.Stats.count t.resync_ticks = 0 then None
        else Some (Ba_util.Stats.summary t.resync_ticks));
     retx_bytes = !(t.retx_bytes);
+    pressure_drops = t.pressure ();
   }

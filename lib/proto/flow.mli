@@ -47,6 +47,9 @@ type result = {
       (** per-restart recovery time: restart tick to the next in-order
           delivery (or completion); [None] when nothing restarted *)
   retx_bytes : int;  (** bytes of retransmitted payload copies on the wire *)
+  pressure_drops : int;
+      (** in-window frames the receiver refused for buffer-full under an
+          [rx_budget]; behaviorally channel losses (never acknowledged) *)
 }
 
 type t
@@ -97,6 +100,18 @@ val is_complete : t -> bool
 
 val completed_at : t -> int option
 (** Tick at which the flow completed, if it has. *)
+
+val mem_bytes : t -> int
+(** Payload bytes currently buffered by both endpoints (retransmit
+    queue + reassembly window) — what the fabric's accountant charges
+    this flow. Protocols without accounting report 0. *)
+
+val clamp_window : t -> int -> unit
+(** Backpressure: cap the sender's effective window (no-op for
+    protocols without a clamp path). *)
+
+val pressure_drops : t -> int
+(** In-window frames the receiver refused for buffer-full so far. *)
 
 (** {2 Crash–restart}
 

@@ -29,6 +29,7 @@ type result = Flow.result = {
   resync_rounds : int;
   resync_ticks : Ba_util.Stats.summary option;
   retx_bytes : int;
+  pressure_drops : int;
 }
 
 type setup = {
@@ -121,4 +122,7 @@ let pp_result ppf r =
       (match r.resync_ticks with
       | None -> "-"
       | Some s -> Printf.sprintf "%.0f/%.0f" s.Ba_util.Stats.mean s.Ba_util.Stats.max)
-      r.retx_bytes
+      r.retx_bytes;
+  (* Likewise budget-free runs: the counter only prints when a receiver
+     budget actually refused frames. *)
+  if r.pressure_drops > 0 then Format.fprintf ppf ", pressure-drops=%d" r.pressure_drops

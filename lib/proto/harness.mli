@@ -46,6 +46,9 @@ type result = Flow.result = {
   resync_ticks : Ba_util.Stats.summary option;
       (** per-restart recovery time; [None] when nothing restarted *)
   retx_bytes : int;  (** bytes of retransmitted payload copies on the wire *)
+  pressure_drops : int;
+      (** in-window frames the receiver refused for buffer-full under an
+          [rx_budget]; behaviorally channel losses (never acknowledged) *)
 }
 
 type setup = {

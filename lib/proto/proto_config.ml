@@ -1,3 +1,5 @@
+type drop_policy = Drop_new | Drop_furthest
+
 type t = {
   window : int;
   rto : int;
@@ -7,6 +9,23 @@ type t = {
   dynamic_window : bool;
   adaptive_rto : bool;
   max_transit : int option;
+  rx_budget : int option;
+      (* [Some b]: the receiver may hold at most [b] out-of-order
+         reassembly slots beyond its contiguous run; further in-window
+         frames hit [drop_policy]. [None]: the full window (the paper's
+         assumption of room for every outstanding message). *)
+  tx_budget : int option;
+      (* [Some b]: the sender's retransmit buffer is capped at [b]
+         slots, clamping the effective window below the configured one.
+         [None]: the full window. *)
+  drop_policy : drop_policy;
+      (* What a budget-full receiver does with a fresh in-window frame
+         it has no room for: [Drop_new] discards the arrival, [Drop_furthest]
+         evicts the buffered frame furthest from the delivery frontier
+         (Jain's preferred policy: slots near [nr] complete runs sooner).
+         Either way the victim was never acknowledged, so the sender's
+         timer retransmits it — a buffer-pressure drop is behaviorally a
+         channel loss. *)
   resync_epochs : bool;
       (* [true]: crash-restart bumps the incarnation epoch (stable
          storage) and runs the REQ/POS/FIN resync handshake before
@@ -26,6 +45,9 @@ let default =
     dynamic_window = false;
     adaptive_rto = false;
     max_transit = None;
+    rx_budget = None;
+    tx_budget = None;
+    drop_policy = Drop_new;
     resync_epochs = true;
   }
 
@@ -39,6 +61,16 @@ let validate t =
   | Some m when t.rto <= (2 * m) + t.ack_coalesce ->
       invalid_arg "Proto_config: rto must exceed 2*max_transit + ack_coalesce"
   | Some _ | None -> ());
+  (match t.rx_budget with
+  | Some b when b < 1 || b > t.window ->
+      invalid_arg
+        (Printf.sprintf "Proto_config: rx_budget %d outside [1, window=%d]" b t.window)
+  | Some _ | None -> ());
+  (match t.tx_budget with
+  | Some b when b < 1 || b > t.window ->
+      invalid_arg
+        (Printf.sprintf "Proto_config: tx_budget %d outside [1, window=%d]" b t.window)
+  | Some _ | None -> ());
   match t.wire_modulus with
   | None -> ()
   | Some n ->
@@ -50,7 +82,7 @@ let validate t =
           (Printf.sprintf "Proto_config: wire modulus %d < window+1=%d" n (t.window + 1))
 
 let make ?window ?rto ?wire_modulus ?ack_coalesce ?stenning_gap ?dynamic_window ?adaptive_rto
-    ?max_transit ?resync_epochs () =
+    ?max_transit ?rx_budget ?tx_budget ?drop_policy ?resync_epochs () =
   let t =
     {
       window = Option.value ~default:default.window window;
@@ -61,11 +93,16 @@ let make ?window ?rto ?wire_modulus ?ack_coalesce ?stenning_gap ?dynamic_window 
       dynamic_window = Option.value ~default:default.dynamic_window dynamic_window;
       adaptive_rto = Option.value ~default:default.adaptive_rto adaptive_rto;
       max_transit;
+      rx_budget;
+      tx_budget;
+      drop_policy = Option.value ~default:default.drop_policy drop_policy;
       resync_epochs = Option.value ~default:default.resync_epochs resync_epochs;
     }
   in
   validate t;
   t
+
+let drop_policy_name = function Drop_new -> "drop-new" | Drop_furthest -> "drop-furthest"
 
 let hold_duration t =
   match t.max_transit with Some m -> (2 * m) + t.ack_coalesce | None -> t.rto

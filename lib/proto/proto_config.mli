@@ -1,5 +1,12 @@
 (** Configuration shared by all simulated protocol implementations. *)
 
+type drop_policy =
+  | Drop_new  (** discard the arriving frame when the reassembly budget is full *)
+  | Drop_furthest
+      (** evict the buffered frame furthest from the delivery frontier
+          instead (Jain's caching policy: slots near [nr] complete runs
+          sooner, so they are worth more under pressure) *)
+
 type t = {
   window : int;  (** maximum outstanding data messages, the paper's [w] *)
   rto : int;
@@ -37,6 +44,22 @@ type t = {
           holds shrink from [rto] to [2 * max_transit + ack_coalesce],
           reducing post-loss throttling. Must satisfy
           [rto > 2 * max_transit + ack_coalesce]. *)
+  rx_budget : int option;
+      (** [Some b]: hard cap ([1..window]) on the receiver's
+          out-of-order reassembly slots beyond its contiguous run.
+          Fresh in-window frames arriving over budget are handled per
+          [drop_policy]; the run-extending frame ([v = vr]) is always
+          admitted, which is what keeps drop-new from livelocking. A
+          victim was never acknowledged, so a budget drop is
+          behaviorally a channel loss. [None]: the paper's assumption —
+          room for the full window. *)
+  tx_budget : int option;
+      (** [Some b]: hard cap ([1..window]) on the sender's retransmit
+          buffer, clamping the effective window below the configured
+          one. [None]: the full window. *)
+  drop_policy : drop_policy;
+      (** What a budget-full receiver does with a fresh in-window frame
+          (only consulted when [rx_budget] is set). *)
   resync_epochs : bool;
       (** Crash–restart semantics for the endpoints that support a
           [crash]/[restart] lifecycle. [true] (default): restart bumps a
@@ -60,10 +83,16 @@ val make :
   ?dynamic_window:bool ->
   ?adaptive_rto:bool ->
   ?max_transit:int ->
+  ?rx_budget:int ->
+  ?tx_budget:int ->
+  ?drop_policy:drop_policy ->
   ?resync_epochs:bool ->
   unit ->
   t
 (** [default] with overrides; validates all fields. *)
+
+val drop_policy_name : drop_policy -> string
+(** ["drop-new"] / ["drop-furthest"], for reports and replay keys. *)
 
 val hold_duration : t -> int
 (** How long a retransmitted copy (and any acknowledgment it triggers)

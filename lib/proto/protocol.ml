@@ -32,6 +32,10 @@ module type S = sig
   val receiver_restart : receiver -> unit
   val sender_resync_rounds : sender -> int
   val receiver_resync_rounds : receiver -> int
+  val sender_mem_bytes : sender -> int
+  val receiver_mem_bytes : receiver -> int
+  val sender_clamp_window : sender -> int -> unit
+  val receiver_pressure_dropped : receiver -> int
 end
 
 type t = (module S)
@@ -54,4 +58,15 @@ struct
   let receiver_restart (_ : N.receiver) = unsupported ()
   let sender_resync_rounds (_ : N.sender) = 0
   let receiver_resync_rounds (_ : N.receiver) = 0
+end
+
+module No_overload (N : sig
+  type sender
+  type receiver
+end) =
+struct
+  let sender_mem_bytes (_ : N.sender) = 0
+  let receiver_mem_bytes (_ : N.receiver) = 0
+  let sender_clamp_window (_ : N.sender) (_ : int) = ()
+  let receiver_pressure_dropped (_ : N.receiver) = 0
 end

@@ -73,6 +73,22 @@ module type S = sig
       protocols without a handshake). *)
 
   val receiver_resync_rounds : receiver -> int
+
+  (** {2 Overload accounting and backpressure}
+
+      Hooks for the fabric's memory accounting and graceful degradation.
+      [*_mem_bytes] report the payload bytes an endpoint currently
+      buffers (retransmit queue / reassembly window); protocols that do
+      not track memory report 0 and are simply invisible to the
+      accountant. [sender_clamp_window] caps a sender's effective window
+      (the backpressure path; a no-op where unsupported).
+      [receiver_pressure_dropped] counts in-window frames refused for
+      buffer-full under an [rx_budget]. *)
+
+  val sender_mem_bytes : sender -> int
+  val receiver_mem_bytes : receiver -> int
+  val sender_clamp_window : sender -> int -> unit
+  val receiver_pressure_dropped : receiver -> int
 end
 
 type t = (module S)
@@ -92,4 +108,16 @@ end) : sig
   val receiver_restart : N.receiver -> unit
   val sender_resync_rounds : N.sender -> int
   val receiver_resync_rounds : N.receiver -> int
+end
+
+(** Drop-in stubs for protocols without memory accounting or a
+    backpressure path: zero bytes reported, clamp is a no-op. *)
+module No_overload (N : sig
+  type sender
+  type receiver
+end) : sig
+  val sender_mem_bytes : N.sender -> int
+  val receiver_mem_bytes : N.receiver -> int
+  val sender_clamp_window : N.sender -> int -> unit
+  val receiver_pressure_dropped : N.receiver -> int
 end

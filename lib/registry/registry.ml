@@ -98,12 +98,13 @@ let parse name =
 let protocol name = Option.map (fun e -> e.protocol) (find name)
 
 let config ?(window = 16) ?rto ?modulus ?ack_coalesce ?max_transit ?adaptive_rto ?stenning_gap
-    ?dynamic_window ?resync_epochs entry () =
+    ?dynamic_window ?resync_epochs ?rx_budget ?tx_budget ?drop_policy entry () =
   let wire_modulus =
     match modulus with Some m -> Some m | None -> entry.default_modulus ~window
   in
   Ba_proto.Proto_config.make ~window ?rto ?wire_modulus:(Option.map Option.some wire_modulus)
-    ?ack_coalesce ?max_transit ?adaptive_rto ?stenning_gap ?dynamic_window ?resync_epochs ()
+    ?ack_coalesce ?max_transit ?adaptive_rto ?stenning_gap ?dynamic_window ?resync_epochs
+    ?rx_budget ?tx_budget ?drop_policy ()
 
 let pp_list ppf () =
   List.iter

@@ -55,6 +55,9 @@ val config :
   ?stenning_gap:int ->
   ?dynamic_window:bool ->
   ?resync_epochs:bool ->
+  ?rx_budget:int ->
+  ?tx_budget:int ->
+  ?drop_policy:Ba_proto.Proto_config.drop_policy ->
   entry ->
   unit ->
   Ba_proto.Proto_config.t

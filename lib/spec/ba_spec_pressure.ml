@@ -1,0 +1,107 @@
+open Spec_types
+module M = Ba_channel.Multiset
+
+module Make (P : sig
+  val w : int
+  val limit : int
+  val naive : bool
+end) =
+struct
+  let params = { Ba_kernel.w = P.w; limit = P.limit }
+  let () = Ba_kernel.validate params
+
+  type state = Ba_kernel.state
+
+  let name =
+    Printf.sprintf "blockack-pressure(w=%d,limit=%d%s)" P.w P.limit
+      (if P.naive then ",naive" else "")
+
+  let initial = Ba_kernel.initial
+
+  (* Action 2' (Section IV): per-message timers, as in the timeout spec —
+     the fair-retransmission engine that has to absorb pressure drops. *)
+  let timeout_enabled (s : state) i =
+    i >= s.na && i < s.ns
+    && (not (Iset.mem i s.ackd))
+    && Ba_kernel.sr_count s i = 0
+    && (i < s.nr || not (Iset.mem i s.rcvd))
+    && Ba_kernel.rs_count s i = 0
+
+  let timeout (s : state) =
+    let rec each i acc =
+      if i >= s.ns then List.rev acc
+      else begin
+        let acc =
+          if timeout_enabled s i then
+            { label = Printf.sprintf "timeout(%d)->resend(%d)" i i;
+              kind = Protocol;
+              target = { s with csr = Ba_channel.Multiset.add i s.csr } }
+            :: acc
+          else acc
+        in
+        each (i + 1) acc
+      end
+    in
+    each s.na []
+
+  (* Buffer pressure, sound variant: the receiver may nondeterministically
+     evict ANY buffered out-of-order slot — every slot strictly above the
+     contiguous frontier [vr] is fair game, which over-approximates both
+     policies (drop-new refusal at arrival is the kernel's existing
+     [lose_data]; drop-furthest eviction is this action). The run
+     [nr, vr) is excluded: those receptions are committed to the next
+     block acknowledgment, and evicting one would break the ack's
+     contiguity claim. The victim was never acknowledged, so the drop is
+     [Loss]-kind — behaviorally a channel loss that action 2' repairs —
+     and the explorer must find assertions 6–8 intact and progress
+     (loss-free completion) reachable from every state. *)
+  let pressure_drop (s : state) =
+    List.filter_map
+      (fun v ->
+        if v > s.vr then
+          Some
+            { label = Printf.sprintf "pressure_drop(%d)" v;
+              kind = Loss;
+              target = { s with rcvd = Iset.remove v s.rcvd } }
+        else None)
+      (Iset.elements s.rcvd)
+
+  (* Naive variant: acknowledge first, then discover the buffer is full
+     and discard the payload. The singleton ack for the never-buffered
+     slot enters the channel as a protocol step — and assertion 8's
+     in-transit-ack clause ([rs_count m = 0 ∨ (m < nr ∧ ¬ackd m)])
+     catches it mechanically on the very next state. *)
+  let ack_before_buffer (s : state) =
+    List.filter_map
+      (fun v ->
+        if v > s.vr then
+          Some
+            { label = Printf.sprintf "ack_drop(%d)" v;
+              kind = Protocol;
+              target = { s with csr = M.remove v s.csr; crs = M.add (v, v) s.crs } }
+        else None)
+      (M.distinct s.csr)
+
+  let transitions s =
+    Ba_kernel.send_new params s
+    @ Ba_kernel.recv_ack s
+    @ timeout s
+    @ Ba_kernel.recv_data s
+    @ Ba_kernel.advance_vr s
+    @ Ba_kernel.send_ack s
+    @ Ba_kernel.lose s
+    @ pressure_drop s
+    @ (if P.naive then ack_before_buffer s else [])
+
+  let check s = Invariant.check (Ba_kernel.view params s)
+  let terminal (s : state) = s.na >= P.limit
+  let measure = Ba_kernel.measure
+  let pp = Ba_kernel.pp
+end
+
+let default ~w ~limit ~naive =
+  (module Make (struct
+    let w = w
+    let limit = limit
+    let naive = naive
+  end) : Spec_types.SPEC)

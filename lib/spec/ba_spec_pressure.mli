@@ -1,0 +1,30 @@
+(** Buffer-pressure model of the block-acknowledgment protocol.
+
+    Extends the per-message-timer spec (Section IV) with a receiver that
+    may nondeterministically drop any buffered {e out-of-order} frame for
+    "buffer full" — the worst case over every finite reassembly budget
+    and both of Jain's drop policies. The contiguous run [nr, vr) is not
+    evictable: those receptions are committed to the next block
+    acknowledgment.
+
+    Two modes:
+
+    - [naive = false] (sound): a pressure drop removes the frame before
+      anything was acknowledged, so it is a [Loss]-kind transition —
+      behaviorally identical to a channel loss, repaired by the sender's
+      per-message timer. The explorer proves assertions 6–8 in every
+      reachable state and loss-free progress from every state: bounded
+      buffers cost retransmissions, never correctness.
+    - [naive = true]: adds the ack-before-buffer bug — the receiver
+      acknowledges an out-of-order frame and {e then} discards it. The
+      explorer mechanically finds the counterexample: the singleton ack
+      for the never-buffered slot violates assertion 8's in-transit-ack
+      clause within a handful of steps. *)
+
+module Make (_ : sig
+  val w : int
+  val limit : int
+  val naive : bool
+end) : Spec_types.SPEC
+
+val default : w:int -> limit:int -> naive:bool -> Spec_types.spec

@@ -2,10 +2,17 @@ module Fault_plan = Ba_channel.Fault_plan
 module Crash_plan = Ba_proto.Crash_plan
 module Harness = Ba_proto.Harness
 
-type fault_class = Bursty_loss | Duplication | Corruption | Outage | Reorder | Crash
+type fault_class =
+  | Bursty_loss
+  | Duplication
+  | Corruption
+  | Outage
+  | Reorder
+  | Crash
+  | Overload
 
 let channel_classes = [ Bursty_loss; Duplication; Corruption; Outage; Reorder ]
-let all_classes = channel_classes @ [ Crash ]
+let all_classes = channel_classes @ [ Crash; Overload ]
 
 let class_name = function
   | Bursty_loss -> "bursty-loss"
@@ -14,6 +21,7 @@ let class_name = function
   | Outage -> "outage"
   | Reorder -> "reorder"
   | Crash -> "crash"
+  | Overload -> "overload"
 
 let class_of_name = function
   | "bursty-loss" -> Some Bursty_loss
@@ -22,6 +30,7 @@ let class_of_name = function
   | "outage" -> Some Outage
   | "reorder" -> Some Reorder
   | "crash" -> Some Crash
+  | "overload" -> Some Overload
   | _ -> None
 
 (* The schedules vary with the seed — outage windows shift, duplicate
@@ -65,6 +74,11 @@ let plans_for fault ~seed =
          clean so the class tests exactly one adversary (the schedule
          lives in {!crash_plan_for}). *)
       (Fault_plan.make (), Fault_plan.make ())
+  | Overload ->
+      (* Overload is a resource fault: the links stay clean and the
+         adversary is a seed-derived budget squeeze plus a congested
+         shared queue (see {!overload_squeeze}). *)
+      (Fault_plan.make (), Fault_plan.make ())
 
 (* Which endpoint dies, when, and for how long all rotate with the seed,
    so the 50-seed grid covers sender-only, receiver-only and staggered
@@ -82,6 +96,27 @@ let crash_plan_for ~seed =
           { Crash_plan.at; endpoint = Crash_plan.Receiver_end; down_for };
           { Crash_plan.at = at + 400; endpoint = Crash_plan.Sender_end; down_for };
         ]
+
+(* The overload adversary squeezes resources rather than the wire: the
+   receiver's reassembly budget shrinks to a few out-of-order slots (the
+   drop policy alternates with the seed between Jain's drop-new and
+   drop-furthest) and the shared data path becomes a slow bounded queue
+   whose tail drops punch the sequence gaps that make the budget bind.
+   Like the other classes it is pure data derived from (class, seed), so
+   ["seed=N fault=overload"] replays the exact squeeze. *)
+let overload_squeeze ~seed (base : Ba_proto.Proto_config.t) =
+  let policy =
+    if seed mod 2 = 0 then Ba_proto.Proto_config.Drop_new
+    else Ba_proto.Proto_config.Drop_furthest
+  in
+  let config =
+    {
+      base with
+      Ba_proto.Proto_config.rx_budget = Some (2 + (seed mod 3));
+      drop_policy = policy;
+    }
+  in
+  (config, (10, 4 + (seed mod 4)))
 
 type failure = {
   seed : int;
@@ -146,10 +181,17 @@ let gbn_config =
 let run_cell ?(messages = 60) ?(config = robust_config) protocol fault ~seed =
   let data_plan, ack_plan = plans_for fault ~seed in
   let crash_plan = match fault with Crash -> crash_plan_for ~seed | _ -> Crash_plan.none in
+  let config, data_bottleneck =
+    match fault with
+    | Overload ->
+        let config, bottleneck = overload_squeeze ~seed config in
+        (config, Some bottleneck)
+    | _ -> (config, None)
+  in
   let delay = Ba_channel.Dist.Constant 50 in
   let result =
-    Harness.run protocol ~seed ~messages ~config ~data_delay:delay ~ack_delay:delay ~data_plan
-      ~ack_plan ~crash_plan ()
+    Harness.run protocol ~seed ~messages ~config ~data_delay:delay ~ack_delay:delay
+      ?data_bottleneck ~data_plan ~ack_plan ~crash_plan ()
   in
   let failure =
     if safe result && result.Harness.completed then None

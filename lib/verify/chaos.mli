@@ -19,17 +19,21 @@ type fault_class =
   | Outage  (** scheduled dark windows on both links *)
   | Reorder  (** heavy delay spikes, so copies overtake each other *)
   | Crash  (** endpoint crash–restart: volatile state wiped mid-transfer *)
+  | Overload
+      (** resource exhaustion: a squeezed receiver reassembly budget plus
+          a congested bounded queue on the shared data path *)
 
 val all_classes : fault_class list
 
 val channel_classes : fault_class list
 (** The channel-fault subset of {!all_classes} — everything except
-    [Crash], which faults a process rather than a link. *)
+    [Crash] and [Overload], which fault a process or its resources
+    rather than a link. *)
 
 val class_name : fault_class -> string
 val class_of_name : string -> fault_class option
 (** Lower-case names: ["bursty-loss"], ["duplication"], ["corruption"],
-    ["outage"], ["reorder"], ["crash"]. *)
+    ["outage"], ["reorder"], ["crash"], ["overload"]. *)
 
 val plans_for : fault_class -> seed:int -> Ba_channel.Fault_plan.t * Ba_channel.Fault_plan.t
 (** [(data_plan, ack_plan)] for one run. The plans vary with [seed]
@@ -43,6 +47,15 @@ val crash_plan_for : seed:int -> Ba_proto.Crash_plan.t
     (sender, receiver, or both staggered), the crash tick and the
     downtime all rotate with [seed]. Pure data — print it with
     {!Ba_proto.Crash_plan.pp} to get the replay key. *)
+
+val overload_squeeze :
+  seed:int -> Ba_proto.Proto_config.t -> Ba_proto.Proto_config.t * (int * int)
+(** The [Overload] class's resource squeeze for one run: the base config
+    with a seed-derived receiver [rx_budget] of 2–4 out-of-order slots
+    (drop policy alternating with the seed between [Drop_new] and
+    [Drop_furthest]), paired with the [(service_time, queue_capacity)]
+    bottleneck installed on the data link. Pure data derived from
+    [seed], so the class replays like every other. *)
 
 type failure = {
   seed : int;

@@ -29,6 +29,7 @@ failing seed and fault schedule are printed as the replay key):
   reorder        6 runs  unsafe=0   incomplete=0   ok
   crash          6 runs  unsafe=0   incomplete=0   ok
     recovery: restarts=1 rounds=2 resync-ticks=100 mean/100 max retx=560B
+  overload       6 runs  unsafe=0   incomplete=0   ok
   
   selective-repeat:
   bursty-loss    6 runs  unsafe=0   incomplete=0   ok
@@ -37,6 +38,7 @@ failing seed and fault schedule are printed as the replay key):
   outage         6 runs  unsafe=0   incomplete=0   ok
   reorder        6 runs  unsafe=0   incomplete=0   ok
   crash        skipped (protocol not crash-tolerant)
+  overload       6 runs  unsafe=0   incomplete=0   ok
   
   demonstrated: bounded go-back-N misbehaves under reorder
     seed=1 fault=reorder

@@ -84,3 +84,36 @@ from every state — the self-stabilization pair:
   progress: every state can complete loss-free
   invariant: HOLDS at every reachable state
   
+
+The buffer-pressure environment: a receiver that may drop any buffered
+out-of-order frame for "buffer full" (the worst case over every finite
+reassembly budget and both of Jain's drop policies). Safety and
+loss-free progress both hold — bounded buffers cost retransmissions,
+never correctness:
+
+  $ ../../bin/ba_check.exe --spec pressure -w 2 --limit 3
+  spec: blockack-pressure(w=2,limit=3)
+  states: 101  transitions: 255  max depth: 16
+  terminal states: 1  deadlocks: 0  capped: false
+  progress: every state can complete loss-free
+  invariant: HOLDS at every reachable state
+  
+
+The naive ack-before-buffer variant — acknowledge the frame, then
+discover the buffer is full and discard it — is caught mechanically:
+the singleton ack for the never-buffered slot violates assertion 8's
+in-transit-ack clause within three steps:
+
+  $ ../../bin/ba_check.exe --spec pressure-naive -w 2 --limit 2
+  spec: blockack-pressure(w=2,limit=2,naive)
+  states: 10  transitions: 9  max depth: 2
+  terminal states: 0  deadlocks: 0  capped: false
+  progress: not checked
+  invariant: VIOLATED — 8: in-transit ack covers 1 but not (m<nr && !ackd)
+  counterexample (3 steps):
+    <init>                       S{na=0 ns=0 ackd={}} R{nr=0 vr=0 rcvd={}} CSR={} CRS={}
+    send(0)                      S{na=0 ns=1 ackd={}} R{nr=0 vr=0 rcvd={}} CSR={0} CRS={}
+    send(1)                      S{na=0 ns=2 ackd={}} R{nr=0 vr=0 rcvd={}} CSR={0, 1} CRS={}
+    ack_drop(1)                  S{na=0 ns=2 ackd={}} R{nr=0 vr=0 rcvd={}} CSR={0} CRS={(1,1)}
+  
+  [1]

@@ -1,0 +1,32 @@
+The long-horizon overload soak: each round doubles the offered load
+with a surge of late-starting flows under a fabric memory budget and an
+armed watchdog, and stalls one surge flow's receiver so the full
+escalation — resync, quarantine, probation release, recovery — runs.
+Rounds are independent simulations collected in submission order, so
+the report is byte-identical at any --jobs:
+
+  $ ../../bin/ba_net.exe --soak 3 --messages 20 -c 2 --loss 0.02 --jobs 1 > soak-j1.out
+  $ ../../bin/ba_net.exe --soak 3 --messages 20 -c 2 --loss 0.02 --jobs 4 > soak-j4.out
+  $ cmp soak-j1.out soak-j4.out && echo identical
+  identical
+
+Every round holds the memory budget, quarantines the stalled flow once,
+recovers it through the resync handshake and finishes clean:
+
+  $ cat soak-j1.out
+  round  seed  completed  admitted  clamp  mem-peak  quarantines  resyncs  recovery  verdict
+  -----  ----  ---------  --------  -----  --------  -----------  -------  --------  -------
+      0    42  yes        4/4           6       544            1        2      6912  ok     
+      1    43  yes        4/4           6       384            1        2      7146  ok     
+      2    44  yes        4/4           6       384            1        2      6910  ok     
+  
+  soak: 3 rounds, budget=1536B, peak=544B (under budget), quarantines=3, resyncs=6, worst post-surge recovery=7146 ticks
+
+
+An impossible budget is refused outright rather than thrashing:
+
+  $ ../../bin/ba_net.exe --soak 1 --messages 10 -c 1 --budget 10
+  ba_net: internal error, uncaught exception:
+          Invalid_argument("Fabric.run: memory_budget admits no flow")
+          
+  [125]

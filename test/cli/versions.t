@@ -1,0 +1,13 @@
+Every binary reports the same version, sourced from the one constant in
+Ba_cli (so a release bumps all five in one place):
+
+  $ ../../bin/ba_sim.exe --version
+  0.5.0
+  $ ../../bin/ba_net.exe --version
+  0.5.0
+  $ ../../bin/ba_chaos.exe --version
+  0.5.0
+  $ ../../bin/ba_check.exe --version
+  0.5.0
+  $ ../../bin/ba_diagram.exe --version
+  0.5.0

@@ -3,8 +3,11 @@
    `ba_chaos` run demonstrates at 50 seeds. *)
 
 let check = Alcotest.check
+let qcheck = QCheck_alcotest.to_alcotest
 
 module Chaos = Ba_verify.Chaos
+module Fault_plan = Ba_channel.Fault_plan
+module Crash_plan = Ba_proto.Crash_plan
 
 let seeds = List.init 10 (fun i -> i + 1)
 let messages = 30
@@ -22,6 +25,81 @@ let test_plans_deterministic () =
       let a = Chaos.plans_for c ~seed:3 and b = Chaos.plans_for c ~seed:3 in
       check Alcotest.bool "same seed, same schedule" true (a = b))
     Chaos.all_classes
+
+(* Every class's campaign schedule must survive the --replay grammar:
+   print the plans, parse the key back, print again — byte-identical.
+   Covers every fault class (including the clean-link crash and overload
+   classes, whose plans print as "none") across a seed sweep. *)
+let test_campaign_plans_roundtrip () =
+  List.iter
+    (fun c ->
+      List.iter
+        (fun seed ->
+          let data_plan, ack_plan = Chaos.plans_for c ~seed in
+          List.iter
+            (fun p ->
+              let key = Fault_plan.to_string p in
+              match Fault_plan.of_string key with
+              | Ok q ->
+                  check Alcotest.string
+                    (Printf.sprintf "%s seed=%d replays" (Chaos.class_name c) seed)
+                    key (Fault_plan.to_string q)
+              | Error e ->
+                  Alcotest.failf "%s seed=%d: %S did not parse: %s" (Chaos.class_name c) seed
+                    key e)
+            [ data_plan; ack_plan ];
+          let crash = if c = Chaos.Crash then Chaos.crash_plan_for ~seed else Crash_plan.none in
+          let key = Crash_plan.to_string crash in
+          match Crash_plan.of_string key with
+          | Ok q -> check Alcotest.string "crash key replays" key (Crash_plan.to_string q)
+          | Error e -> Alcotest.failf "crash key %S did not parse: %s" key e)
+        (List.init 25 (fun i -> i + 1)))
+    Chaos.all_classes
+
+(* Random plans at the grammar's printed precision (%.3f for the burst
+   transitions, %.2f elsewhere) round-trip too — the grammar is not
+   secretly specialized to the handful of schedules the campaign uses. *)
+let test_random_plans_roundtrip =
+  qcheck
+    (QCheck.Test.make ~count:200 ~name:"seeded random fault plans survive the replay grammar"
+       QCheck.(int_range 0 1_000_000)
+       (fun seed ->
+         let rng = Random.State.make [| seed |] in
+         let milli () = float_of_int (1 + Random.State.int rng 999) /. 1000. in
+         let centi () = float_of_int (Random.State.int rng 100) /. 100. in
+         let bursty =
+           if Random.State.bool rng then
+             Some
+               {
+                 Fault_plan.p_enter_bad = milli ();
+                 p_exit_bad = milli ();
+                 loss_good = centi ();
+                 loss_bad = centi ();
+               }
+           else None
+         in
+         let duplicate = if Random.State.bool rng then centi () else 0. in
+         let copies = 2 + Random.State.int rng 3 in
+         let corrupt = if Random.State.bool rng then centi () else 0. in
+         let delay_spike =
+           if Random.State.bool rng then
+             Some (float_of_int (1 + Random.State.int rng 99) /. 100.,
+                   1 + Random.State.int rng 500)
+           else None
+         in
+         let outages =
+           if Random.State.bool rng then
+             let from_tick = Random.State.int rng 5_000 in
+             [ { Fault_plan.from_tick; until_tick = from_tick + 1 + Random.State.int rng 2_000 } ]
+           else []
+         in
+         let plan =
+           Fault_plan.make ?bursty ~duplicate ~copies ~corrupt ?delay_spike ~outages ()
+         in
+         let key = Fault_plan.to_string plan in
+         match Fault_plan.of_string key with
+         | Ok q -> Fault_plan.to_string q = key
+         | Error _ -> false))
 
 let test_blockack_survives_all_classes () =
   let r = Chaos.run_campaign ~messages ~seeds Blockack.Protocols.multi in
@@ -130,6 +208,9 @@ let () =
         [
           Alcotest.test_case "class names roundtrip" `Quick test_class_names_roundtrip;
           Alcotest.test_case "plans deterministic" `Quick test_plans_deterministic;
+          Alcotest.test_case "campaign plans round-trip the replay grammar" `Quick
+            test_campaign_plans_roundtrip;
+          test_random_plans_roundtrip;
           Alcotest.test_case "blockack survives all classes" `Quick
             test_blockack_survives_all_classes;
           Alcotest.test_case "selective repeat survives all classes" `Quick

@@ -315,6 +315,76 @@ let test_receiver_coalesce () =
     (drain p.sent_acks);
   check Alcotest.int "all delivered at flush" 3 (Queue.length p.delivered)
 
+(* Bounded reassembly (Jain's two drop policies). The budget counts only
+   out-of-order slots — the committed run [nr, vr) is never evictable —
+   and a refused or evicted frame is never acknowledged, so no block
+   acknowledgment (m, n) may cover it until a retransmission lands. *)
+let budget_config policy =
+  Config.make ~window:4 ~rto:100 ~wire_modulus:(Some 8) ~rx_budget:2 ~drop_policy:policy ()
+
+let test_receiver_drop_new_refuses_newcomer () =
+  let p = make_pipe () in
+  let r = make_receiver ~config:(budget_config Config.Drop_new) p in
+  Blockack.Receiver.on_data r (data ~seq:1 1);
+  Blockack.Receiver.on_data r (data ~seq:2 2);
+  check Alcotest.int "budget filled" 2 (Blockack.Receiver.buffered r);
+  Blockack.Receiver.on_data r (data ~seq:3 3);
+  check Alcotest.int "newcomer refused" 2 (Blockack.Receiver.buffered r);
+  check Alcotest.int "refusal counted" 1 (Blockack.Receiver.pressure_dropped r);
+  check Alcotest.int "no ack for the refused frame" 0 (Queue.length p.sent_acks);
+  (* The run-extender closes the gap: the block ack covers exactly the
+     delivered run and never the refused slot 3. *)
+  Blockack.Receiver.on_data r (data ~seq:0 0);
+  check (Alcotest.list ack_t) "block ack stops at the drop" [ Wire.make_ack ~lo:0 ~hi:2 ]
+    (drain p.sent_acks);
+  check Alcotest.int "run delivered" 3 (Queue.length p.delivered);
+  (* The sender's timer retransmits the victim; only then is it acked. *)
+  Blockack.Receiver.on_data r (data ~seq:3 3);
+  check (Alcotest.list ack_t) "retransmission acked" [ Wire.make_ack ~lo:3 ~hi:3 ]
+    (drain p.sent_acks);
+  check Alcotest.int "nr caught up" 4 (Blockack.Receiver.nr r)
+
+let test_receiver_drop_furthest_evicts () =
+  let p = make_pipe () in
+  let r = make_receiver ~config:(budget_config Config.Drop_furthest) p in
+  Blockack.Receiver.on_data r (data ~seq:3 3);
+  Blockack.Receiver.on_data r (data ~seq:2 2);
+  Blockack.Receiver.on_data r (data ~seq:1 1);
+  check Alcotest.int "still at budget" 2 (Blockack.Receiver.buffered r);
+  check Alcotest.int "furthest evicted" 1 (Blockack.Receiver.pressure_evicted r);
+  Blockack.Receiver.on_data r (data ~seq:0 0);
+  check (Alcotest.list ack_t) "ack covers the kept prefix, not the evicted slot"
+    [ Wire.make_ack ~lo:0 ~hi:2 ] (drain p.sent_acks);
+  Blockack.Receiver.on_data r (data ~seq:3 3);
+  check (Alcotest.list ack_t) "evicted slot acked only on retransmission"
+    [ Wire.make_ack ~lo:3 ~hi:3 ] (drain p.sent_acks)
+
+let test_receiver_drop_furthest_keeps_nearer_frame () =
+  let p = make_pipe () in
+  let r = make_receiver ~config:(budget_config Config.Drop_furthest) p in
+  Blockack.Receiver.on_data r (data ~seq:1 1);
+  Blockack.Receiver.on_data r (data ~seq:2 2);
+  (* A frame *beyond* everything buffered is the furthest itself: it is
+     refused rather than trading away a nearer slot. *)
+  Blockack.Receiver.on_data r (data ~seq:3 3);
+  check Alcotest.int "refused, nothing evicted" 0 (Blockack.Receiver.pressure_evicted r);
+  check Alcotest.int "refusal counted" 1 (Blockack.Receiver.pressure_dropped r)
+
+let test_receiver_run_extender_exempt_from_budget () =
+  let p = make_pipe () in
+  let config =
+    Config.make ~window:4 ~rto:100 ~wire_modulus:(Some 8) ~rx_budget:1
+      ~drop_policy:Config.Drop_new ()
+  in
+  let r = make_receiver ~config p in
+  Blockack.Receiver.on_data r (data ~seq:1 1);
+  check Alcotest.int "budget of one filled" 1 (Blockack.Receiver.buffered r);
+  (* v = vr extends the deliverable run: admitting it *frees* a slot, so
+     refusing it would livelock drop-new at full budget. *)
+  Blockack.Receiver.on_data r (data ~seq:0 0);
+  check Alcotest.int "run extender admitted" 2 (Queue.length p.delivered);
+  check Alcotest.int "no refusal" 0 (Blockack.Receiver.pressure_dropped r)
+
 let test_receiver_flush_forces_pending () =
   let p = make_pipe () in
   let config = Config.make ~window:4 ~rto:200 ~wire_modulus:(Some 8) ~ack_coalesce:1_000 () in
@@ -701,6 +771,13 @@ let () =
           Alcotest.test_case "dup of buffered silent" `Quick test_receiver_dup_of_buffered_is_silent;
           Alcotest.test_case "modular wraparound" `Quick test_receiver_modular_wraparound;
           Alcotest.test_case "coalesce" `Quick test_receiver_coalesce;
+          Alcotest.test_case "drop-new refuses newcomer" `Quick
+            test_receiver_drop_new_refuses_newcomer;
+          Alcotest.test_case "drop-furthest evicts" `Quick test_receiver_drop_furthest_evicts;
+          Alcotest.test_case "drop-furthest keeps nearer frame" `Quick
+            test_receiver_drop_furthest_keeps_nearer_frame;
+          Alcotest.test_case "run extender exempt from budget" `Quick
+            test_receiver_run_extender_exempt_from_budget;
           Alcotest.test_case "flush forces pending" `Quick test_receiver_flush_forces_pending;
         ] );
       ( "sender_multi",

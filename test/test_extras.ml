@@ -194,6 +194,21 @@ let test_reuse_requires_lead_ge_window () =
            ~tx:(fun _ -> ())
            ~next_payload:(fun () -> None)))
 
+let test_reuse_rejects_small_modulus () =
+  let engine = Engine.create () in
+  (* The flight band is lead wide, so reconstruction needs n >= 2*lead —
+     stricter than Seqcodec's own 2w bound, and rejected with its own
+     message before the codec ever sees the modulus. *)
+  Alcotest.check_raises "n < 2*lead"
+    (Invalid_argument "Reuse_sender.create: modulus 15 < 2*lead=16 loses information")
+    (fun () ->
+      ignore
+        (Blockack.Reuse_sender.create engine
+           (Config.make ~window:4 ~rto:200 ~wire_modulus:(Some 15) ())
+           ~lead:8
+           ~tx:(fun _ -> ())
+           ~next_payload:(fun () -> None)))
+
 let test_reuse_protocol_correct_e2e () =
   let config = Config.make ~window:8 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:80 () in
   List.iter
@@ -511,6 +526,7 @@ let () =
         [
           Alcotest.test_case "runs ahead of gaps" `Quick test_reuse_runs_ahead_of_gaps;
           Alcotest.test_case "lead >= window required" `Quick test_reuse_requires_lead_ge_window;
+          Alcotest.test_case "modulus < 2*lead rejected" `Quick test_reuse_rejects_small_modulus;
           Alcotest.test_case "correct end to end" `Quick test_reuse_protocol_correct_e2e;
           Alcotest.test_case "beats plain under loss" `Quick test_reuse_beats_plain_under_loss;
         ] );
