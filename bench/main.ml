@@ -210,6 +210,86 @@ let wall f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
+(* The soak acceptance workload: a churning fabric under composed storms,
+   every round's latencies folded into one constant-space quantile sketch.
+   Wall clock, peak fabric memory and the sketch's fixed footprint land in
+   the JSON artefact, so soak-path regressions show up across commits. *)
+let soak_campaign ~quick ~jobs =
+  let module Fabric = Ba_proto.Fabric in
+  let module Chaos = Ba_verify.Chaos in
+  let module Qsketch = Ba_util.Qsketch in
+  let rounds = if quick then 4 else 8 in
+  let messages = if quick then 20 else 40 in
+  let watchdog =
+    { Ba_proto.Watchdog.default_config with Ba_proto.Watchdog.check_interval = 500 }
+  in
+  let run_round round =
+    let seed = 42 + round in
+    let specs =
+      Fabric.churn ~churners:2 ~messages ~config:Chaos.robust_config ~seed
+        Blockack.Protocols.multi
+    in
+    let need =
+      List.fold_left
+        (fun a (s : Fabric.spec) ->
+          a + (2 * s.Fabric.config.Ba_proto.Proto_config.window * s.Fabric.payload_size))
+        0 specs
+    in
+    let data_plan, ack_plan = Chaos.plans_for Chaos.Storm ~seed in
+    let sq = Chaos.squeeze_for ~seed in
+    let crash_plan = Chaos.crash_plan_for ~seed in
+    let specs =
+      List.map
+        (fun (s : Fabric.spec) ->
+          { s with Fabric.config = fst (Chaos.apply_squeeze sq s.Fabric.config) })
+        specs
+    in
+    let on_flows engine (flows : Ba_proto.Flow.t array) =
+      if Array.length flows > 0 && Ba_proto.Flow.crash_tolerant flows.(0) then
+        List.iter
+          (fun (ev : Ba_proto.Crash_plan.event) ->
+            let crash, restart =
+              match ev.Ba_proto.Crash_plan.endpoint with
+              | Ba_proto.Crash_plan.Sender_end ->
+                  (Ba_proto.Flow.crash_sender, Ba_proto.Flow.restart_sender)
+              | Ba_proto.Crash_plan.Receiver_end ->
+                  (Ba_proto.Flow.crash_receiver, Ba_proto.Flow.restart_receiver)
+            in
+            ignore
+              (Ba_sim.Engine.schedule_at engine ~at:ev.Ba_proto.Crash_plan.at (fun () ->
+                   crash flows.(0)));
+            ignore
+              (Ba_sim.Engine.schedule_at engine
+                 ~at:(ev.Ba_proto.Crash_plan.at + ev.Ba_proto.Crash_plan.down_for)
+                 (fun () -> restart flows.(0))))
+          crash_plan
+    in
+    let r =
+      Fabric.run ~seed ~data_plan ~ack_plan
+        ~data_bottleneck:(sq.Chaos.service_time, sq.Chaos.queue_capacity)
+        ~memory_budget:(need * 3 / 4) ~watchdog ~on_flows specs
+    in
+    assert r.Ba_proto.Fabric.completed;
+    let rs = Qsketch.create () in
+    List.iter
+      (fun (f : Ba_proto.Harness.result) ->
+        List.iter (Qsketch.add rs) f.Ba_proto.Harness.latencies)
+      r.Fabric.flows;
+    (r.Fabric.mem_peak_bytes, rs)
+  in
+  let results, wall_s =
+    wall (fun () -> Ba_parallel.Pool.map ~jobs run_round (List.init rounds Fun.id))
+  in
+  let sketch =
+    List.fold_left (fun acc (_, rs) -> Qsketch.merge acc rs) (Qsketch.create ()) results
+  in
+  let mem_peak = List.fold_left (fun a (m, _) -> max a m) 0 results in
+  Printf.printf
+    "\n=== soak campaign (churn + storm) ===\nrounds=%d wall=%.3fs mem-peak=%dB latency \
+     n=%d sketch=%dB\n"
+    rounds wall_s mem_peak (Qsketch.count sketch) (Qsketch.mem_bytes sketch);
+  (rounds, wall_s, mem_peak, Qsketch.count sketch, Qsketch.mem_bytes sketch)
+
 (* The acceptance workload: the full chaos matrix (C1's seeds x faults x
    protocols grid), timed sequentially and at the requested job count.
    Byte-identical tables are asserted, not assumed. *)
@@ -230,8 +310,22 @@ let selftime_chaos_matrix ~quick ~jobs =
     (if Domain.recommended_domain_count () = 1 then "" else "s");
   (s_seq, s_par, speedup)
 
-let write_json file ~quick ~jobs ~grid_times ~selftime ~bench_rows =
+let write_json file ~quick ~jobs ~grid_times ~selftime ~soak ~bench_rows =
   let open Ba_util.Json in
+  let soak_json =
+    match soak with
+    | None -> Null
+    | Some (rounds, wall_s, mem_peak, n, sketch_bytes) ->
+        Obj
+          [
+            ("workload", String "churn-storm-soak");
+            ("rounds", Int rounds);
+            ("wall_s", Float wall_s);
+            ("mem_peak_bytes", Int mem_peak);
+            ("latency_samples", Int n);
+            ("sketch_bytes", Int sketch_bytes);
+          ]
+  in
   let selftime_json =
     match selftime with
     | None -> Null
@@ -258,6 +352,7 @@ let write_json file ~quick ~jobs ~grid_times ~selftime ~bench_rows =
                (fun (id, dt) -> Obj [ ("id", String id); ("wall_s", Float dt) ])
                grid_times) );
         ("selftime", selftime_json);
+        ("soak", soak_json);
         ( "microbench",
           List
             (List.map
@@ -333,8 +428,12 @@ let () =
   let selftime =
     if selftime_wanted then Some (selftime_chaos_matrix ~quick ~jobs) else None
   in
+  let soak =
+    if no_tables && !json_file = None then None else Some (soak_campaign ~quick ~jobs)
+  in
   let bench_rows = if no_bench then [] else run_benchmarks ~jobs in
   match !json_file with
   | Some file ->
-      write_json file ~quick ~jobs ~grid_times:(List.rev !grid_times) ~selftime ~bench_rows
+      write_json file ~quick ~jobs ~grid_times:(List.rev !grid_times) ~selftime ~soak
+        ~bench_rows
   | None -> ()

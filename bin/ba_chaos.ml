@@ -1,8 +1,8 @@
 (* ba_chaos: adversarial campaign runner.
 
    Sweeps seeds x fault classes (bursty loss, duplication, corruption,
-   outages, reordering, endpoint crash-restart, memory overload) through
-   the experiment
+   outages, reordering, endpoint crash-restart, memory overload, and
+   the composed storm) through the experiment
    harness and checks that the robust protocols — block acknowledgment
    and selective repeat, both with the paper's 2w wire modulus — stay
    safe (no duplicate, misordered or corrupted delivery) and recover
@@ -62,7 +62,9 @@ let replay key messages protocol_filter =
             Format.eprintf "ba_chaos: %s@." msg;
             exit 2)
   in
-  if fault = Chaos.Crash && not (Registry.crash_tolerant entry) then begin
+  if
+    (fault = Chaos.Crash || fault = Chaos.Storm) && not (Registry.crash_tolerant entry)
+  then begin
     Format.eprintf "ba_chaos: %s does not implement the crash-restart lifecycle@."
       entry.Registry.name;
     exit 2
@@ -148,7 +150,7 @@ let messages =
 let classes =
   let doc =
     "Comma-separated fault classes to run (default: all of bursty-loss, duplication, \
-     corruption, outage, reorder, crash, overload)."
+     corruption, outage, reorder, crash, overload, storm)."
   in
   Arg.(value & opt (list string) [] & info [ "classes" ] ~doc)
 

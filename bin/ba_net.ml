@@ -113,13 +113,27 @@ let run_sweep ~counts ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capac
    armed watchdog, and (when the protocol supports the crash lifecycle)
    stalls one victim flow's receiver through the surge so the watchdog
    machinery — resync, quarantine, probation release — actually runs.
-   Rounds are independent Fabric runs farmed to the pool and collected
-   in submission order, so the table is byte-identical at any --jobs. *)
-let soak_surge_at = 2000
-let soak_stall_for = 5000
+   --churn adds seed-derived departing/returning flows per round and
+   --fault lands a chaos fault class (up to the full storm composition)
+   on every round.
+
+   The harness memory is O(1) in the round count: rounds stream through
+   the pool in bounded chunks, each result is folded into scalar
+   aggregates and a fixed-size latency sketch and then dropped, and the
+   table prints through Table.stream. Each round is a pure function of
+   (seed + round), and chunks are folded in round order, so the report
+   is byte-identical at any --jobs. *)
+let soak_surge_at_default = 2000
+let soak_stall_for_default = 5000
+
+(* Post-churn goodput must recover to at least (1 - eps) of the
+   pre-churn baseline; the floor printed in the verdict line. *)
+let churn_goodput_eps = 0.5
 
 let run_soak ~rounds ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capacity ~window
-    ~rto ~modulus ~adaptive ~seed ~budget ~jobs =
+    ~rto ~modulus ~adaptive ~seed ~budget ~surge_at ~stall_for ~churners ~fault ~jobs =
+  let module Chaos = Ba_verify.Chaos in
+  let module Qsketch = Ba_util.Qsketch in
   let specs_of_mix ~start_at =
     List.concat_map
       (fun (e, count) ->
@@ -129,102 +143,267 @@ let run_soak ~rounds ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capaci
       mix
   in
   let base_specs = specs_of_mix ~start_at:0 in
-  let specs = base_specs @ specs_of_mix ~start_at:soak_surge_at in
+  let surge_specs = specs_of_mix ~start_at:surge_at in
+  let n_base = List.length base_specs in
+  let n_fixed = n_base + List.length surge_specs in
   (* The stall victim is the first *surge* flow: it is guaranteed to
      still be mid-transfer when its receiver goes dark, so the watchdog
      escalation (resync, quarantine, probation release) actually runs. *)
-  let victim_index = List.length base_specs in
+  let victim_index = n_base in
+  (* The churn tail reuses the first mix entry's protocol and config;
+     its arrival/departure schedule is re-derived from each round's
+     seed, so every round churns differently. *)
+  let churn_entry = fst (List.hd mix) in
+  let churn_config =
+    Registry.config ~window ~rto ?modulus ~adaptive_rto:adaptive churn_entry ()
+  in
+  let specs_for rseed =
+    if churners = 0 then base_specs @ surge_specs
+    else
+      base_specs @ surge_specs
+      @ Fabric.churn ~base:0 ~churners ~messages ~payload_size ~config:churn_config ~seed:rseed
+          churn_entry.Registry.protocol
+  in
   (* Three quarters of the unclamped need: tight enough that admission
-     must clamp, loose enough that every flow is still admitted. *)
+     must clamp, loose enough that every flow is still admitted. The
+     need only depends on flow counts and window/payload shape, so it is
+     the same for every round's churn schedule. *)
   let unclamped_need =
     List.fold_left
       (fun a (s : Fabric.spec) ->
         a + (2 * s.Fabric.config.Ba_proto.Proto_config.window * s.Fabric.payload_size))
-      0 specs
+      0
+      (specs_for seed)
   in
   let budget = match budget with Some b -> b | None -> unclamped_need * 3 / 4 in
   let watchdog = { Ba_proto.Watchdog.default_config with Ba_proto.Watchdog.check_interval = 500 } in
-  let stall_victim engine (flows : Ba_proto.Flow.t array) =
-    if Array.length flows > victim_index && Ba_proto.Flow.crash_tolerant flows.(victim_index)
-    then begin
-      let victim = flows.(victim_index) in
-      ignore
-        (Ba_sim.Engine.schedule_at engine ~at:(soak_surge_at + 100) (fun () ->
-             Ba_proto.Flow.crash_receiver victim));
-      ignore
-        (Ba_sim.Engine.schedule_at engine ~at:(soak_surge_at + 100 + soak_stall_for) (fun () ->
-             Ba_proto.Flow.restart_receiver victim))
+  let run_round round =
+    let rseed = seed + round in
+    let specs = specs_for rseed in
+    (* The fault class's ingredients are the same pure functions of the
+       round seed as in ba_chaos, so a soak round composes with the
+       campaign's replay story: channel plans land on the shared links,
+       the squeeze rewrites every flow's receiver budget and the shared
+       bottleneck, and the crash plan hits the first base flow. *)
+    let data_plan, ack_plan, crash_plan, squeeze =
+      match fault with
+      | None -> (None, None, None, None)
+      | Some c ->
+          let dp, ap = Chaos.plans_for c ~seed:rseed in
+          let crash =
+            match c with
+            | Chaos.Crash | Chaos.Storm -> Some (Chaos.crash_plan_for ~seed:rseed)
+            | _ -> None
+          in
+          let sq =
+            match c with
+            | Chaos.Overload | Chaos.Storm -> Some (Chaos.squeeze_for ~seed:rseed)
+            | _ -> None
+          in
+          (Some dp, Some ap, crash, sq)
+    in
+    let specs, bottleneck =
+      match squeeze with
+      | None -> (specs, capacity)
+      | Some sq ->
+          ( List.map
+              (fun (s : Fabric.spec) ->
+                let config, _ = Chaos.apply_squeeze sq s.Fabric.config in
+                { s with Fabric.config })
+              specs,
+            Some (sq.Chaos.service_time, sq.Chaos.queue_capacity) )
+    in
+    let on_flows engine (flows : Ba_proto.Flow.t array) =
+      if Array.length flows > victim_index && Ba_proto.Flow.crash_tolerant flows.(victim_index)
+      then begin
+        let victim = flows.(victim_index) in
+        ignore
+          (Ba_sim.Engine.schedule_at engine ~at:(surge_at + 100) (fun () ->
+               Ba_proto.Flow.crash_receiver victim));
+        ignore
+          (Ba_sim.Engine.schedule_at engine ~at:(surge_at + 100 + stall_for) (fun () ->
+               Ba_proto.Flow.restart_receiver victim))
+      end;
+      match crash_plan with
+      | None -> ()
+      | Some plan ->
+          if Array.length flows > 0 && Ba_proto.Flow.crash_tolerant flows.(0) then begin
+            let target = flows.(0) in
+            List.iter
+              (fun (ev : Ba_proto.Crash_plan.event) ->
+                let crash, restart =
+                  match ev.Ba_proto.Crash_plan.endpoint with
+                  | Ba_proto.Crash_plan.Sender_end ->
+                      (Ba_proto.Flow.crash_sender, Ba_proto.Flow.restart_sender)
+                  | Ba_proto.Crash_plan.Receiver_end ->
+                      (Ba_proto.Flow.crash_receiver, Ba_proto.Flow.restart_receiver)
+                in
+                ignore
+                  (Ba_sim.Engine.schedule_at engine ~at:ev.Ba_proto.Crash_plan.at (fun () ->
+                       crash target));
+                ignore
+                  (Ba_sim.Engine.schedule_at engine
+                     ~at:(ev.Ba_proto.Crash_plan.at + ev.Ba_proto.Crash_plan.down_for)
+                     (fun () -> restart target)))
+              plan
+          end
+    in
+    Fabric.run ~seed:rseed ~data_loss:loss ~ack_loss ~data_delay:delay ~ack_delay:delay
+      ?data_bottleneck:bottleneck ?data_plan ?ack_plan ~memory_budget:budget ~watchdog ~on_flows
+      specs
+  in
+  (* Lazy so that a round failing outright (impossible budget) errors
+     before anything is printed, as the buffered table used to. *)
+  let sink =
+    lazy
+      (Ba_util.Table.stream
+         ~aligns:
+           Ba_util.Table.
+             [ Right; Right; Left; Left; Right; Right; Right; Right; Right; Right; Left ]
+         ~headers:
+           [
+             "round"; "seed"; "completed"; "admitted"; "departed"; "clamp"; "mem-peak";
+             "quarantines"; "resyncs"; "recovery"; "verdict";
+           ]
+         ())
+  in
+  (* Constant-space aggregates; every round's full result dies with its
+     chunk. The latency sketch replaces the old keep-every-sample
+     accounting: bounded centroids, exact count/min/max. *)
+  let sketch = Qsketch.create () in
+  let peak = ref 0
+  and over_budget = ref 0
+  and quarantines = ref 0
+  and resyncs = ref 0
+  and worst_recovery = ref 0
+  and unsafe_rounds = ref 0
+  and stuck_rounds = ref 0
+  and pre_goodput = ref 0.
+  and pre_n = ref 0
+  and post_goodput = ref 0.
+  and post_n = ref 0
+  and nodes_at_check = ref None in
+  let fold round (r : Fabric.result) =
+    let safe_round = List.for_all Ba_verify.Chaos.safe r.Fabric.flows in
+    if not safe_round then incr unsafe_rounds;
+    if not r.Fabric.completed then incr stuck_rounds;
+    if r.Fabric.mem_peak_bytes > !peak then peak := r.Fabric.mem_peak_bytes;
+    if r.Fabric.mem_peak_bytes > budget then incr over_budget;
+    quarantines := !quarantines + r.Fabric.quarantine_events;
+    resyncs := !resyncs + r.Fabric.watchdog_resyncs;
+    if r.Fabric.completed && r.Fabric.ticks - surge_at > !worst_recovery then
+      worst_recovery := r.Fabric.ticks - surge_at;
+    (* Churn cohorts: the long-lived base flows are the pre-churn
+       baseline; the returning flows (odd positions in each churner's
+       leaver/returner pair) measure goodput after arrivals into
+       reclaimed capacity. *)
+    List.iteri
+      (fun i (fr : Ba_proto.Harness.result) ->
+        if i < n_base then begin
+          pre_goodput := !pre_goodput +. fr.Ba_proto.Harness.goodput;
+          incr pre_n
+        end
+        else if i >= n_fixed && (i - n_fixed) mod 2 = 1 then begin
+          post_goodput := !post_goodput +. fr.Ba_proto.Harness.goodput;
+          incr post_n
+        end;
+        List.iter (Qsketch.add sketch) fr.Ba_proto.Harness.latencies)
+      r.Fabric.flows;
+    if round = min 9 (rounds - 1) then nodes_at_check := Some (Qsketch.nodes sketch);
+    let recovery =
+      if r.Fabric.completed && r.Fabric.ticks > surge_at then
+        string_of_int (r.Fabric.ticks - surge_at)
+      else "-"
+    in
+    Ba_util.Table.stream_row (Lazy.force sink)
+      [
+        string_of_int round;
+        string_of_int (seed + round);
+        (if r.Fabric.completed then "yes" else "NO");
+        Printf.sprintf "%d/%d" r.Fabric.admitted (r.Fabric.admitted + r.Fabric.refused);
+        string_of_int r.Fabric.departed;
+        (match r.Fabric.clamped_window with Some c -> string_of_int c | None -> "-");
+        string_of_int r.Fabric.mem_peak_bytes;
+        string_of_int r.Fabric.quarantine_events;
+        string_of_int r.Fabric.watchdog_resyncs;
+        recovery;
+        (if r.Fabric.completed && safe_round then "ok"
+         else if safe_round then "STUCK"
+         else "UNSAFE");
+      ]
+  in
+  Ba_parallel.Pool.with_pool ~jobs (fun pool ->
+      let chunk = jobs * 4 in
+      let rec go next =
+        if next < rounds then begin
+          let n = min chunk (rounds - next) in
+          let results =
+            Ba_parallel.Pool.map ~pool run_round (List.init n (fun i -> next + i))
+          in
+          List.iteri (fun i r -> fold (next + i) r) results;
+          go (next + n)
+        end
+      in
+      go 0);
+  Printf.printf
+    "\nsoak: %d rounds, budget=%dB, peak=%dB (%s), quarantines=%d, resyncs=%d, \
+     worst post-surge recovery=%d ticks\n"
+    rounds budget !peak
+    (if !over_budget = 0 then "under budget" else "OVER BUDGET")
+    !quarantines !resyncs !worst_recovery;
+  if Qsketch.count sketch > 0 then
+    Printf.printf "telemetry: latency n=%d p50=%.0f p90=%.0f p99=%.0f sketch=%dB\n"
+      (Qsketch.count sketch) (Qsketch.quantile sketch 0.5) (Qsketch.quantile sketch 0.9)
+      (Qsketch.quantile sketch 0.99) (Qsketch.mem_bytes sketch);
+  (* The machine-checkable verdict: one line of key=value tokens. *)
+  let safety_ok = !unsafe_rounds = 0 in
+  let recovery_ok = !stuck_rounds = 0 in
+  let mem_ok = !over_budget = 0 in
+  let ratio =
+    if !pre_n = 0 || !post_n = 0 then None
+    else begin
+      let pre = !pre_goodput /. float_of_int !pre_n in
+      let post = !post_goodput /. float_of_int !post_n in
+      if pre <= 0. then None else Some (post /. pre)
     end
   in
-  let outcomes =
-    Ba_parallel.Pool.map ~jobs
-      (fun round ->
-        Fabric.run ~seed:(seed + round) ~data_loss:loss ~ack_loss ~data_delay:delay
-          ~ack_delay:delay ?data_bottleneck:capacity ~memory_budget:budget ~watchdog
-          ~on_flows:stall_victim specs)
-      (List.init rounds (fun i -> i))
-  in
-  let rows =
-    List.mapi
-      (fun round (r : Fabric.result) ->
-        let recovery =
-          if r.Fabric.completed && r.Fabric.ticks > soak_surge_at then
-            string_of_int (r.Fabric.ticks - soak_surge_at)
-          else "-"
-        in
-        [
-          string_of_int round;
-          string_of_int (seed + round);
-          (if r.Fabric.completed then "yes" else "NO");
-          Printf.sprintf "%d/%d" r.Fabric.admitted (r.Fabric.admitted + r.Fabric.refused);
-          (match r.Fabric.clamped_window with Some c -> string_of_int c | None -> "-");
-          string_of_int r.Fabric.mem_peak_bytes;
-          string_of_int r.Fabric.quarantine_events;
-          string_of_int r.Fabric.watchdog_resyncs;
-          recovery;
-          (if List.for_all Ba_proto.Harness.correct r.Fabric.flows then "ok"
-           else if List.for_all Ba_verify.Chaos.safe r.Fabric.flows then "STUCK"
-           else "UNSAFE");
-        ])
-      outcomes
-  in
-  Ba_util.Table.print
-    ~headers:
-      [
-        "round"; "seed"; "completed"; "admitted"; "clamp"; "mem-peak"; "quarantines";
-        "resyncs"; "recovery"; "verdict";
-      ]
-    rows;
-  let peak = List.fold_left (fun a (r : Fabric.result) -> max a r.Fabric.mem_peak_bytes) 0 outcomes
-  and quarantines =
-    List.fold_left (fun a (r : Fabric.result) -> a + r.Fabric.quarantine_events) 0 outcomes
-  and resyncs =
-    List.fold_left (fun a (r : Fabric.result) -> a + r.Fabric.watchdog_resyncs) 0 outcomes
-  and worst_recovery =
-    List.fold_left
-      (fun a (r : Fabric.result) ->
-        if r.Fabric.completed then max a (r.Fabric.ticks - soak_surge_at) else a)
-      0 outcomes
-  in
-  Printf.printf "\nsoak: %d rounds, budget=%dB, peak=%dB (%s), quarantines=%d, resyncs=%d, \
-                 worst post-surge recovery=%d ticks\n"
-    rounds budget peak
-    (if peak <= budget then "under budget" else "OVER BUDGET")
-    quarantines resyncs worst_recovery;
-  if
-    peak <= budget
-    && List.for_all
-         (fun (r : Fabric.result) ->
-           r.Fabric.completed && List.for_all Ba_proto.Harness.correct r.Fabric.flows)
-         outcomes
-  then 0
-  else 1
+  let goodput_ok = match ratio with None -> true | Some r -> r >= 1. -. churn_goodput_eps in
+  let check = match !nodes_at_check with Some n -> n | None -> Qsketch.nodes sketch in
+  let nodes_ok = abs (Qsketch.nodes sketch - check) <= 1 in
+  let pass = safety_ok && recovery_ok && mem_ok && goodput_ok && nodes_ok in
+  Printf.printf
+    "soak-verdict: rounds=%d safety=%s recovery=%s goodput-ratio=%s goodput-floor=%s \
+     mem-peak=%dB budget=%dB sketch-nodes=%d->%d result=%s\n"
+    rounds
+    (if safety_ok then "pass" else "FAIL")
+    (if recovery_ok then "pass" else "FAIL")
+    (match ratio with None -> "-" | Some r -> fmt ~decimals:2 r)
+    (match ratio with None -> "-" | Some _ -> fmt ~decimals:2 (1. -. churn_goodput_eps))
+    !peak budget check (Qsketch.nodes sketch)
+    (if pass then "PASS" else "FAIL");
+  if pass then 0 else 1
 
 let run list_protocols connections mix messages payload_size loss ack_loss_opt base_delay
-    jitter capacity window rto modulus adaptive seed sweep soak budget jobs =
+    jitter capacity window rto modulus adaptive seed sweep soak budget surge_at stall_for churn
+    fault jobs =
   if list_protocols then begin
     Format.printf "%a" Registry.pp_list ();
     exit 0
+  end;
+  (* The soak-only options are rejected outside --soak rather than
+     silently ignored. *)
+  if soak = None then begin
+    let reject name = function
+      | Some _ ->
+          Format.eprintf "ba_net: %s requires --soak@." name;
+          exit 2
+      | None -> ()
+    in
+    reject "--budget" budget;
+    reject "--surge-at" surge_at;
+    reject "--stall-for" stall_for;
+    reject "--churn" churn;
+    reject "--fault" fault
   end;
   let ack_loss = Option.value ~default:loss ack_loss_opt in
   let delay =
@@ -255,8 +434,36 @@ let run list_protocols connections mix messages payload_size loss ack_loss_opt b
         Format.eprintf "ba_net: --soak rounds must be positive (got %d)@." rounds;
         exit 2
       end;
+      let positive name v default =
+        match v with
+        | None -> default
+        | Some v when v > 0 -> v
+        | Some v ->
+            Format.eprintf "ba_net: %s must be positive (got %d)@." name v;
+            exit 2
+      in
+      let surge_at = positive "--surge-at" surge_at soak_surge_at_default in
+      let stall_for = positive "--stall-for" stall_for soak_stall_for_default in
+      let churners =
+        match churn with
+        | None -> 0
+        | Some c when c >= 0 -> c
+        | Some c ->
+            Format.eprintf "ba_net: --churn must be >= 0 (got %d)@." c;
+            exit 2
+      in
+      let fault =
+        match fault with
+        | None -> None
+        | Some name -> (
+            match Ba_verify.Chaos.class_of_name name with
+            | Some c -> Some c
+            | None ->
+                Format.eprintf "ba_net: unknown fault class %S@." name;
+                exit 2)
+      in
       run_soak ~rounds ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capacity ~window
-        ~rto ~modulus ~adaptive ~seed ~budget ~jobs
+        ~rto ~modulus ~adaptive ~seed ~budget ~surge_at ~stall_for ~churners ~fault ~jobs
   | None ->
   match sweep with
   | Some counts ->
@@ -413,6 +620,43 @@ let budget =
     & info [ "budget" ] ~docv:"BYTES"
         ~doc:"Override the soak's fabric memory budget in bytes (only with $(b,--soak)).")
 
+let surge_at =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "surge-at" ] ~docv:"TICK"
+        ~doc:"Tick at which the soak's surge flows start offering traffic (default 2000; \
+              only with $(b,--soak)).")
+
+let stall_for =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "stall-for" ] ~docv:"TICKS"
+        ~doc:"How long the soak's stall victim's receiver stays dark (default 5000; only \
+              with $(b,--soak)).")
+
+let churn =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "churn" ] ~docv:"CHURNERS"
+        ~doc:"Add CHURNERS seed-derived departing/returning flow pairs to every soak round: \
+              each churner arrives early, departs mid-round with work left (its budget \
+              reservation is reclaimed), and a returning flow arrives into the reclaimed \
+              capacity. The verdict line then checks post-churn goodput against the \
+              pre-churn baseline (only with $(b,--soak)).")
+
+let fault =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault" ] ~docv:"CLASS"
+        ~doc:"Land a ba_chaos fault class on every soak round, derived from the round seed: \
+              channel plans hit the shared links, the overload squeeze rewrites receiver \
+              budgets and the bottleneck, and the crash schedule hits the first base flow. \
+              $(b,storm) composes all three (only with $(b,--soak)).")
+
 let cmd =
   let doc = "simulate N window-protocol connections over a shared bottleneck" in
   let man =
@@ -428,16 +672,19 @@ let cmd =
     ]
   in
   let wrap list_protocols connections mix messages payload_size loss ack_loss base_delay
-      jitter capacity no_capacity window rto modulus adaptive seed sweep soak budget jobs =
+      jitter capacity no_capacity window rto modulus adaptive seed sweep soak budget surge_at
+      stall_for churn fault jobs =
     let capacity = if no_capacity then None else capacity in
     run list_protocols connections mix messages payload_size loss ack_loss base_delay jitter
-      capacity window rto modulus adaptive seed sweep soak budget jobs
+      capacity window rto modulus adaptive seed sweep soak budget surge_at stall_for churn
+      fault jobs
   in
   Cmd.v
     (Cmd.info "ba_net" ~doc ~man ~version:Ba_cli.version)
     Term.(
       const wrap $ list_protocols $ connections $ mix $ messages $ payload_size $ loss
       $ ack_loss $ base_delay $ jitter $ capacity $ no_capacity $ window $ rto $ modulus
-      $ adaptive $ seed $ sweep $ soak $ budget $ Ba_cli.jobs)
+      $ adaptive $ seed $ sweep $ soak $ budget $ surge_at $ stall_for $ churn $ fault
+      $ Ba_cli.jobs)
 
 let () = exit (Cmd.eval' cmd)

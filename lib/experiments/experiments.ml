@@ -1042,6 +1042,185 @@ let s1_scaling ?(jobs = 1) ~quick () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* S3: churn soak — flow lifecycle and budget reclamation under storms. *)
+
+let s3_churn_soak ?(jobs = 1) ~quick () =
+  let base = 2 in
+  let churners = if quick then 1 else 2 in
+  let messages = if quick then 20 else 40 in
+  let seeds = List.init (if quick then 3 else 6) (fun i -> 42 + i) in
+  let watchdog =
+    { Ba_proto.Watchdog.default_config with Ba_proto.Watchdog.check_interval = 500 }
+  in
+  let rows =
+    pmap ~jobs
+      (fun seed ->
+        let specs =
+          Fabric.churn ~base ~churners ~messages ~config:Chaos.robust_config ~seed
+            Blockack.Protocols.multi
+        in
+        (* 3/4 of the lifetime sum: tight enough that admitting every
+           churner depends on the peak-concurrent accounting reclaiming
+           departed reservations, loose enough that it always fits. *)
+        let need =
+          List.fold_left
+            (fun a (s : Fabric.spec) ->
+              a + (2 * s.Fabric.config.Config.window * s.Fabric.payload_size))
+            0 specs
+        in
+        let budget = need * 3 / 4 in
+        let data_plan, ack_plan = Chaos.plans_for Chaos.Storm ~seed in
+        let sq = Chaos.squeeze_for ~seed in
+        let crash_plan = Chaos.crash_plan_for ~seed in
+        let specs =
+          List.map
+            (fun (s : Fabric.spec) ->
+              { s with Fabric.config = fst (Chaos.apply_squeeze sq s.Fabric.config) })
+            specs
+        in
+        let on_flows engine (flows : Ba_proto.Flow.t array) =
+          if Array.length flows > 0 && Ba_proto.Flow.crash_tolerant flows.(0) then
+            List.iter
+              (fun (ev : Ba_proto.Crash_plan.event) ->
+                let crash, restart =
+                  match ev.Ba_proto.Crash_plan.endpoint with
+                  | Ba_proto.Crash_plan.Sender_end ->
+                      (Ba_proto.Flow.crash_sender, Ba_proto.Flow.restart_sender)
+                  | Ba_proto.Crash_plan.Receiver_end ->
+                      (Ba_proto.Flow.crash_receiver, Ba_proto.Flow.restart_receiver)
+                in
+                ignore
+                  (Ba_sim.Engine.schedule_at engine ~at:ev.Ba_proto.Crash_plan.at (fun () ->
+                       crash flows.(0)));
+                ignore
+                  (Ba_sim.Engine.schedule_at engine
+                     ~at:(ev.Ba_proto.Crash_plan.at + ev.Ba_proto.Crash_plan.down_for)
+                     (fun () -> restart flows.(0))))
+              crash_plan
+        in
+        let r =
+          Fabric.run ~seed ~data_plan ~ack_plan
+            ~data_bottleneck:(sq.Chaos.service_time, sq.Chaos.queue_capacity)
+            ~memory_budget:budget ~watchdog ~on_flows specs
+        in
+        let cohort keep =
+          match List.filteri (fun i _ -> keep i) r.Fabric.flows with
+          | [] -> nan
+          | fs ->
+              List.fold_left (fun a (f : Harness.result) -> a +. f.Harness.goodput) 0. fs
+              /. float_of_int (List.length fs)
+        in
+        (* Base flows span the whole horizon; returners sit at the odd
+           offsets of the churn tail (churn emits leaver;returner pairs). *)
+        let pre = cohort (fun i -> i < base) in
+        let post = cohort (fun i -> i >= base && (i - base) mod 2 = 1) in
+        [
+          string_of_int seed;
+          Printf.sprintf "%d/%d" r.Fabric.admitted (List.length specs);
+          string_of_int r.Fabric.departed;
+          (if r.Fabric.completed then "yes" else "NO");
+          fmt pre;
+          fmt post;
+          (if Float.is_nan post || Float.is_nan pre then "-" else fmt ~decimals:2 (post /. pre));
+          string_of_int r.Fabric.mem_peak_bytes ^ "/" ^ string_of_int budget;
+          string_of_int r.Fabric.watchdog_resyncs;
+        ])
+      seeds
+  in
+  {
+    id = "S3";
+    title =
+      Printf.sprintf
+        "Churn soak under storms: %d base + %d departing/returning pairs, budget at 3/4 of \
+         the lifetime sum" base churners;
+    headers =
+      [
+        "seed"; "admitted"; "departed"; "done"; "pre-churn goodput"; "post-churn goodput";
+        "post/pre"; "mem peak/budget"; "resyncs";
+      ];
+    rows;
+    notes =
+      [
+        "Every flow is admitted even though the budget is below the lifetime sum of \
+         reservations: departures release their reservation, and admission reasons about \
+         peak concurrent cost over the [start_at, stop_at) intervals.";
+        "Post-churn goodput is the returning cohort's mean — flows that arrive after a \
+         departure, live through the tail of the storm, and run to completion. Expected \
+         shape: post/pre stays within the soak harness's epsilon floor (>= 0.5), often \
+         above 1 when the returners land after the storm has quiesced.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* C3: the storm matrix — compound incidents vs their ingredients. *)
+
+let c3_storm_matrix ?(jobs = 1) ~quick () =
+  let messages = if quick then 40 else 80 in
+  let seeds = List.init (if quick then 6 else 15) (fun i -> i + 1) in
+  let protos =
+    [
+      ("blockack-multi", Blockack.Protocols.multi);
+      ("blockack-simple", Blockack.Protocols.simple);
+    ]
+  in
+  let faults = [ Chaos.Crash; Chaos.Overload; Chaos.Storm ] in
+  let verdict (c : Chaos.class_report) =
+    if c.Chaos.unsafe = 0 && c.Chaos.incomplete = 0 then "ok"
+    else
+      String.concat " "
+        ((if c.Chaos.unsafe > 0 then [ Printf.sprintf "unsafe:%d" c.Chaos.unsafe ] else [])
+        @
+        if c.Chaos.incomplete > 0 then [ Printf.sprintf "stuck:%d" c.Chaos.incomplete ]
+        else [])
+  in
+  let rows =
+    List.concat_map
+      (fun (name, p) ->
+        let r =
+          Chaos.run_campaign ~messages ~config:Chaos.robust_config ~seeds ~classes:faults
+            ~jobs p
+        in
+        List.map
+          (fun (c : Chaos.class_report) ->
+            let recovery =
+              match c.Chaos.recovery with
+              | None -> [ "-"; "-"; "-" ]
+              | Some rc ->
+                  [
+                    string_of_int rc.Chaos.restarts;
+                    Printf.sprintf "%.0f / %.0f" rc.Chaos.mean_resync_ticks
+                      rc.Chaos.max_resync_ticks;
+                    string_of_int rc.Chaos.retx_bytes;
+                  ]
+            in
+            (name :: Chaos.class_name c.Chaos.fault :: string_of_int c.Chaos.runs
+            :: verdict c :: recovery))
+          r.Chaos.classes)
+      protos
+  in
+  {
+    id = "C3";
+    title =
+      Printf.sprintf
+        "Storm matrix — %d seeds x %d msgs: the compound incident vs its ingredients"
+        (List.length seeds) messages;
+    headers =
+      [ "protocol"; "fault"; "runs"; "verdict"; "restarts"; "resync ticks mean/max"; "retx bytes" ];
+    rows;
+    notes =
+      [
+        "A storm composes the crash schedule, the overload squeeze and a bursty channel \
+         in one run — the regime where the tolerance mechanisms (epoch resync, \
+         backpressure, timer backoff) interact. Every ingredient is the same pure \
+         function of the seed as in its dedicated class, so one replay key reproduces \
+         the composition (ba_chaos --replay).";
+        "Expected: both block-ack senders stay safe and complete; the storm's recovery \
+         bill exceeds the crash class's alone because resyncs now fight a squeezed \
+         receiver and a lossy channel for their handshake frames.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 
 (* Presentation order, with a uniform closure type so the bench driver
    can time each grid individually (and record it in BENCH_campaigns.json). *)
@@ -1062,8 +1241,10 @@ let grids : (string * (quick:bool -> jobs:int -> table)) list =
     ("A2", fun ~quick ~jobs -> a2_dynamic_window ~jobs ~quick ());
     ("A3", fun ~quick ~jobs -> a3_fairness ~jobs ~quick ());
     ("S1", fun ~quick ~jobs -> s1_scaling ~jobs ~quick ());
+    ("S3", fun ~quick ~jobs -> s3_churn_soak ~jobs ~quick ());
     ("C1", fun ~quick ~jobs -> c1_chaos_matrix ~jobs ~quick ());
     ("C2", fun ~quick ~jobs -> c2_crash_recovery ~jobs ~quick ());
+    ("C3", fun ~quick ~jobs -> c3_storm_matrix ~jobs ~quick ());
   ]
 
 let all ?(jobs = 1) ~quick () = List.map (fun (_, grid) -> grid ~quick ~jobs) grids

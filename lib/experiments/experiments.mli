@@ -86,6 +86,13 @@ val c1_chaos_matrix : ?jobs:int -> quick:bool -> unit -> table
     clean everywhere, bounded go-back-N to break under reorder, and the
     unvalidated baselines to deliver corrupted payloads. *)
 
+val s3_churn_soak : ?jobs:int -> quick:bool -> unit -> table
+(** Churning fabric under composed storms: seed-derived arrival/departure
+    schedules ({!Ba_proto.Fabric.churn}) with a memory budget below the
+    lifetime sum of reservations, so admission must reclaim departed
+    flows' budget for the returning cohort. Reports pre- vs post-churn
+    goodput and the peak-memory/budget margin per seed. *)
+
 val c2_crash_recovery : ?jobs:int -> quick:bool -> unit -> table
 (** Crash–restart recovery: the {!Ba_verify.Chaos.Crash} class (sender,
     receiver and staggered double crashes, seed-derived) against the
@@ -93,6 +100,12 @@ val c2_crash_recovery : ?jobs:int -> quick:bool -> unit -> table
     "naive restart" negative control. Reports the safety/recovery
     verdict alongside the recovery bill: restarts, resync handshake
     frames, restart-to-recovery ticks and retransmitted bytes. *)
+
+val c3_storm_matrix : ?jobs:int -> quick:bool -> unit -> table
+(** The {!Ba_verify.Chaos.Storm} compound class next to its ingredients
+    ([Crash] and [Overload]) for both block-ack senders: verdicts plus
+    the recovery bill, showing what composing the faults adds over each
+    alone. One replay key reproduces a storm ([ba_chaos --replay]). *)
 
 val grids : (string * (quick:bool -> jobs:int -> table)) list
 (** All experiments in presentation order as [(id, grid)] closures, so a

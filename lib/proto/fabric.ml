@@ -9,11 +9,12 @@ type spec = {
   messages : int;
   payload_size : int;
   start_at : int;
+  stop_at : int option;
 }
 
 let spec ?(config = Proto_config.default) ?(messages = 100) ?(payload_size = 32) ?(start_at = 0)
-    protocol =
-  { protocol; config; messages; payload_size; start_at }
+    ?stop_at protocol =
+  { protocol; config; messages; payload_size; start_at; stop_at }
 
 type result = {
   ticks : int;
@@ -25,6 +26,7 @@ type result = {
   ack_stats : Ba_channel.Link.stats;
   admitted : int;
   refused : int;
+  departed : int;
   clamped_window : int option;
   mem_peak_bytes : int;
   quarantine_events : int;
@@ -50,38 +52,63 @@ let jain = function
    included) saturates simultaneously. *)
 let flow_cost s ~clamp = 2 * min s.config.Proto_config.window clamp * s.payload_size
 
+(* Peak concurrent cost under the interval model: a flow pins memory
+   only while its [start_at, stop_at) interval is open, so the budget
+   must cover the worst instant, not the lifetime sum. The concurrent
+   total is piecewise constant and only steps up at interval starts, so
+   checking each spec's [start_at] finds the peak. With no [stop_at]
+   anywhere every interval is open-ended and the peak equals the plain
+   sum — the historical admission decisions are unchanged. *)
+let peak_cost ~clamp specs =
+  let active_at t s =
+    s.start_at <= t && match s.stop_at with None -> true | Some d -> t < d
+  in
+  List.fold_left
+    (fun acc s ->
+      let here =
+        List.fold_left
+          (fun a s' -> if active_at s.start_at s' then a + flow_cost s' ~clamp else a)
+          0 specs
+      in
+      max acc here)
+    0 specs
+
 (* Graceful degradation, in preference order: admit everyone unclamped;
    else admit everyone under the largest uniform window clamp that
    fits; else clamp to 1 and admit the longest spec prefix that fits,
-   refusing the rest. *)
+   refusing the rest. "Fits" is the peak-concurrency test above, so a
+   departing flow's reservation is reusable by any arrival scheduled
+   after its [stop_at]. *)
 let plan_admission ~budget specs =
   let max_w = List.fold_left (fun acc s -> max acc s.config.Proto_config.window) 1 specs in
-  let total c = List.fold_left (fun acc s -> acc + flow_cost s ~clamp:c) 0 specs in
-  let rec fit c = if c >= 1 && total c > budget then fit (c - 1) else c in
+  let rec fit c = if c >= 1 && peak_cost ~clamp:c specs > budget then fit (c - 1) else c in
   let c = fit max_w in
   if c >= 1 then (specs, 0, if c < max_w then Some c else None)
   else begin
-    let rec split admitted used = function
+    let rec split admitted = function
       | [] -> (List.rev admitted, 0)
       | s :: rest ->
-          let used = used + flow_cost s ~clamp:1 in
-          if used > budget then (List.rev admitted, List.length (s :: rest))
-          else split (s :: admitted) used rest
+          if peak_cost ~clamp:1 (List.rev (s :: admitted)) > budget then
+            (List.rev admitted, List.length (s :: rest))
+          else split (s :: admitted) rest
     in
-    let admitted, refused = split [] 0 specs in
+    let admitted, refused = split [] specs in
     if admitted = [] then invalid_arg "Fabric.run: memory_budget admits no flow";
     (admitted, refused, Some 1)
   end
 
 let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
     ?(data_delay = Ba_channel.Dist.Uniform (40, 60))
-    ?(ack_delay = Ba_channel.Dist.Uniform (40, 60)) ?data_bottleneck ?ack_bottleneck ?deadline
-    ?memory_budget ?watchdog ?on_setup ?on_flows specs =
+    ?(ack_delay = Ba_channel.Dist.Uniform (40, 60)) ?data_bottleneck ?ack_bottleneck ?data_plan
+    ?ack_plan ?deadline ?memory_budget ?watchdog ?on_setup ?on_flows specs =
   if specs = [] then invalid_arg "Fabric.run: at least one flow required";
   List.iter
     (fun s ->
       Proto_config.validate s.config;
-      if s.start_at < 0 then invalid_arg "Fabric.run: start_at must be >= 0")
+      if s.start_at < 0 then invalid_arg "Fabric.run: start_at must be >= 0";
+      match s.stop_at with
+      | Some d when d <= s.start_at -> invalid_arg "Fabric.run: stop_at must be > start_at"
+      | Some _ | None -> ())
     specs;
   (match memory_budget with
   | Some b when b <= 0 -> invalid_arg "Fabric.run: memory_budget must be positive"
@@ -137,7 +164,20 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
       ~deliver:(fun (i, a) -> match flows.(i) with Some f -> Flow.on_ack f a | None -> ())
       ()
   in
+  (* Scheduled channel faults on the shared links (the fabric-scale
+     analogue of the harness's plan arguments). Only splits the link's
+     random stream when a plan is actually given, so plan-free runs keep
+     their exact historical event sequence. *)
+  (match data_plan with Some p -> Ba_channel.Link.set_plan data_link p | None -> ());
+  (match ack_plan with Some p -> Ba_channel.Link.set_plan ack_link p | None -> ());
   let remaining = ref n in
+  (* A departed flow's slot: demux entry cleared (so its buffered state
+     is unreachable and excluded from memory sampling), tx gate shut,
+     watchdog slot released. [all_flows] keeps the handle for end-of-run
+     verdicts — its counters freeze at departure because no event can
+     reach it. *)
+  let all_flows : Flow.t option array = Array.make n None in
+  let departed_at = Array.make n None in
   List.iteri
     (fun i s ->
       let f =
@@ -152,9 +192,32 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
           ()
       in
       (match clamp with Some c -> Flow.clamp_window f c | None -> ());
-      flows.(i) <- Some f)
+      flows.(i) <- Some f;
+      all_flows.(i) <- Some f)
     specs;
   let starts = Array.of_list (List.map (fun s -> s.start_at) specs) in
+  (* Departure schedule: at [stop_at] the flow is closed whether or not
+     it finished — churn models flows that leave, not flows that are
+     polite about it. An unfinished departer stops counting toward
+     [remaining] (the fabric must not wait for a flow that left). *)
+  List.iteri
+    (fun i s ->
+      match s.stop_at with
+      | None -> ()
+      | Some d ->
+          ignore
+            (Ba_sim.Engine.schedule_at engine ~at:d (fun () ->
+                 match flows.(i) with
+                 | None -> ()
+                 | Some f ->
+                     flows.(i) <- None;
+                     gated.(i) <- true;
+                     if not (Flow.is_complete f) then begin
+                       departed_at.(i) <- Some d;
+                       decr remaining;
+                       if !remaining = 0 then Ba_sim.Engine.stop engine
+                     end)))
+    specs;
   let mem_peak = ref 0 in
   let sample_mem () =
     let total = Array.fold_left (fun acc -> function
@@ -238,19 +301,30 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
   sample_mem ();
   let ticks = Ba_sim.Engine.now engine in
   let flow_results =
-    Array.to_list flows
-    |> List.map (fun f ->
-           let f = Option.get f in
-           (* A finished flow is judged over its own lifetime, so slow
-              neighbours don't dilute its goodput; an unfinished one over
-              the whole run. *)
-           let flow_ticks = match Flow.completed_at f with Some t -> t | None -> ticks in
-           Flow.result f ~ticks:flow_ticks ())
+    Array.to_list (Array.mapi (fun i f -> (i, Option.get f)) all_flows)
+    |> List.map (fun (i, f) ->
+           (* A finished flow is judged over its own tenancy — from its
+              start tick to completion (or departure, or the end of the
+              run) — so slow neighbours don't dilute its goodput and a
+              late arrival isn't charged for ticks before it existed. *)
+           let upto =
+             match (Flow.completed_at f, departed_at.(i)) with
+             | Some t, _ -> t
+             | None, Some t -> t
+             | None, None -> ticks
+           in
+           Flow.result f ~ticks:(max 1 (upto - starts.(i))) ())
   in
   let total_delivered = List.fold_left (fun acc r -> acc + r.Flow.delivered) 0 flow_results in
+  let departed = Array.fold_left (fun acc -> function Some _ -> acc + 1 | None -> acc) 0 departed_at in
   {
     ticks;
-    completed = List.for_all (fun r -> r.Flow.completed) flow_results;
+    (* A scheduled departure is a normal end of life: completion means
+       every flow either finished or left on schedule. *)
+    completed =
+      List.for_all2
+        (fun d r -> Option.is_some d || r.Flow.completed)
+        (Array.to_list departed_at) flow_results;
     flows = flow_results;
     aggregate_goodput =
       (if ticks = 0 then 0. else float_of_int total_delivered *. 1000. /. float_of_int ticks);
@@ -259,6 +333,7 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
     ack_stats = Ba_channel.Link.stats ack_link;
     admitted = n;
     refused;
+    departed;
     clamped_window = clamp;
     mem_peak_bytes = !mem_peak;
     quarantine_events =
@@ -269,3 +344,30 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
         (fun acc d -> if Watchdog.state d = Watchdog.Quarantined then acc + 1 else acc)
         0 dogs;
   }
+
+(* Seed-derived churn schedule: [base] flows span the whole horizon and
+   carry the pre/post-churn goodput baseline; each churner contributes a
+   departing flow (arrives early, offered enough work to outlast its
+   departure tick, so closure always reclaims a live reservation) and a
+   returning flow that arrives into the reclaimed capacity after the
+   departure and runs to completion. *)
+let churn ?(base = 2) ?(churners = 2) ?(messages = 40) ?(payload_size = 32)
+    ?(config = Proto_config.default) ~seed protocol =
+  if base < 0 then invalid_arg "Fabric.churn: base must be >= 0";
+  if churners < 0 then invalid_arg "Fabric.churn: churners must be >= 0";
+  let rng = Ba_util.Rng.create (0x5eed + (31 * seed)) in
+  let mk ?start_at ?stop_at m = spec ~config ~messages:m ~payload_size ?start_at ?stop_at protocol in
+  let rec bases k acc = if k = 0 then List.rev acc else bases (k - 1) (mk messages :: acc) in
+  (* Explicit recursion: the rng draws must happen in churner order. *)
+  let rec churned k acc =
+    if k = 0 then List.rev acc
+    else begin
+      let arrive = Ba_util.Rng.int_in rng 0 400 in
+      let depart = arrive + Ba_util.Rng.int_in rng 2000 3500 in
+      let return_at = depart + Ba_util.Rng.int_in rng 600 1400 in
+      let leaver = mk ~start_at:arrive ~stop_at:depart (messages * 4) in
+      let returner = mk ~start_at:return_at messages in
+      churned (k - 1) (returner :: leaver :: acc)
+    end
+  in
+  bases base [] @ churned churners []

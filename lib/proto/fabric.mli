@@ -32,6 +32,14 @@ type spec = {
           beginning). Late starters model a traffic surge hitting a
           running fabric; they still participate in admission control
           up front, so the memory guarantee covers the surge peak. *)
+  stop_at : int option;
+      (** tick at which this flow departs, finished or not ([None] = it
+          stays until it completes). At [stop_at] the flow's demux slot,
+          tx gate and watchdog slot are released and its buffered bytes
+          stop counting toward the fabric's memory — the reservation is
+          reclaimed, and admission control (which reasons about peak
+          {e concurrent} cost over the [start_at, stop_at) intervals)
+          can hand it to a later arrival. *)
 }
 
 val spec :
@@ -39,27 +47,37 @@ val spec :
   ?messages:int ->
   ?payload_size:int ->
   ?start_at:int ->
+  ?stop_at:int ->
   Protocol.t ->
   spec
 (** Defaults: [Proto_config.default], 100 messages, 32-byte payloads,
-    [start_at = 0]. *)
+    [start_at = 0], no [stop_at]. *)
 
 type result = {
   ticks : int;  (** simulated time until every flow finished (or the deadline) *)
-  completed : bool;  (** every admitted flow delivered and acknowledged everything *)
+  completed : bool;
+      (** every admitted flow reached a normal end of life: delivered
+          and acknowledged everything, or departed on its [stop_at]
+          schedule *)
   flows : Flow.result list;
       (** per-flow verdicts for the {e admitted} flows, in spec order.
           The record is the same one {!Harness.run} returns, so
           chaos/safety checks written against harness output apply to
           each entry unchanged. A finished flow's [ticks] (hence
-          goodput, latency) covers its own lifetime; an unfinished one
-          is measured over the whole run. *)
+          goodput, latency) covers its own lifetime; a departed flow's
+          its tenancy; an unfinished one is measured over the whole
+          run. A departed flow's counters freeze at departure — no
+          event can reach it afterwards. *)
   aggregate_goodput : float;  (** total delivered payloads per 1000 ticks *)
   fairness : float;  (** Jain's index over per-flow goodput *)
   data_stats : Ba_channel.Link.stats;  (** the shared data link's counters *)
   ack_stats : Ba_channel.Link.stats;  (** the shared ack link's counters *)
   admitted : int;  (** flows admitted (= length of [flows]) *)
   refused : int;  (** flows refused outright by admission control *)
+  departed : int;
+      (** flows closed by their [stop_at] schedule while still
+          mid-transfer (a flow that finished before its [stop_at] is
+          counted as completed, not departed) *)
   clamped_window : int option;
       (** the uniform effective-window clamp admission imposed, if any *)
   mem_peak_bytes : int;
@@ -83,6 +101,8 @@ val run :
   ?ack_delay:Ba_channel.Dist.t ->
   ?data_bottleneck:int * int ->
   ?ack_bottleneck:int * int ->
+  ?data_plan:Ba_channel.Fault_plan.t ->
+  ?ack_plan:Ba_channel.Fault_plan.t ->
   ?deadline:int ->
   ?memory_budget:int ->
   ?watchdog:Watchdog.config ->
@@ -98,13 +118,22 @@ val run :
     [memory_budget] (bytes) bounds the worst-case payload memory the
     whole fabric can pin (each flow is charged
     [2 · effective_window · payload_size]: retransmit buffer plus
-    reassembly window). Degradation is graceful and in preference
-    order: admit everyone unclamped if the budget allows; else admit
-    everyone under the largest uniform window clamp that fits (enforced
-    both by {!Flow.clamp_window} on the sender and by rewriting the
-    receiver's [rx_budget]); else clamp to 1 and admit the longest spec
-    prefix that fits, refusing the rest. Raises [Invalid_argument] when
-    not even one clamped flow fits.
+    reassembly window). The bound is on peak {e concurrent} cost: flows
+    whose [start_at, stop_at) intervals never overlap share one
+    reservation, so a departure makes room for a later arrival that a
+    lifetime-sum accounting would have refused. Degradation is graceful
+    and in preference order: admit everyone unclamped if the budget
+    allows; else admit everyone under the largest uniform window clamp
+    that fits (enforced both by {!Flow.clamp_window} on the sender and
+    by rewriting the receiver's [rx_budget]); else clamp to 1 and admit
+    the longest spec prefix that fits, refusing the rest. Raises
+    [Invalid_argument] when not even one clamped flow fits.
+
+    [data_plan]/[ack_plan] attach a scheduled {!Ba_channel.Fault_plan}
+    to the shared links — the fabric-scale analogue of the harness's
+    plan arguments, and what lets a chaos storm hit a churning fabric.
+    Each plan instantiates against a fresh split of its link's random
+    stream, so plan-free runs are byte-identical to before.
 
     [watchdog] arms a per-flow {!Watchdog}: every [check_interval]
     ticks each started, unfinished flow is checked for delivery
@@ -125,5 +154,26 @@ val run :
     links have infinite capacity and flows only share the loss/delay
     process.
 
-    Raises [Invalid_argument] on an empty spec list or a negative
-    [start_at]. *)
+    Raises [Invalid_argument] on an empty spec list, a negative
+    [start_at], or a [stop_at] not after its [start_at]. *)
+
+val churn :
+  ?base:int ->
+  ?churners:int ->
+  ?messages:int ->
+  ?payload_size:int ->
+  ?config:Proto_config.t ->
+  seed:int ->
+  Protocol.t ->
+  spec list
+(** [churn ~seed protocol] is a seed-derived churning flow population:
+    [base] (default 2; 0 when the caller brings its own long-lived
+    flows) baseline flows spanning the whole horizon —
+    the pre/post-churn goodput baseline — plus, per churner (default
+    2), a {e departing} flow (arrives within the first 400 ticks,
+    departs 2000–3500 ticks later with work left, so its reservation is
+    reclaimed live) and a {e returning} flow that arrives 600–1400
+    ticks after that departure and runs to completion. The schedule is
+    a pure function of [seed]; all flows offer [messages] (default 40)
+    payloads of [payload_size] bytes, departing flows 4x that so they
+    always outlast their [stop_at]. *)

@@ -1,0 +1,74 @@
+(** Constant-space streaming quantile sketch.
+
+    A bounded set of weighted centroids (a P²-style successor: instead
+    of five fixed markers, up to [capacity] of them, adapting to the
+    data), so percentile telemetry over an arbitrarily long stream
+    costs O(capacity) memory — the soak harness's alternative to
+    {!Stats}, whose percentiles retain every sample.
+
+    Adding a sample inserts a weight-1 centroid in value order; when
+    the sketch would exceed [capacity], the adjacent pair with the
+    smallest [gap * combined-weight] cost collapses into its weighted
+    mean. Everything is deterministic — no randomness — so sketches
+    are reproducible and two runs of the same stream are equal.
+
+    Sketches are {e mergeable}: [merge a b] summarises the
+    concatenation of the two streams in the same bounded space, which
+    is what lets per-round (or per-domain) telemetry fold into one
+    campaign-wide summary without ever materialising the samples.
+
+    Accuracy: with [count <= capacity] no collapse has happened and
+    quantiles are exact order statistics (midpoint convention). Past
+    that, quantiles are interpolated between centroid means; the tests
+    pin a rank error of at most [3 / capacity] (i.e. ~4.7% of the
+    population at the default capacity 64) on uniform, heavy-tailed
+    and fully sorted adversarial streams, merged or not. [count],
+    [min] and [max] are always exact. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty sketch. [capacity] (default 64) is the maximum number
+    of retained centroids; at least 8. Raises [Invalid_argument] below
+    that. *)
+
+val capacity : t -> int
+
+val add : t -> float -> unit
+(** O(capacity) worst case (an array shift plus one collapse). *)
+
+val count : t -> int
+(** Samples observed — exact. *)
+
+val nodes : t -> int
+(** Centroids currently retained ([<= capacity]). Saturates at
+    [capacity] and never grows past it — the flat-memory witness the
+    soak verdict checks. *)
+
+val mem_bytes : t -> int
+(** Bytes pinned by the sketch's payload state: a constant
+    [16 * capacity + 64] regardless of how many samples have been
+    added — the point of the structure. *)
+
+val min : t -> float
+(** Exact. Raises [Invalid_argument] when empty. *)
+
+val max : t -> float
+(** Exact. Raises [Invalid_argument] when empty. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [0, 1]: interpolated between centroid
+    means under the midpoint-rank convention; clamped to [min]/[max]
+    at the ends. Raises [Invalid_argument] when empty or [q] out of
+    range. *)
+
+val merge : t -> t -> t
+(** [merge a b] is a fresh sketch over both streams, with capacity
+    [Stdlib.max (capacity a) (capacity b)]. Inputs are unchanged.
+    Deterministic, commutative, and associative up to the documented
+    rank-error bound (the centroid sets of [(a ⊕ b) ⊕ c] and
+    [a ⊕ (b ⊕ c)] can differ, their quantiles only within the
+    bound). *)
+
+val pp : Format.formatter -> t -> unit
+(** [n=… p50=… p90=… p99=…] one-liner (dashes when empty). *)

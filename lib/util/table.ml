@@ -58,4 +58,33 @@ let render ?aligns ~headers rows =
 
 let print ?aligns ~headers rows = print_string (render ?aligns ~headers rows)
 
+(* Streaming variant: widths are fixed at the header widths up front, so
+   rows print as they are produced and the table costs O(1) memory in
+   the row count (a cell wider than its header just overflows its
+   column). [render] cannot do this — it sizes columns from the data. *)
+type sink = { s_widths : int list; s_aligns : align list }
+
+let stream ?aligns ~headers () =
+  let s_widths = List.map String.length headers in
+  let s_aligns =
+    match aligns with
+    | Some a when List.length a = List.length headers -> a
+    | Some _ | None -> List.map (fun _ -> Right) headers
+  in
+  print_string
+    (String.concat "  " (List.map2 (fun (w, a) c -> pad a w c) (List.combine s_widths s_aligns) headers));
+  print_char '\n';
+  print_string (String.concat "  " (List.map (fun w -> String.make w '-') s_widths));
+  print_char '\n';
+  { s_widths; s_aligns }
+
+let stream_row sink row =
+  let arity = List.length sink.s_widths in
+  let row = if List.length row > arity then List.filteri (fun i _ -> i < arity) row else row in
+  let row = row @ List.init (arity - List.length row) (fun _ -> "") in
+  print_string
+    (String.concat "  "
+       (List.map2 (fun (w, a) c -> pad a w c) (List.combine sink.s_widths sink.s_aligns) row));
+  print_char '\n'
+
 let fmt_float ?(decimals = 3) x = Printf.sprintf "%.*f" decimals x

@@ -10,9 +10,10 @@ type fault_class =
   | Reorder
   | Crash
   | Overload
+  | Storm
 
 let channel_classes = [ Bursty_loss; Duplication; Corruption; Outage; Reorder ]
-let all_classes = channel_classes @ [ Crash; Overload ]
+let all_classes = channel_classes @ [ Crash; Overload; Storm ]
 
 let class_name = function
   | Bursty_loss -> "bursty-loss"
@@ -22,6 +23,7 @@ let class_name = function
   | Reorder -> "reorder"
   | Crash -> "crash"
   | Overload -> "overload"
+  | Storm -> "storm"
 
 let class_of_name = function
   | "bursty-loss" -> Some Bursty_loss
@@ -31,6 +33,7 @@ let class_of_name = function
   | "reorder" -> Some Reorder
   | "crash" -> Some Crash
   | "overload" -> Some Overload
+  | "storm" -> Some Storm
   | _ -> None
 
 (* The schedules vary with the seed — outage windows shift, duplicate
@@ -79,6 +82,18 @@ let plans_for fault ~seed =
          adversary is a seed-derived budget squeeze plus a congested
          shared queue (see {!overload_squeeze}). *)
       (Fault_plan.make (), Fault_plan.make ())
+  | Storm ->
+      (* The storm's channel component: real bursts, but milder than the
+         dedicated bursty-loss class — it lands on top of a crash
+         schedule and a resource squeeze, and the composition (not any
+         single ingredient at full strength) is what this class tests. *)
+      let ge =
+        { Fault_plan.p_enter_bad = 0.02; p_exit_bad = 0.3; loss_good = 0.005; loss_bad = 0.6 }
+      in
+      ( Fault_plan.make ~bursty:ge (),
+        Fault_plan.make
+          ~bursty:{ ge with Fault_plan.p_enter_bad = 0.01; loss_bad = 0.4 }
+          () )
 
 (* Which endpoint dies, when, and for how long all rotate with the seed,
    so the 50-seed grid covers sender-only, receiver-only and staggered
@@ -104,19 +119,60 @@ let crash_plan_for ~seed =
    whose tail drops punch the sequence gaps that make the budget bind.
    Like the other classes it is pure data derived from (class, seed), so
    ["seed=N fault=overload"] replays the exact squeeze. *)
-let overload_squeeze ~seed (base : Ba_proto.Proto_config.t) =
-  let policy =
-    if seed mod 2 = 0 then Ba_proto.Proto_config.Drop_new
-    else Ba_proto.Proto_config.Drop_furthest
-  in
-  let config =
-    {
-      base with
-      Ba_proto.Proto_config.rx_budget = Some (2 + (seed mod 3));
-      drop_policy = policy;
-    }
-  in
-  (config, (10, 4 + (seed mod 4)))
+type squeeze = {
+  rx_slots : int;
+  policy : Ba_proto.Proto_config.drop_policy;
+  service_time : int;
+  queue_capacity : int;
+}
+
+let squeeze_for ~seed =
+  {
+    rx_slots = 2 + (seed mod 3);
+    policy =
+      (if seed mod 2 = 0 then Ba_proto.Proto_config.Drop_new
+       else Ba_proto.Proto_config.Drop_furthest);
+    service_time = 10;
+    queue_capacity = 4 + (seed mod 4);
+  }
+
+let apply_squeeze sq (base : Ba_proto.Proto_config.t) =
+  ( { base with Ba_proto.Proto_config.rx_budget = Some sq.rx_slots; drop_policy = sq.policy },
+    (sq.service_time, sq.queue_capacity) )
+
+let overload_squeeze ~seed base = apply_squeeze (squeeze_for ~seed) base
+
+(* Same printed-form-is-the-replay-key contract as Fault_plan and
+   Crash_plan: what a failure report shows is exactly what a replay
+   parses back. *)
+let squeeze_to_string sq =
+  Printf.sprintf "squeeze(rx=%d,%s,q=%d:%d)" sq.rx_slots
+    (Ba_proto.Proto_config.drop_policy_name sq.policy)
+    sq.service_time sq.queue_capacity
+
+let squeeze_of_string str =
+  match
+    Scanf.sscanf str "squeeze(rx=%d,%[a-z-],q=%d:%d)" (fun r p s q -> Some (r, p, s, q))
+  with
+  | exception (Scanf.Scan_failure _ | End_of_file | Failure _) ->
+      Error (Printf.sprintf "unparseable squeeze %S" str)
+  | None -> Error (Printf.sprintf "unparseable squeeze %S" str)
+  | Some (rx_slots, policy, service_time, queue_capacity) -> (
+      if rx_slots < 1 || service_time < 1 || queue_capacity < 1 then
+        Error (Printf.sprintf "squeeze fields must be positive in %S" str)
+      else
+        match policy with
+        | "drop-new" ->
+            Ok { rx_slots; policy = Ba_proto.Proto_config.Drop_new; service_time; queue_capacity }
+        | "drop-furthest" ->
+            Ok
+              {
+                rx_slots;
+                policy = Ba_proto.Proto_config.Drop_furthest;
+                service_time;
+                queue_capacity;
+              }
+        | other -> Error (Printf.sprintf "unknown drop policy %S" other))
 
 type failure = {
   seed : int;
@@ -124,6 +180,7 @@ type failure = {
   data_plan : Fault_plan.t;
   ack_plan : Fault_plan.t;
   crash_plan : Crash_plan.t;
+  squeeze : squeeze option;
   result : Harness.result;
 }
 
@@ -180,13 +237,20 @@ let gbn_config =
    reorders. *)
 let run_cell ?(messages = 60) ?(config = robust_config) protocol fault ~seed =
   let data_plan, ack_plan = plans_for fault ~seed in
-  let crash_plan = match fault with Crash -> crash_plan_for ~seed | _ -> Crash_plan.none in
+  (* Storm composes all three adversaries — the crash schedule, the
+     resource squeeze and the bursty channel — in one run; each is the
+     same pure function of the seed as in its dedicated class, so the
+     single replay key still reproduces the whole composition. *)
+  let crash_plan =
+    match fault with Crash | Storm -> crash_plan_for ~seed | _ -> Crash_plan.none
+  in
+  let squeeze = match fault with Overload | Storm -> Some (squeeze_for ~seed) | _ -> None in
   let config, data_bottleneck =
-    match fault with
-    | Overload ->
-        let config, bottleneck = overload_squeeze ~seed config in
+    match squeeze with
+    | Some sq ->
+        let config, bottleneck = apply_squeeze sq config in
         (config, Some bottleneck)
-    | _ -> (config, None)
+    | None -> (config, None)
   in
   let delay = Ba_channel.Dist.Constant 50 in
   let result =
@@ -195,7 +259,7 @@ let run_cell ?(messages = 60) ?(config = robust_config) protocol fault ~seed =
   in
   let failure =
     if safe result && result.Harness.completed then None
-    else Some { seed; fault; data_plan; ack_plan; crash_plan; result }
+    else Some { seed; fault; data_plan; ack_plan; crash_plan; squeeze; result }
   in
   (failure, result)
 
@@ -212,10 +276,13 @@ let run_campaign ?messages ?config ?(seeds = default_seeds) ?(classes = all_clas
      seed, so the cells farm out to a domain pool. Pool.map returns the
      outcomes in input order, which makes the fold below — and therefore
      the whole report — identical at any job count. *)
-  (* The crash class only makes sense against protocols implementing the
-     crash-restart lifecycle; for the rest it is reported as skipped
-     rather than silently dropped. *)
-  let runnable fault = fault <> Crash || P.crash_tolerant in
+  (* The crash class — and the storm, which contains one — only makes
+     sense against protocols implementing the crash-restart lifecycle;
+     for the rest it is reported as skipped rather than silently
+     dropped. *)
+  let runnable fault =
+    match fault with Crash | Storm -> P.crash_tolerant | _ -> true
+  in
   let cells =
     List.concat_map
       (fun fault -> if runnable fault then List.map (fun seed -> (fault, seed)) seeds else [])
@@ -310,6 +377,9 @@ let pp_failure ppf f =
   Format.fprintf ppf "@[<v>seed=%d fault=%s@,data: %a@,ack:  %a" f.seed (class_name f.fault)
     Fault_plan.pp f.data_plan Fault_plan.pp f.ack_plan;
   if f.crash_plan <> Crash_plan.none then Format.fprintf ppf "@,proc: %a" Crash_plan.pp f.crash_plan;
+  (match f.squeeze with
+  | Some sq -> Format.fprintf ppf "@,load: %s" (squeeze_to_string sq)
+  | None -> ());
   Format.fprintf ppf "@,%a@]" Harness.pp_result f.result
 
 (* [unsafe] and [incomplete] are counts of runs with each symptom, not a

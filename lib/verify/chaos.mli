@@ -22,18 +22,26 @@ type fault_class =
   | Overload
       (** resource exhaustion: a squeezed receiver reassembly budget plus
           a congested bounded queue on the shared data path *)
+  | Storm
+      (** compound incident: the crash schedule, the overload squeeze
+          {e and} a bursty channel, composed in one run — the three
+          tolerance mechanisms (epoch resync, backpressure, timer
+          backoff) exercised together, where their interactions hide.
+          Each ingredient is the same pure function of the seed as in
+          its dedicated class, so one replay key reproduces the whole
+          composition. *)
 
 val all_classes : fault_class list
 
 val channel_classes : fault_class list
 (** The channel-fault subset of {!all_classes} — everything except
-    [Crash] and [Overload], which fault a process or its resources
-    rather than a link. *)
+    [Crash], [Overload] and [Storm], which fault a process or its
+    resources rather than (only) a link. *)
 
 val class_name : fault_class -> string
 val class_of_name : string -> fault_class option
 (** Lower-case names: ["bursty-loss"], ["duplication"], ["corruption"],
-    ["outage"], ["reorder"], ["crash"], ["overload"]. *)
+    ["outage"], ["reorder"], ["crash"], ["overload"], ["storm"]. *)
 
 val plans_for : fault_class -> seed:int -> Ba_channel.Fault_plan.t * Ba_channel.Fault_plan.t
 (** [(data_plan, ack_plan)] for one run. The plans vary with [seed]
@@ -48,14 +56,40 @@ val crash_plan_for : seed:int -> Ba_proto.Crash_plan.t
     downtime all rotate with [seed]. Pure data — print it with
     {!Ba_proto.Crash_plan.pp} to get the replay key. *)
 
+type squeeze = {
+  rx_slots : int;  (** receiver reassembly budget, in out-of-order slots *)
+  policy : Ba_proto.Proto_config.drop_policy;
+  service_time : int;  (** data-link bottleneck service time, ticks/frame *)
+  queue_capacity : int;  (** data-link bottleneck queue depth *)
+}
+(** The resource-squeeze component of the [Overload] and [Storm]
+    classes, as pure data — the third plan kind next to
+    {!Ba_channel.Fault_plan} and {!Ba_proto.Crash_plan}. *)
+
+val squeeze_for : seed:int -> squeeze
+(** The seed-derived squeeze: an [rx_slots] budget of 2–4, drop policy
+    alternating with the seed between [Drop_new] and [Drop_furthest],
+    and a [(10, 4–7)] data-link bottleneck. *)
+
+val apply_squeeze :
+  squeeze -> Ba_proto.Proto_config.t -> Ba_proto.Proto_config.t * (int * int)
+(** Install a squeeze on a base config: the rewritten config plus the
+    [(service_time, queue_capacity)] bottleneck for the data link. *)
+
 val overload_squeeze :
   seed:int -> Ba_proto.Proto_config.t -> Ba_proto.Proto_config.t * (int * int)
-(** The [Overload] class's resource squeeze for one run: the base config
-    with a seed-derived receiver [rx_budget] of 2–4 out-of-order slots
-    (drop policy alternating with the seed between [Drop_new] and
-    [Drop_furthest]), paired with the [(service_time, queue_capacity)]
-    bottleneck installed on the data link. Pure data derived from
-    [seed], so the class replays like every other. *)
+(** [apply_squeeze (squeeze_for ~seed)] — the [Overload] class's
+    resource squeeze for one run. Pure data derived from [seed], so the
+    class replays like every other. *)
+
+val squeeze_to_string : squeeze -> string
+(** E.g. ["squeeze(rx=3,drop-new,q=10:5)"] — the printed form {e is}
+    the replay key, like the other plan kinds. *)
+
+val squeeze_of_string : string -> (squeeze, string) result
+(** Inverse of {!squeeze_to_string}:
+    [squeeze_of_string (squeeze_to_string sq) = Ok sq] for every valid
+    squeeze. *)
 
 type failure = {
   seed : int;
@@ -63,6 +97,7 @@ type failure = {
   data_plan : Ba_channel.Fault_plan.t;
   ack_plan : Ba_channel.Fault_plan.t;
   crash_plan : Ba_proto.Crash_plan.t;  (** [none] for channel classes *)
+  squeeze : squeeze option;  (** [Some] for [Overload] and [Storm] runs *)
   result : Ba_proto.Harness.result;
 }
 

@@ -30,6 +30,8 @@ failing seed and fault schedule are printed as the replay key):
   crash          6 runs  unsafe=0   incomplete=0   ok
     recovery: restarts=1 rounds=2 resync-ticks=100 mean/100 max retx=560B
   overload       6 runs  unsafe=0   incomplete=0   ok
+  storm          6 runs  unsafe=0   incomplete=0   ok
+    recovery: restarts=8 rounds=24 resync-ticks=650 mean/4180 max retx=11440B
   
   selective-repeat:
   bursty-loss    6 runs  unsafe=0   incomplete=0   ok
@@ -39,6 +41,7 @@ failing seed and fault schedule are printed as the replay key):
   reorder        6 runs  unsafe=0   incomplete=0   ok
   crash        skipped (protocol not crash-tolerant)
   overload       6 runs  unsafe=0   incomplete=0   ok
+  storm        skipped (protocol not crash-tolerant)
   
   demonstrated: bounded go-back-N misbehaves under reorder
     seed=1 fault=reorder
@@ -132,5 +135,17 @@ crash-restart lifecycle is rejected:
   [1]
 
   $ ../../bin/ba_chaos.exe --replay "seed=3 fault=crash" --protocol selective-repeat
+  ba_chaos: selective-repeat does not implement the crash-restart lifecycle
+  [2]
+
+The storm class composes all three adversaries — the crash schedule,
+the overload squeeze and a bursty channel — in one run, still keyed by
+the seed alone: one replay key reproduces the whole composition. Like
+crash, it requires the crash-restart lifecycle:
+
+  $ ../../bin/ba_chaos.exe --replay "seed=3 fault=storm" --messages 60
+  replay: seed=3 fault=storm protocol=blockack-multi — clean
+
+  $ ../../bin/ba_chaos.exe --replay "seed=3 fault=storm" --protocol selective-repeat
   ba_chaos: selective-repeat does not implement the crash-restart lifecycle
   [2]

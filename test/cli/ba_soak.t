@@ -11,17 +11,39 @@ the report is byte-identical at any --jobs:
   identical
 
 Every round holds the memory budget, quarantines the stalled flow once,
-recovers it through the resync handshake and finishes clean:
+recovers it through the resync handshake and finishes clean. Latency
+telemetry comes from a constant-space quantile sketch (the byte size is
+fixed no matter how many rounds run), and the run ends with a
+machine-checkable verdict line:
 
   $ cat soak-j1.out
-  round  seed  completed  admitted  clamp  mem-peak  quarantines  resyncs  recovery  verdict
-  -----  ----  ---------  --------  -----  --------  -----------  -------  --------  -------
-      0    42  yes        4/4           6       544            1        2      6912  ok     
-      1    43  yes        4/4           6       384            1        2      7146  ok     
-      2    44  yes        4/4           6       384            1        2      6910  ok     
+  round  seed  completed  admitted  departed  clamp  mem-peak  quarantines  resyncs  recovery  verdict
+  -----  ----  ---------  --------  --------  -----  --------  -----------  -------  --------  -------
+      0    42  yes        4/4              0      6       544            1        2      6912  ok     
+      1    43  yes        4/4              0      6       384            1        2      7146  ok     
+      2    44  yes        4/4              0      6       384            1        2      6910  ok     
   
   soak: 3 rounds, budget=1536B, peak=544B (under budget), quarantines=3, resyncs=6, worst post-surge recovery=7146 ticks
+  telemetry: latency n=240 p50=54 p90=380 p99=6554 sketch=1088B
+  soak-verdict: rounds=3 safety=pass recovery=pass goodput-ratio=- goodput-floor=- mem-peak=544B budget=1536B sketch-nodes=64->64 result=PASS
 
+
+Churn (--churn N) adds N departing/returning flow pairs per round, and
+--fault storm composes a crash plan, an overload squeeze and bursty
+channel plans on top. Departing flows release their budget reservation
+live; the verdict line checks that post-churn goodput (the returning
+cohort) holds within the floor of the pre-churn baseline and that the
+sketch node count is flat from round 10 — O(1) telemetry memory over an
+unbounded horizon. The churning report is byte-identical at any --jobs:
+
+  $ ../../bin/ba_net.exe --soak 12 --messages 20 -c 2 --loss 0.02 --churn 2 --fault storm --jobs 1 > churn-j1.out
+  $ ../../bin/ba_net.exe --soak 12 --messages 20 -c 2 --loss 0.02 --churn 2 --fault storm --jobs 4 > churn-j4.out
+  $ cmp churn-j1.out churn-j4.out && echo identical
+  identical
+  $ tail -n 3 churn-j1.out
+  soak: 12 rounds, budget=3072B, peak=1568B (under budget), quarantines=12, resyncs=33, worst post-surge recovery=8380 ticks
+  telemetry: latency n=2255 p50=347 p90=1409 p99=6851 sketch=1088B
+  soak-verdict: rounds=12 safety=pass recovery=pass goodput-ratio=1.65 goodput-floor=0.50 mem-peak=1568B budget=3072B sketch-nodes=64->64 result=PASS
 
 An impossible budget is refused outright rather than thrashing:
 
@@ -30,3 +52,26 @@ An impossible budget is refused outright rather than thrashing:
           Invalid_argument("Fabric.run: memory_budget admits no flow")
           
   [125]
+
+
+Soak-only flags are rejected outside --soak, and the schedule knobs
+validate their ranges:
+
+  $ ../../bin/ba_net.exe --budget 100
+  ba_net: --budget requires --soak
+  [2]
+  $ ../../bin/ba_net.exe --surge-at 100
+  ba_net: --surge-at requires --soak
+  [2]
+  $ ../../bin/ba_net.exe --soak 1 --surge-at 0
+  ba_net: --surge-at must be positive (got 0)
+  [2]
+  $ ../../bin/ba_net.exe --soak 1 --stall-for=-5
+  ba_net: --stall-for must be positive (got -5)
+  [2]
+  $ ../../bin/ba_net.exe --soak 1 --churn=-1
+  ba_net: --churn must be >= 0 (got -1)
+  [2]
+  $ ../../bin/ba_net.exe --soak 1 --fault hurricane
+  ba_net: unknown fault class "hurricane"
+  [2]

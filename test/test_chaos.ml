@@ -48,13 +48,74 @@ let test_campaign_plans_roundtrip () =
                   Alcotest.failf "%s seed=%d: %S did not parse: %s" (Chaos.class_name c) seed
                     key e)
             [ data_plan; ack_plan ];
-          let crash = if c = Chaos.Crash then Chaos.crash_plan_for ~seed else Crash_plan.none in
+          let crash =
+            match c with
+            | Chaos.Crash | Chaos.Storm -> Chaos.crash_plan_for ~seed
+            | _ -> Crash_plan.none
+          in
           let key = Crash_plan.to_string crash in
-          match Crash_plan.of_string key with
+          (match Crash_plan.of_string key with
           | Ok q -> check Alcotest.string "crash key replays" key (Crash_plan.to_string q)
-          | Error e -> Alcotest.failf "crash key %S did not parse: %s" key e)
+          | Error e -> Alcotest.failf "crash key %S did not parse: %s" key e);
+          match c with
+          | Chaos.Overload | Chaos.Storm -> (
+              let sq = Chaos.squeeze_for ~seed in
+              let key = Chaos.squeeze_to_string sq in
+              match Chaos.squeeze_of_string key with
+              | Ok q ->
+                  check Alcotest.string "squeeze key replays" key (Chaos.squeeze_to_string q);
+                  check Alcotest.bool "squeeze parses back equal" true (q = sq)
+              | Error e -> Alcotest.failf "squeeze key %S did not parse: %s" key e)
+          | _ -> ())
         (List.init 25 (fun i -> i + 1)))
     Chaos.all_classes
+
+(* The squeeze grammar rejects malformed keys with a reason, like the
+   other plan parsers — garbage must not silently decode to a squeeze. *)
+let test_squeeze_grammar_rejections () =
+  List.iter
+    (fun s ->
+      match Chaos.squeeze_of_string s with
+      | Ok _ -> Alcotest.failf "%S should not parse" s
+      | Error _ -> ())
+    [
+      "squeeze(rx=0,drop-new,q=10:5)";
+      "squeeze(rx=3,drop-everything,q=10:5)";
+      "squeeze(rx=3,drop-new,q=10:0)";
+      "squash(rx=3,drop-new,q=10:5)";
+      "";
+    ]
+
+(* The compound class: every ingredient present, blockack-multi survives
+   the composition, and the recovery accounting shows the crash plan
+   actually fired inside the storm. *)
+let test_storm_composes_and_blockack_survives () =
+  let data_plan, ack_plan = Chaos.plans_for Chaos.Storm ~seed:3 in
+  check Alcotest.bool "storm brings a bursty data channel" true
+    (Fault_plan.to_string data_plan <> Fault_plan.to_string (Fault_plan.make ()));
+  check Alcotest.bool "storm brings a bursty ack channel" true
+    (Fault_plan.to_string ack_plan <> Fault_plan.to_string (Fault_plan.make ()));
+  check Alcotest.bool "storm brings a crash schedule" true
+    (Chaos.crash_plan_for ~seed:3 <> Crash_plan.none);
+  let r = Chaos.run_campaign ~messages ~seeds ~classes:[ Chaos.Storm ] Blockack.Protocols.multi in
+  if not (Chaos.clean r) then
+    Alcotest.failf "blockack-multi failed the storm campaign:@.%a"
+      (fun ppf -> Chaos.pp_report ppf)
+      r;
+  let c = List.hd r.Chaos.classes in
+  check Alcotest.bool "storm campaign ran" true (c.Chaos.supported && c.Chaos.runs > 0);
+  match c.Chaos.recovery with
+  | None -> Alcotest.fail "storm must report recovery cost"
+  | Some rc -> check Alcotest.bool "restarts happened inside the storm" true (rc.Chaos.restarts > 0)
+
+let test_storm_skipped_without_crash_tolerance () =
+  let r =
+    Chaos.run_campaign ~messages ~seeds:[ 1; 2 ] ~classes:[ Chaos.Storm ]
+      Ba_baselines.Selective_repeat.protocol
+  in
+  let c = List.hd r.Chaos.classes in
+  check Alcotest.bool "storm skipped for non-crash-tolerant protocols" true
+    ((not c.Chaos.supported) && c.Chaos.runs = 0)
 
 (* Random plans at the grammar's printed precision (%.3f for the burst
    transitions, %.2f elsewhere) round-trip too — the grammar is not
@@ -210,6 +271,12 @@ let () =
           Alcotest.test_case "plans deterministic" `Quick test_plans_deterministic;
           Alcotest.test_case "campaign plans round-trip the replay grammar" `Quick
             test_campaign_plans_roundtrip;
+          Alcotest.test_case "squeeze grammar rejects garbage" `Quick
+            test_squeeze_grammar_rejections;
+          Alcotest.test_case "storm composes all three plan kinds" `Quick
+            test_storm_composes_and_blockack_survives;
+          Alcotest.test_case "storm skipped without crash tolerance" `Quick
+            test_storm_skipped_without_crash_tolerance;
           test_random_plans_roundtrip;
           Alcotest.test_case "blockack survives all classes" `Quick
             test_blockack_survives_all_classes;

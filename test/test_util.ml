@@ -450,6 +450,172 @@ let prop_fqueue_matches_list =
         ops;
       !ok && Ba_util.Fqueue.to_list !q = !reference)
 
+(* ------------------------------------------------------------------ *)
+(* Qsketch *)
+
+module Qsketch = Ba_util.Qsketch
+
+(* The documented accuracy contract: the sketch's estimate for q lands
+   within 3/capacity of q in *rank* — i.e. the estimate sits between the
+   exact (q - eps)- and (q + eps)-quantiles of the stream. Rank error is
+   the right yardstick for a quantile sketch: value error is unbounded
+   on heavy tails however good the sketch. *)
+let rank_error_ok ~sorted ~sketch q =
+  let eps = 3. /. float_of_int (Qsketch.capacity sketch) in
+  let est = Qsketch.quantile sketch q in
+  let exact p =
+    let a = sorted and n = Array.length sorted in
+    let pos = Stdlib.max 0. (Stdlib.min (float_of_int (n - 1)) (p *. float_of_int (n - 1))) in
+    let lo = int_of_float (Float.floor pos) in
+    let hi = Stdlib.min (n - 1) (lo + 1) in
+    let frac = pos -. float_of_int lo in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+  in
+  let lo = exact (Stdlib.max 0. (q -. eps)) and hi = exact (Stdlib.min 1. (q +. eps)) in
+  if est < lo -. 1e-9 || est > hi +. 1e-9 then
+    Alcotest.failf "q=%.2f estimate %.4f outside exact rank band [%.4f, %.4f]" q est lo hi
+
+let sketch_of samples =
+  let s = Qsketch.create () in
+  Array.iter (Qsketch.add s) samples;
+  s
+
+let check_stream name samples =
+  let s = sketch_of samples in
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  check Alcotest.int (name ^ " count exact") (Array.length samples) (Qsketch.count s);
+  check (Alcotest.float 1e-9) (name ^ " min exact") sorted.(0) (Qsketch.min s);
+  check (Alcotest.float 1e-9) (name ^ " max exact")
+    sorted.(Array.length sorted - 1)
+    (Qsketch.max s);
+  check Alcotest.bool (name ^ " bounded nodes") true (Qsketch.nodes s <= Qsketch.capacity s);
+  List.iter (fun q -> rank_error_ok ~sorted ~sketch:s q) [ 0.5; 0.9; 0.99 ]
+
+(* Accuracy on the three stream shapes the soak can produce: uniform
+   noise, a heavy (Pareto-ish) latency tail, and the adversarial
+   fully-sorted streams that bias naive merge rules. *)
+let test_qsketch_uniform () =
+  let rng = Ba_util.Rng.create 41 in
+  check_stream "uniform" (Array.init 10_000 (fun _ -> Ba_util.Rng.float rng 1000.))
+
+let test_qsketch_heavy_tail () =
+  let rng = Ba_util.Rng.create 42 in
+  check_stream "heavy tail"
+    (Array.init 10_000 (fun _ ->
+         let u = Stdlib.max 1e-6 (Ba_util.Rng.float rng 1.) in
+         1. /. (u ** 1.5)))
+
+let test_qsketch_sorted_adversarial () =
+  check_stream "ascending" (Array.init 10_000 (fun i -> float_of_int i));
+  check_stream "descending" (Array.init 10_000 (fun i -> float_of_int (10_000 - i)))
+
+let test_qsketch_exact_when_small () =
+  (* Below capacity nothing ever collapses: every sample is its own
+     centroid and the quantiles are genuine order statistics. *)
+  let s = Qsketch.create ~capacity:64 () in
+  List.iter (Qsketch.add s) [ 5.; 1.; 3.; 2.; 4. ];
+  check Alcotest.int "one node per sample" 5 (Qsketch.nodes s);
+  check (Alcotest.float 1e-9) "median exact" 3. (Qsketch.quantile s 0.5);
+  check (Alcotest.float 1e-9) "q0 is min" 1. (Qsketch.quantile s 0.);
+  check (Alcotest.float 1e-9) "q1 is max" 5. (Qsketch.quantile s 1.)
+
+let test_qsketch_flat_memory () =
+  let s = Qsketch.create ~capacity:32 () in
+  let probe = ref [] in
+  for i = 1 to 100_000 do
+    Qsketch.add s (float_of_int ((i * 7919) mod 1009));
+    if i mod 10_000 = 0 then probe := (Qsketch.nodes s, Qsketch.mem_bytes s) :: !probe
+  done;
+  (* Saturated long ago: every probe reports the same node count and the
+     same constant byte footprint. *)
+  (match !probe with
+  | [] -> Alcotest.fail "no probes"
+  | (n0, b0) :: rest ->
+      List.iter
+        (fun (n, b) ->
+          check Alcotest.int "node count flat" n0 n;
+          check Alcotest.int "mem bytes flat" b0 b)
+        rest);
+  check Alcotest.int "count still exact" 100_000 (Qsketch.count s)
+
+let test_qsketch_deterministic () =
+  let build () =
+    let s = Qsketch.create () in
+    for i = 0 to 9_999 do
+      Qsketch.add s (float_of_int ((i * 31) mod 977))
+    done;
+    (Qsketch.nodes s, Qsketch.quantile s 0.5, Qsketch.quantile s 0.99)
+  in
+  check
+    Alcotest.(triple int (float 0.) (float 0.))
+    "same stream, same sketch" (build ()) (build ())
+
+let test_qsketch_validation () =
+  Alcotest.check_raises "tiny capacity"
+    (Invalid_argument "Qsketch.create: capacity must be >= 8") (fun () ->
+      ignore (Qsketch.create ~capacity:4 ()));
+  let s = Qsketch.create () in
+  Alcotest.check_raises "empty quantile" (Invalid_argument "Qsketch.quantile: empty")
+    (fun () -> ignore (Qsketch.quantile s 0.5));
+  Qsketch.add s 1.;
+  Alcotest.check_raises "q out of range"
+    (Invalid_argument "Qsketch.quantile: q out of [0, 1]") (fun () ->
+      ignore (Qsketch.quantile s 1.5))
+
+(* Merging must (a) conserve the exact tallies, (b) stay within the rank
+   bound of the pooled stream, and (c) be associative up to that same
+   bound — the property that lets per-round telemetry fold in any
+   grouping (sequential, chunked, tree) to the same answer. *)
+let prop_qsketch_merge_associative =
+  QCheck.Test.make ~count:60 ~name:"merge is associative within the rank-error bound"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Ba_util.Rng.create seed in
+      let part () =
+        Array.init
+          (200 + Ba_util.Rng.int rng 800)
+          (fun _ -> Ba_util.Rng.float rng 500. ** (1. +. Ba_util.Rng.float rng 1.))
+      in
+      let a = part () and b = part () and c = part () in
+      let sa = sketch_of a and sb = sketch_of b and sc = sketch_of c in
+      let left = Qsketch.merge (Qsketch.merge sa sb) sc in
+      let right = Qsketch.merge sa (Qsketch.merge sb sc) in
+      let pooled = Array.concat [ a; b; c ] in
+      let sorted = Array.copy pooled in
+      Array.sort compare sorted;
+      Qsketch.count left = Array.length pooled
+      && Qsketch.count right = Array.length pooled
+      && Qsketch.min left = Qsketch.min right
+      && Qsketch.max left = Qsketch.max right
+      && List.for_all
+           (fun q ->
+             rank_error_ok ~sorted ~sketch:left q;
+             rank_error_ok ~sorted ~sketch:right q;
+             (* The two groupings agree with each other within twice the
+                single-sketch band. *)
+             let eps = 6. /. float_of_int (Qsketch.capacity left) in
+             let n = Array.length sorted in
+             let rank v =
+               let r = ref 0 in
+               Array.iter (fun x -> if x <= v then incr r) sorted;
+               float_of_int !r /. float_of_int n
+             in
+             Float.abs (rank (Qsketch.quantile left q) -. rank (Qsketch.quantile right q))
+             <= eps +. 1e-9)
+           [ 0.5; 0.9; 0.99 ])
+
+let test_qsketch_merge_exact_counts () =
+  let a = sketch_of (Array.init 500 (fun i -> float_of_int i)) in
+  let b = sketch_of (Array.init 300 (fun i -> float_of_int (1000 + i))) in
+  let m = Qsketch.merge a b in
+  check Alcotest.int "count sums" 800 (Qsketch.count m);
+  check (Alcotest.float 1e-9) "min carries" 0. (Qsketch.min m);
+  check (Alcotest.float 1e-9) "max carries" 1299. (Qsketch.max m);
+  (* Inputs untouched. *)
+  check Alcotest.int "left input intact" 500 (Qsketch.count a);
+  check Alcotest.int "right input intact" 300 (Qsketch.count b)
+
 let () =
   Alcotest.run "ba_util"
     [
@@ -528,4 +694,16 @@ let () =
         ] );
       ( "fqueue",
         [ Alcotest.test_case "fifo" `Quick test_fqueue_fifo; qcheck prop_fqueue_matches_list ] );
+      ( "qsketch",
+        [
+          Alcotest.test_case "uniform stream" `Quick test_qsketch_uniform;
+          Alcotest.test_case "heavy-tailed stream" `Quick test_qsketch_heavy_tail;
+          Alcotest.test_case "sorted adversarial" `Quick test_qsketch_sorted_adversarial;
+          Alcotest.test_case "exact below capacity" `Quick test_qsketch_exact_when_small;
+          Alcotest.test_case "flat memory" `Quick test_qsketch_flat_memory;
+          Alcotest.test_case "deterministic" `Quick test_qsketch_deterministic;
+          Alcotest.test_case "validation" `Quick test_qsketch_validation;
+          Alcotest.test_case "merge exact counts" `Quick test_qsketch_merge_exact_counts;
+          qcheck prop_qsketch_merge_associative;
+        ] );
     ]
