@@ -14,13 +14,27 @@
                    tables are byte-identical at any N
      --selftime    time the full chaos matrix at --jobs 1 vs --jobs N
      --json FILE   write wall-clock per grid, self-timing and micro-bench
-                   results as JSON (the BENCH_campaigns.json schema) *)
+                   results as JSON (the BENCH_campaigns.json schema)
+     --check       performance gate: exit non-zero if block ack is slower
+                   than the slowest baseline transfer or the steady-state
+                   allocation slope exceeds its budget *)
 
 open Bechamel
 open Toolkit
 module Experiments = Ba_experiments.Experiments
 
-let losses_config = Blockack.Config.make ~window:16 ~rto:300 ~wire_modulus:(Some 32) ~max_transit:50 ()
+(* One channel, one config, every protocol: the F1/F2 transfer rows all
+   run under this config so the comparison is apples-to-apples. It
+   enables acknowledgment coalescing (30 ticks) because that is the
+   block-ack protocol's defining feature — the baselines do not read
+   [ack_coalesce], so their rows are unaffected, while block ack
+   acknowledges runs in blocks the way the paper intends instead of
+   being benchmarked with its headline mechanism switched off.
+   [rto = 300 > 2*max_transit + ack_coalesce = 130] keeps timeout
+   soundness. *)
+let losses_config =
+  Blockack.Config.make ~window:16 ~rto:300 ~wire_modulus:(Some 32) ~ack_coalesce:30
+    ~max_transit:50 ()
 
 let transfer proto ~loss () =
   let r =
@@ -137,52 +151,75 @@ let micro_rng () =
   done;
   Sys.opaque_identity !acc |> ignore
 
+let jitter_transfer () =
+  let r =
+    Ba_proto.Harness.run Blockack.Protocols.multi ~seed:3 ~messages:200 ~config:losses_config
+      ~data_loss:0.01 ~ack_loss:0.01
+      ~data_delay:(Ba_channel.Dist.Uniform (50, 100))
+      ~ack_delay:(Ba_channel.Dist.Uniform (50, 100)) ()
+  in
+  assert r.Ba_proto.Harness.completed
+
+let coalesced_transfer () =
+  let config =
+    Blockack.Config.make ~window:16 ~rto:400 ~wire_modulus:(Some 32) ~ack_coalesce:30
+      ~max_transit:50 ()
+  in
+  let r =
+    Ba_proto.Harness.run Blockack.Protocols.simple ~seed:3 ~messages:200 ~config
+      ~data_delay:(Ba_channel.Dist.Constant 50) ~ack_delay:(Ba_channel.Dist.Constant 50) ()
+  in
+  assert r.Ba_proto.Harness.completed
+
+(* The named workload list feeds both Bechamel (time per run) and the
+   allocation meter below (bytes per run) — one definition, two
+   instruments. *)
+let workloads ~jobs =
+  [
+    ("T1/intro-scenario-replay", scenario);
+    ("T2/explore-w2", explore);
+    ("F1/transfer-blockack-5pc", transfer Blockack.Protocols.multi ~loss:0.05);
+    ("F1/transfer-gbn-5pc", transfer Ba_baselines.Go_back_n.protocol ~loss:0.05);
+    ("F1/transfer-selrep-5pc", transfer Ba_baselines.Selective_repeat.protocol ~loss:0.05);
+    ("F2/transfer-blockack-0pc", transfer Blockack.Protocols.multi ~loss:0.);
+    ("F3/recovery-simple", recovery Blockack.Protocols.simple);
+    ("F3/recovery-multi", recovery Blockack.Protocols.multi);
+    ("F4/transfer-jitter", jitter_transfer);
+    ("T3/transfer-coalesced", coalesced_transfer);
+    ("T4/transfer-stenning", stenning_transfer);
+    ("F5/transfer-reuse-5pc", reuse_transfer);
+    ("S1/fabric-16-flows", fabric_transfer 16);
+    ("P1/pool-campaign-8x20", pool_campaign jobs);
+    ("micro/heap-1k", micro_heap);
+    ("micro/reconstruct-1k", micro_reconstruct);
+    ("micro/rng-int-1k", micro_rng);
+  ]
+
 let tests ~jobs =
   Test.make_grouped ~name:"blockack"
-    [
-      Test.make ~name:"T1/intro-scenario-replay" (Staged.stage scenario);
-      Test.make ~name:"T2/explore-w2" (Staged.stage explore);
-      Test.make ~name:"F1/transfer-blockack-5pc"
-        (Staged.stage (transfer Blockack.Protocols.multi ~loss:0.05));
-      Test.make ~name:"F1/transfer-gbn-5pc"
-        (Staged.stage (transfer Ba_baselines.Go_back_n.protocol ~loss:0.05));
-      Test.make ~name:"F1/transfer-selrep-5pc"
-        (Staged.stage (transfer Ba_baselines.Selective_repeat.protocol ~loss:0.05));
-      Test.make ~name:"F2/transfer-blockack-0pc"
-        (Staged.stage (transfer Blockack.Protocols.multi ~loss:0.));
-      Test.make ~name:"F3/recovery-simple" (Staged.stage (recovery Blockack.Protocols.simple));
-      Test.make ~name:"F3/recovery-multi" (Staged.stage (recovery Blockack.Protocols.multi));
-      Test.make ~name:"F4/transfer-jitter"
-        (Staged.stage (fun () ->
-             let r =
-               Ba_proto.Harness.run Blockack.Protocols.multi ~seed:3 ~messages:200
-                 ~config:losses_config ~data_loss:0.01 ~ack_loss:0.01
-                 ~data_delay:(Ba_channel.Dist.Uniform (50, 100))
-                 ~ack_delay:(Ba_channel.Dist.Uniform (50, 100)) ()
-             in
-             assert r.Ba_proto.Harness.completed));
-      Test.make ~name:"T3/transfer-coalesced"
-        (Staged.stage (fun () ->
-             let config =
-               Blockack.Config.make ~window:16 ~rto:400 ~wire_modulus:(Some 32)
-                 ~ack_coalesce:30 ~max_transit:50 ()
-             in
-             let r =
-               Ba_proto.Harness.run Blockack.Protocols.simple ~seed:3 ~messages:200 ~config
-                 ~data_delay:(Ba_channel.Dist.Constant 50)
-                 ~ack_delay:(Ba_channel.Dist.Constant 50) ()
-             in
-             assert r.Ba_proto.Harness.completed));
-      Test.make ~name:"T4/transfer-stenning" (Staged.stage stenning_transfer);
-      Test.make ~name:"F5/transfer-reuse-5pc" (Staged.stage reuse_transfer);
-      Test.make ~name:"S1/fabric-16-flows" (Staged.stage (fabric_transfer 16));
-      Test.make ~name:"P1/pool-campaign-8x20" (Staged.stage (pool_campaign jobs));
-      Test.make ~name:"micro/heap-1k" (Staged.stage micro_heap);
-      Test.make ~name:"micro/reconstruct-1k" (Staged.stage micro_reconstruct);
-      Test.make ~name:"micro/rng-int-1k" (Staged.stage micro_rng);
-    ]
+    (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) (workloads ~jobs))
 
-(* Returns [(name, ns_per_run)] so the JSON artefact can record it. *)
+(* Minor-heap bytes one run of [f] allocates, after a warm-up run that
+   fills the frame pool, forces lazy initialisers and resizes arenas.
+   Unlike wall-clock this is deterministic: the same code path allocates
+   the same bytes every time, so it can be pinned by [--check]. *)
+let alloc_per_run f =
+  f ();
+  let runs = 4 in
+  (* [Gc.allocated_bytes] reads counters sampled at the last minor
+     collection (OCaml 5), so flush the minor heap before each reading —
+     unflushed deltas are quantized garbage. *)
+  Gc.minor ();
+  let a0 = Gc.allocated_bytes () in
+  for _ = 1 to runs do
+    f ()
+  done;
+  Gc.minor ();
+  let a1 = Gc.allocated_bytes () in
+  (a1 -. a0) /. float_of_int runs
+
+(* Returns [(name, ns_per_run, alloc_b_per_run)] so the JSON artefact
+   can record both instruments. *)
 let run_benchmarks ~jobs =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
@@ -191,7 +228,7 @@ let run_benchmarks ~jobs =
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances |> Analyze.merge ols instances
   in
-  print_endline "\n=== Bechamel micro-benchmarks (time per run) ===";
+  print_endline "\n=== Bechamel micro-benchmarks (time and heap bytes per run) ===";
   let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
   let rows = ref [] in
   Hashtbl.iter
@@ -200,15 +237,116 @@ let run_benchmarks ~jobs =
       | Some [ t ] -> rows := (name, t) :: !rows
       | Some _ | None -> ())
     clock;
+  let allocs = List.map (fun (name, f) -> (name, alloc_per_run f)) (workloads ~jobs) in
+  let alloc_of name =
+    (* Bechamel prefixes the group name; join on the workload suffix. *)
+    match
+      List.find_opt (fun (n, _) -> String.equal name n || String.ends_with ~suffix:("/" ^ n) name)
+        allocs
+    with
+    | Some (_, b) -> b
+    | None -> nan
+  in
   let rows = List.sort compare !rows in
-  Ba_util.Table.print ~headers:[ "benchmark"; "time/run" ]
-    (List.map (fun (name, t) -> [ name; Printf.sprintf "%.1f us" (t /. 1_000.) ]) rows);
+  let rows = List.map (fun (name, t) -> (name, t, alloc_of name)) rows in
+  Ba_util.Table.print ~headers:[ "benchmark"; "time/run"; "alloc/run" ]
+    (List.map
+       (fun (name, t, b) ->
+         [ name; Printf.sprintf "%.1f us" (t /. 1_000.); Printf.sprintf "%.0f B" b ])
+       rows);
   rows
 
 let wall f =
   let t0 = Unix.gettimeofday () in
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
+
+(* ---- `--check`: the data-path performance gate ----------------------
+   Exits non-zero if either regresses:
+   1. block ack must not be slower than the slowest baseline transfer
+      (go-back-N and selective repeat on F1's lossy channel, seq-reuse
+      on F5's) — best-of-N wall clock, so scheduler noise only ever
+      produces false passes, not false failures, on a loaded machine;
+   2. the steady-state allocation slope — marginal heap bytes per
+      additional frame, the fixed setup cost cancelled by differencing
+      two run lengths — must stay under [alloc_slope_budget]. The slope
+      is deterministic (same code path, same bytes), so this half of the
+      gate is safe to pin in a cram test. The remaining slope is the
+      workload generator and the latency sampler, not the frame path. *)
+
+let alloc_slope_budget = 512.
+
+(* Warm every workload, then interleave the timed rounds round-robin.
+   Measuring one workload's N runs back-to-back before the next one even
+   starts biases the comparison: process and machine state (branch
+   predictors, frequency scaling, background load) drift monotonically
+   warmer, so whichever workload is measured first is systematically
+   penalised. Interleaving exposes every workload to the same drift, so
+   only the per-round noise remains — and best-of filters that out. *)
+let interleaved_best rounds fs =
+  Array.iter (fun f -> f (); f ()) fs;
+  let best = Array.map (fun _ -> infinity) fs in
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun i f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        let dt = Unix.gettimeofday () -. t0 in
+        if dt < best.(i) then best.(i) <- dt)
+      fs
+  done;
+  best
+
+let check () =
+  let best =
+    interleaved_best 9
+      [|
+        transfer Blockack.Protocols.multi ~loss:0.05;
+        transfer Ba_baselines.Go_back_n.protocol ~loss:0.05;
+        transfer Ba_baselines.Selective_repeat.protocol ~loss:0.05;
+        reuse_transfer;
+      |]
+  in
+  let blockack = best.(0) in
+  let baselines =
+    [
+      ("F1/transfer-gbn-5pc", best.(1));
+      ("F1/transfer-selrep-5pc", best.(2));
+      ("F5/transfer-reuse-5pc", best.(3));
+    ]
+  in
+  let slowest_name, slowest =
+    List.fold_left
+      (fun (bn, bt) (n, t) -> if t > bt then (n, t) else (bn, bt))
+      ("", neg_infinity) baselines
+  in
+  let time_ok = blockack <= slowest in
+  Printf.printf "check: blockack-5pc %.0f us %s slowest baseline (%s %.0f us)\n"
+    (blockack *. 1e6)
+    (if time_ok then "<=" else "EXCEEDS")
+    slowest_name (slowest *. 1e6);
+  let xfer messages () =
+    let r =
+      Ba_proto.Harness.run Blockack.Protocols.multi ~seed:3 ~messages ~config:losses_config
+        ~data_delay:(Ba_channel.Dist.Constant 50) ~ack_delay:(Ba_channel.Dist.Constant 50) ()
+    in
+    assert r.Ba_proto.Harness.completed
+  in
+  let a1 = alloc_per_run (xfer 200) in
+  let a2 = alloc_per_run (xfer 400) in
+  let slope = (a2 -. a1) /. 200. in
+  let alloc_ok = slope <= alloc_slope_budget in
+  Printf.printf "check: alloc slope %.0f B/frame %s budget (%.0f B/frame)\n" slope
+    (if alloc_ok then "within" else "EXCEEDS")
+    alloc_slope_budget;
+  if time_ok && alloc_ok then begin
+    print_endline "check: OK";
+    exit 0
+  end
+  else begin
+    print_endline "check: FAIL";
+    exit 1
+  end
 
 (* The soak acceptance workload: a churning fabric under composed storms,
    every round's latencies folded into one constant-space quantile sketch.
@@ -356,7 +494,13 @@ let write_json file ~quick ~jobs ~grid_times ~selftime ~soak ~bench_rows =
         ( "microbench",
           List
             (List.map
-               (fun (name, ns) -> Obj [ ("name", String name); ("ns_per_run", Float ns) ])
+               (fun (name, ns, alloc_b) ->
+                 Obj
+                   [
+                     ("name", String name);
+                     ("ns_per_run", Float ns);
+                     ("alloc_b_per_run", Float alloc_b);
+                   ])
                bench_rows) );
       ]
   in
@@ -366,11 +510,13 @@ let write_json file ~quick ~jobs ~grid_times ~selftime ~soak ~bench_rows =
 
 let usage () =
   prerr_endline
-    "usage: main.exe [--quick] [--no-bench] [--no-tables] [--jobs N] [--selftime] [--json FILE]";
+    "usage: main.exe [--quick] [--no-bench] [--no-tables] [--jobs N] [--selftime] [--json FILE] \
+     [--check]";
   exit 2
 
 let () =
   let args = Array.to_list Sys.argv in
+  if List.mem "--check" args then check ();
   let quick = List.mem "--quick" args in
   let no_bench = List.mem "--no-bench" args in
   let no_tables = List.mem "--no-tables" args in

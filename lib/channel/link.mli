@@ -45,6 +45,7 @@ val create :
   ?delay:Dist.t ->
   ?bottleneck:int * int ->
   ?corrupt:('a -> 'a) ->
+  ?release:('a -> unit) ->
   deliver:('a -> unit) ->
   unit ->
   'a t
@@ -62,7 +63,18 @@ val create :
     [corrupt] mangles a message when a [Corrupt] verdict fires (it
     should damage the payload so a checksum can catch it). Without it,
     [Corrupt] still counts in [stats] but delivers the message
-    unharmed. *)
+    unharmed.
+
+    [release] transfers message ownership to the link: every message
+    handed to [send] is passed to [release] exactly once when it leaves
+    the system — after its [deliver] call returns, or immediately when
+    it is dropped (loss, fault verdict, bottleneck tail-drop, outage).
+    Messages duplicated by a [Duplicate] verdict are the exception:
+    their copies alias one value, so the link never releases them and
+    the GC reclaims the value after the last copy arrives. This is the
+    hook frame pools use to recycle wire records; [deliver] must not
+    retain the message past its return (retaining the payload string it
+    carries is fine — release recycles only the frame itself). *)
 
 val queue_length : 'a t -> int
 (** Messages waiting at the bottleneck (0 when none configured). *)

@@ -1,9 +1,18 @@
+(* The out-of-order reassembly buffer is a flat pair of window-sized
+   arrays indexed by [seq mod window]: [buf_seq.(i)] holds the sequence
+   number occupying slot [i] (-1 when empty) and [buf_payload.(i)] its
+   payload. Sequence numbers live in [nr, nr + window), which are
+   distinct mod window, so a slot is unambiguous — this replaces the
+   old [Ring_buffer] whose every [set] allocated a [Full] box. *)
+
 type t = {
   config : Config.t;
   codec : Seqcodec.t;
   tx : Ba_proto.Wire.ack -> unit;
   deliver : string -> unit;
-  buffer : string Ba_util.Ring_buffer.t;  (* payloads of [nr, nr + w) received out of order *)
+  buf_payload : string array;
+  buf_seq : int array;
+  mutable buf_occ : int;
   ack_timer : Ba_sim.Timer.t;
   sync_timer : Ba_sim.Timer.t;  (* POS retry while awaiting the sender's FIN *)
   mutable nr : int;
@@ -20,6 +29,27 @@ type t = {
   mutable resync_rounds : int;  (* handshake frames sent (POS) *)
   mutable restarts : int;
 }
+
+let buf_mem t v = t.buf_seq.(v mod t.config.Config.window) = v
+
+let buf_set t v payload =
+  let i = v mod t.config.Config.window in
+  if t.buf_seq.(i) < 0 then t.buf_occ <- t.buf_occ + 1;
+  t.buf_seq.(i) <- v;
+  t.buf_payload.(i) <- payload
+
+let buf_remove t v =
+  let i = v mod t.config.Config.window in
+  if t.buf_seq.(i) = v then begin
+    t.buf_seq.(i) <- -1;
+    t.buf_payload.(i) <- "";
+    t.buf_occ <- t.buf_occ - 1
+  end
+
+let buf_clear t =
+  Array.fill t.buf_seq 0 (Array.length t.buf_seq) (-1);
+  Array.fill t.buf_payload 0 (Array.length t.buf_payload) "";
+  t.buf_occ <- 0
 
 let send_ack t ~lo ~hi =
   t.acks_sent <- t.acks_sent + 1;
@@ -44,11 +74,13 @@ let flush t =
   if t.nr < t.vr then begin
     send_ack t ~lo:t.nr ~hi:(t.vr - 1);
     while t.nr < t.vr do
-      (match Ba_util.Ring_buffer.get t.buffer t.nr with
-      | Some payload ->
-          Ba_util.Ring_buffer.remove t.buffer t.nr;
-          t.deliver payload
-      | None -> invalid_arg "Receiver.flush: hole in accepted run");
+      let i = t.nr mod t.config.Config.window in
+      if t.buf_seq.(i) <> t.nr then invalid_arg "Receiver.flush: hole in accepted run";
+      let payload = t.buf_payload.(i) in
+      t.buf_seq.(i) <- -1;
+      t.buf_payload.(i) <- "";
+      t.buf_occ <- t.buf_occ - 1;
+      t.deliver payload;
       t.nr <- t.nr + 1
     done
   end
@@ -63,7 +95,9 @@ let create engine config ~tx ~deliver =
         codec;
         tx;
         deliver;
-        buffer = Ba_util.Ring_buffer.create config.Config.window;
+        buf_payload = Array.make config.Config.window "";
+        buf_seq = Array.make config.Config.window (-1);
+        buf_occ = 0;
         ack_timer =
           Ba_sim.Timer.create engine ~duration:config.Config.ack_coalesce (fun () ->
               flush (Lazy.force t));
@@ -95,7 +129,7 @@ let create engine config ~tx ~deliver =
 let adopt_epoch t e =
   t.epoch <- e;
   t.vr <- t.nr;
-  Ba_util.Ring_buffer.clear t.buffer;
+  buf_clear t;
   Ba_sim.Timer.stop t.ack_timer
 
 let stop_syncing t =
@@ -116,23 +150,22 @@ let admit t v payload =
   let over_budget =
     match t.config.Config.rx_budget with
     | None -> false
-    | Some b ->
-        v > t.vr
-        && Ba_util.Ring_buffer.occupancy t.buffer - (t.vr - t.nr) >= b
+    | Some b -> v > t.vr && t.buf_occ - (t.vr - t.nr) >= b
   in
-  if not over_budget then Ba_util.Ring_buffer.set t.buffer v payload
+  if not over_budget then buf_set t v payload
   else
     match t.config.Config.drop_policy with
     | Config.Drop_new -> t.pressure_dropped <- t.pressure_dropped + 1
     | Config.Drop_furthest ->
         let furthest = ref (-1) in
-        Ba_util.Ring_buffer.iter
-          (fun i _ -> if i > t.vr && i > !furthest then furthest := i)
-          t.buffer;
+        for i = 0 to Array.length t.buf_seq - 1 do
+          let s = t.buf_seq.(i) in
+          if s > t.vr && s > !furthest then furthest := s
+        done;
         if !furthest > v then begin
-          Ba_util.Ring_buffer.remove t.buffer !furthest;
+          buf_remove t !furthest;
           t.pressure_evicted <- t.pressure_evicted + 1;
-          Ba_util.Ring_buffer.set t.buffer v payload
+          buf_set t v payload
         end
         else t.pressure_dropped <- t.pressure_dropped + 1
 
@@ -160,16 +193,34 @@ let on_data t d =
           (* Current-epoch data implies the sender knows our position:
              an implicit FIN. *)
           stop_syncing t;
-          let { Ba_proto.Wire.seq; payload; _ } = d in
+          let seq = d.Ba_proto.Wire.seq in
+          let payload = d.Ba_proto.Wire.payload in
           let v = Seqcodec.decode_data t.codec ~nr:t.nr seq in
           if v < t.nr then begin
             (* Already accepted: its acknowledgment must have been lost; re-ack. *)
             t.dup_acks_sent <- t.dup_acks_sent + 1;
             send_ack t ~lo:v ~hi:v
           end
+          else if
+            (* In-order fast path: the frame lands exactly on the closed
+               run's frontier with nothing coalescing and nothing
+               buffered beyond it. Ack it, deliver it, advance — the
+               slow path below would write the payload into the buffer
+               only to pull it straight back out, and would stop the
+               (never-armed) ack timer. Equivalent, observably identical
+               ack/delivery sequence. *)
+            v = t.vr && v = t.nr
+            && t.config.Config.ack_coalesce = 0
+            && t.buf_seq.((v + 1) mod t.config.Config.window) <> v + 1
+          then begin
+            send_ack t ~lo:v ~hi:v;
+            t.deliver payload;
+            t.nr <- v + 1;
+            t.vr <- t.nr
+          end
           else if v < t.nr + t.config.Config.window then begin
-            if not (Ba_util.Ring_buffer.mem t.buffer v) then admit t v payload;
-            while Ba_util.Ring_buffer.mem t.buffer t.vr do
+            if not (buf_mem t v) then admit t v payload;
+            while buf_mem t t.vr do
               t.vr <- t.vr + 1
             done;
             if t.nr < t.vr then begin
@@ -192,7 +243,7 @@ let crash t =
     t.syncing <- false;
     Ba_sim.Timer.stop t.ack_timer;
     Ba_sim.Timer.stop t.sync_timer;
-    Ba_util.Ring_buffer.clear t.buffer;
+    buf_clear t;
     t.vr <- t.nr
   end
 
@@ -216,11 +267,13 @@ let restart t =
 
 let nr t = t.nr
 let vr t = t.vr
-let buffered t = Ba_util.Ring_buffer.occupancy t.buffer
+let buffered t = t.buf_occ
 
 let buffered_bytes t =
   let n = ref 0 in
-  Ba_util.Ring_buffer.iter (fun _ p -> n := !n + String.length p) t.buffer;
+  for i = 0 to Array.length t.buf_seq - 1 do
+    if t.buf_seq.(i) >= 0 then n := !n + String.length t.buf_payload.(i)
+  done;
   !n
 
 let pressure_dropped t = t.pressure_dropped

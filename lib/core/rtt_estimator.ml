@@ -1,9 +1,11 @@
+(* srtt and rttvar live in an unboxed float array ([| srtt; rttvar |]):
+   mutable float fields of this mixed record would box on every store,
+   making each RTT observation — one per acknowledgment — allocate. *)
 type t = {
   floor : int;
   ceiling : int;
   initial_rto : int;
-  mutable srtt : float;
-  mutable rttvar : float;
+  est : float array;
   mutable current : int;
   mutable samples : int;
 }
@@ -13,9 +15,7 @@ let clamp t v = max t.floor (min t.ceiling v)
 let create ?(floor = 1) ?(ceiling = max_int) ~initial_rto () =
   if floor <= 0 then invalid_arg "Rtt_estimator.create: floor must be positive";
   if ceiling < floor then invalid_arg "Rtt_estimator.create: ceiling < floor";
-  let t =
-    { floor; ceiling; initial_rto; srtt = 0.; rttvar = 0.; current = 0; samples = 0 }
-  in
+  let t = { floor; ceiling; initial_rto; est = [| 0.; 0. |]; current = 0; samples = 0 } in
   t.current <- clamp t initial_rto;
   t
 
@@ -27,19 +27,19 @@ let observe t sample =
   let sample = float_of_int sample in
   if t.samples = 0 then begin
     (* RFC 6298 initialisation. *)
-    t.srtt <- sample;
-    t.rttvar <- sample /. 2.
+    t.est.(0) <- sample;
+    t.est.(1) <- sample /. 2.
   end
   else begin
-    t.rttvar <- ((1. -. beta) *. t.rttvar) +. (beta *. abs_float (t.srtt -. sample));
-    t.srtt <- ((1. -. alpha) *. t.srtt) +. (alpha *. sample)
+    t.est.(1) <- ((1. -. beta) *. t.est.(1)) +. (beta *. abs_float (t.est.(0) -. sample));
+    t.est.(0) <- ((1. -. alpha) *. t.est.(0)) +. (alpha *. sample)
   end;
   t.samples <- t.samples + 1;
-  t.current <- clamp t (int_of_float (Float.ceil (t.srtt +. (4. *. t.rttvar))))
+  t.current <- clamp t (int_of_float (Float.ceil (t.est.(0) +. (4. *. t.est.(1)))))
 
 let rto t = t.current
-let srtt t = t.srtt
-let rttvar t = t.rttvar
+let srtt t = t.est.(0)
+let rttvar t = t.est.(1)
 let samples t = t.samples
 
 (* Saturate instead of doubling once past ceiling/2: with the default
@@ -55,7 +55,7 @@ let backoff t =
 (* Crash–restart support: the estimator lives in volatile memory, so a
    restarted sender comes back exactly as freshly created. *)
 let reset t =
-  t.srtt <- 0.;
-  t.rttvar <- 0.;
+  t.est.(0) <- 0.;
+  t.est.(1) <- 0.;
   t.samples <- 0;
   t.current <- clamp t t.initial_rto

@@ -1,10 +1,14 @@
+(* Window bookkeeping lives in flat window-sized arrays indexed by
+   [seq mod window] (valid exactly for [na, ns), distinct mod window),
+   replacing the old [Ring_buffer]s whose every [set] allocated a box. *)
+
 type t = {
   config : Config.t;
   codec : Seqcodec.t;
   tx : Ba_proto.Wire.data -> unit;
   source : Ba_proto.Source.t;
-  buffer : string Ba_util.Ring_buffer.t;  (* payloads of [na, ns) *)
-  acked : unit Ba_util.Ring_buffer.t;  (* out-of-order acked members of [na, ns) *)
+  payloads : string array;  (* payloads of [na, ns), at [seq mod window] *)
+  acked_seq : int array;  (* out-of-order acked members of [na, ns); -1 = not acked *)
   timer : Ba_sim.Timer.t;
   sync_timer : Ba_sim.Timer.t;  (* REQ retry while awaiting the receiver's POS *)
   guard : Window_guard.t;
@@ -22,14 +26,18 @@ type t = {
          crash–restart because the pressure is outside this endpoint *)
 }
 
+let slot_of t seq = seq mod t.config.Config.window
+
+let is_acked t seq = t.acked_seq.(slot_of t seq) = seq
+
 (* Transmitting any data message restarts the single timer: the paper's
    simple timeout measures silence since the last data send. *)
 let transmit t seq =
-  match Ba_util.Ring_buffer.get t.buffer seq with
-  | None -> invalid_arg "Sender.transmit: no buffered payload"
-  | Some payload ->
-      t.tx (Ba_proto.Wire.make_data_e ~epoch:t.epoch ~seq:(Seqcodec.encode t.codec seq) ~payload);
-      Ba_sim.Timer.start t.timer
+  if seq < t.na || seq >= t.ns then invalid_arg "Sender.transmit: no buffered payload";
+  t.tx
+    (Ba_proto.Wire.make_data_e ~epoch:t.epoch ~seq:(Seqcodec.encode t.codec seq)
+       ~payload:t.payloads.(slot_of t seq));
+  Ba_sim.Timer.start t.timer
 
 let outstanding t = t.ns - t.na
 
@@ -48,9 +56,12 @@ let rec pump t =
       match Ba_proto.Source.next t.source with
       | None -> ()
       | Some payload ->
-          Ba_util.Ring_buffer.set t.buffer t.ns payload;
+          let seq = t.ns in
+          let i = slot_of t seq in
+          t.payloads.(i) <- payload;
+          t.acked_seq.(i) <- -1;
           t.ns <- t.ns + 1;
-          transmit t (t.ns - 1);
+          transmit t seq;
           pump t
     end
   end
@@ -89,8 +100,8 @@ let create engine config ~tx ~next_payload =
         codec;
         tx;
         source;
-        buffer = Ba_util.Ring_buffer.create config.Config.window;
-        acked = Ba_util.Ring_buffer.create config.Config.window;
+        payloads = Array.make config.Config.window "";
+        acked_seq = Array.make config.Config.window (-1);
         timer = Ba_sim.Timer.create engine ~duration:config.Config.rto (fun () -> on_timeout (Lazy.force t));
         sync_timer =
           Ba_sim.Timer.create engine ~duration:config.Config.rto (fun () ->
@@ -116,8 +127,8 @@ let create engine config ~tx ~next_payload =
 let wipe_volatile t =
   Ba_sim.Timer.stop t.timer;
   Ba_sim.Timer.stop t.sync_timer;
-  Ba_util.Ring_buffer.clear t.buffer;
-  Ba_util.Ring_buffer.clear t.acked;
+  Array.fill t.payloads 0 (Array.length t.payloads) "";
+  Array.fill t.acked_seq 0 (Array.length t.acked_seq) (-1);
   Window_guard.clear t.guard;
   t.na <- 0;
   t.ns <- 0
@@ -186,16 +197,18 @@ let on_ack t a =
           else send_fin t
       | Ba_proto.Wire.Ack ->
           if not t.syncing then begin
-            let { Ba_proto.Wire.lo; hi; _ } = a in
+            let lo = a.Ba_proto.Wire.lo in
+            let hi = a.Ba_proto.Wire.hi in
             let count = Seqcodec.span t.codec ~lo ~hi in
             for k = 0 to count - 1 do
               let wire = Seqcodec.shift t.codec lo k in
               let seq = Seqcodec.decode_ack t.codec ~na:t.na wire in
-              if seq >= t.na && seq < t.ns then Ba_util.Ring_buffer.set t.acked seq ()
+              if seq >= t.na && seq < t.ns then t.acked_seq.(slot_of t seq) <- seq
             done;
-            while Ba_util.Ring_buffer.mem t.acked t.na do
-              Ba_util.Ring_buffer.remove t.acked t.na;
-              Ba_util.Ring_buffer.remove t.buffer t.na;
+            while is_acked t t.na do
+              let i = slot_of t t.na in
+              t.acked_seq.(i) <- -1;
+              t.payloads.(i) <- "";
               t.na <- t.na + 1
             done;
             if outstanding t = 0 then Ba_sim.Timer.stop t.timer;
@@ -217,7 +230,9 @@ let window_clamp t = t.wclamp
 
 let buffered_bytes t =
   let n = ref 0 in
-  Ba_util.Ring_buffer.iter (fun _ p -> n := !n + String.length p) t.buffer;
+  for seq = t.na to t.ns - 1 do
+    n := !n + String.length t.payloads.(slot_of t seq)
+  done;
   !n
 
 let alive t = t.alive

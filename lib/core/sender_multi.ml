@@ -1,14 +1,24 @@
+(* Retransmit bookkeeping lives in flat window-sized arrays indexed by
+   [seq mod window] — valid exactly for the outstanding range [na, ns),
+   whose members are distinct mod window. This replaces the old
+   per-field [Ring_buffer]s (every [set] allocated a box) and, more
+   importantly, the per-sequence {!Ba_sim.Timer} churn: each window
+   slot owns one persistent {!Ba_sim.Engine.slot} whose callback reads
+   the sequence number it is currently armed for from [tslot_seq], so
+   arming a retransmission timer allocates nothing. *)
+
 type t = {
   config : Config.t;
   codec : Seqcodec.t;
   engine : Ba_sim.Engine.t;
   tx : Ba_proto.Wire.data -> unit;
   source : Ba_proto.Source.t;
-  buffer : string Ba_util.Ring_buffer.t;
-  acked : unit Ba_util.Ring_buffer.t;
-  timers : Ba_sim.Timer.t Ba_util.Ring_buffer.t;  (* one armed timer per outstanding message *)
-  sent_at : int Ba_util.Ring_buffer.t;  (* first-transmission time, for RTT sampling *)
-  resent : int Ba_util.Ring_buffer.t;  (* per-message retransmission count (Karn's rule + backoff) *)
+  payloads : string array;  (* payloads of [na, ns), at [seq mod window] *)
+  acked_seq : int array;  (* seq when that seq is acked out of order, -1 otherwise *)
+  tslots : Ba_sim.Engine.slot array;  (* one persistent timer slot per window slot *)
+  tslot_seq : int array;  (* seq each slot is armed for, -1 when disarmed *)
+  sent_at : int array;  (* first-transmission time, for RTT sampling *)
+  resent : int array;  (* per-message retransmission count (Karn's rule + backoff) *)
   estimator : Rtt_estimator.t option;
   guard : Window_guard.t;
   sync_timer : Ba_sim.Timer.t;  (* REQ retry while awaiting the receiver's POS *)
@@ -32,6 +42,10 @@ type t = {
 }
 
 let outstanding t = t.ns - t.na
+
+let slot_of t seq = seq mod t.config.Config.window
+
+let is_acked t seq = t.acked_seq.(slot_of t seq) = seq
 
 (* The effective window is the configured one narrowed by every active
    pressure signal: the static retransmit-buffer budget, any fabric
@@ -72,8 +86,7 @@ let rto_for t seq =
   match t.estimator with
   | None -> t.config.Config.rto
   | Some _ ->
-      let retx = Option.value ~default:0 (Ba_util.Ring_buffer.get t.resent seq) in
-      let factor = 1 lsl min retx 6 in
+      let factor = 1 lsl min t.resent.(slot_of t seq) 6 in
       min (base_rto t * factor) (60 * t.config.Config.rto)
 
 (* Handshake message 1 (REQ): a restarted sender has no idea how much of
@@ -92,9 +105,7 @@ let send_fin t =
    or of a covering acknowledgment survives in either channel; resend it
    and re-arm its own timer only. *)
 let rec on_timeout t seq =
-  if t.alive && (not t.syncing) && seq >= t.na && seq < t.ns
-     && not (Ba_util.Ring_buffer.mem t.acked seq)
-  then begin
+  if t.alive && (not t.syncing) && seq >= t.na && seq < t.ns && not (is_acked t seq) then begin
     t.retransmissions <- t.retransmissions + 1;
     on_loss_signal t;
     (* Karn's algorithm, second half: the rule above (sample_rtt) only
@@ -106,8 +117,7 @@ let rec on_timeout t seq =
        compound into a 2^w backoff. The next genuine sample rebuilds the
        rto from srtt/rttvar as usual. *)
     if seq = t.na then Option.iter Rtt_estimator.backoff t.estimator;
-    let retx = Option.value ~default:0 (Ba_util.Ring_buffer.get t.resent seq) in
-    Ba_util.Ring_buffer.set t.resent seq (retx + 1);
+    t.resent.(slot_of t seq) <- t.resent.(slot_of t seq) + 1;
     (* With unbounded wire numbers decode is exact and no hold is needed. *)
     if t.config.Config.wire_modulus <> None then
       Window_guard.note_retransmission t.guard ~seq ~window:t.config.Config.window
@@ -116,22 +126,13 @@ let rec on_timeout t seq =
   end
 
 and transmit t seq =
-  match Ba_util.Ring_buffer.get t.buffer seq with
-  | None -> invalid_arg "Sender_multi.transmit: no buffered payload"
-  | Some payload ->
-      t.tx (Ba_proto.Wire.make_data_e ~epoch:t.epoch ~seq:(Seqcodec.encode t.codec seq) ~payload);
-      let timer =
-        match Ba_util.Ring_buffer.get t.timers seq with
-        | Some timer -> timer
-        | None ->
-            let timer =
-              Ba_sim.Timer.create t.engine ~duration:t.config.Config.rto (fun () ->
-                  on_timeout t seq)
-            in
-            Ba_util.Ring_buffer.set t.timers seq timer;
-            timer
-      in
-      Ba_sim.Timer.start_for timer (rto_for t seq)
+  if seq < t.na || seq >= t.ns then invalid_arg "Sender_multi.transmit: no buffered payload";
+  let i = slot_of t seq in
+  t.tx
+    (Ba_proto.Wire.make_data_e ~epoch:t.epoch ~seq:(Seqcodec.encode t.codec seq)
+       ~payload:t.payloads.(i));
+  t.tslot_seq.(i) <- seq;
+  Ba_sim.Engine.slot_arm t.tslots.(i) ~delay:(rto_for t seq)
 
 let rec pump t =
   if t.alive && (not t.syncing) && outstanding t < effective_window t then begin
@@ -143,10 +144,14 @@ let rec pump t =
       match Ba_proto.Source.next t.source with
       | None -> ()
       | Some payload ->
-          Ba_util.Ring_buffer.set t.buffer t.ns payload;
+          let seq = t.ns in
+          let i = slot_of t seq in
+          t.payloads.(i) <- payload;
+          t.acked_seq.(i) <- -1;
+          t.resent.(i) <- 0;
           t.ns <- t.ns + 1;
-          Ba_util.Ring_buffer.set t.sent_at (t.ns - 1) (Ba_sim.Engine.now t.engine);
-          transmit t (t.ns - 1);
+          t.sent_at.(i) <- Ba_sim.Engine.now t.engine;
+          transmit t seq;
           pump t
     end
   end
@@ -172,6 +177,7 @@ let create engine config ~tx ~next_payload =
     end
     else None
   in
+  let w = config.Config.window in
   let rec t =
     lazy
       {
@@ -180,11 +186,16 @@ let create engine config ~tx ~next_payload =
         engine;
         tx;
         source;
-        buffer = Ba_util.Ring_buffer.create config.Config.window;
-        acked = Ba_util.Ring_buffer.create config.Config.window;
-        timers = Ba_util.Ring_buffer.create config.Config.window;
-        sent_at = Ba_util.Ring_buffer.create config.Config.window;
-        resent = Ba_util.Ring_buffer.create config.Config.window;
+        payloads = Array.make w "";
+        acked_seq = Array.make w (-1);
+        tslots =
+          Array.init w (fun i ->
+              Ba_sim.Engine.slot_create engine (fun () ->
+                  let t = Lazy.force t in
+                  on_timeout t t.tslot_seq.(i)));
+        tslot_seq = Array.make w (-1);
+        sent_at = Array.make w 0;
+        resent = Array.make w 0;
         estimator;
         guard = Window_guard.create engine;
         sync_timer =
@@ -209,17 +220,11 @@ let create engine config ~tx ~next_payload =
   Lazy.force t
 
 let stop_timer t seq =
-  match Ba_util.Ring_buffer.get t.timers seq with
-  | Some timer ->
-      Ba_sim.Timer.stop timer;
-      Ba_util.Ring_buffer.remove t.timers seq
-  | None -> ()
-
-let forget t seq =
-  Ba_util.Ring_buffer.remove t.buffer seq;
-  Ba_util.Ring_buffer.remove t.sent_at seq;
-  Ba_util.Ring_buffer.remove t.resent seq;
-  stop_timer t seq
+  let i = slot_of t seq in
+  if t.tslot_seq.(i) = seq then begin
+    Ba_sim.Engine.slot_cancel t.tslots.(i);
+    t.tslot_seq.(i) <- -1
+  end
 
 let sample_rtt t seq =
   match t.estimator with
@@ -227,25 +232,25 @@ let sample_rtt t seq =
   | Some e ->
       (* Karn's rule: only first-transmission acknowledgments are
          unambiguous round-trip samples. *)
-      if Ba_util.Ring_buffer.get t.resent seq = None then begin
-        match Ba_util.Ring_buffer.get t.sent_at seq with
-        | Some sent -> Rtt_estimator.observe e (Ba_sim.Engine.now t.engine - sent)
-        | None -> ()
-      end
+      let i = slot_of t seq in
+      if t.resent.(i) = 0 then
+        Rtt_estimator.observe e (Ba_sim.Engine.now t.engine - t.sent_at.(i))
 
-(* Wipe all volatile state: payload/ack/timer rings, the congestion and
+(* Wipe all volatile state: payload/ack/timer arrays, the congestion and
    rtt estimators, the retransmission-frontier holds. [na]/[ns] are
    zeroed too (they are meaningless without the buffers); the truth about
    position lives at the receiver and comes back via POS. Stable storage
    keeps only the epoch and, implicitly, the application outbox
    ({!Ba_proto.Source} retains issued payloads for replay). *)
 let wipe_volatile t =
-  Ba_util.Ring_buffer.iter (fun _ timer -> Ba_sim.Timer.stop timer) t.timers;
-  Ba_util.Ring_buffer.clear t.timers;
-  Ba_util.Ring_buffer.clear t.buffer;
-  Ba_util.Ring_buffer.clear t.acked;
-  Ba_util.Ring_buffer.clear t.sent_at;
-  Ba_util.Ring_buffer.clear t.resent;
+  for i = 0 to t.config.Config.window - 1 do
+    Ba_sim.Engine.slot_cancel t.tslots.(i);
+    t.tslot_seq.(i) <- -1;
+    t.acked_seq.(i) <- -1;
+    t.payloads.(i) <- "";
+    t.resent.(i) <- 0;
+    t.sent_at.(i) <- 0
+  done;
   Window_guard.clear t.guard;
   Option.iter Rtt_estimator.reset t.estimator;
   Ba_sim.Timer.stop t.sync_timer;
@@ -329,21 +334,24 @@ let on_ack t a =
             send_fin t
       | Ba_proto.Wire.Ack ->
           if not t.syncing then begin
-            let { Ba_proto.Wire.lo; hi; _ } = a in
+            let lo = a.Ba_proto.Wire.lo in
+            let hi = a.Ba_proto.Wire.hi in
             let count = Seqcodec.span t.codec ~lo ~hi in
             for k = 0 to count - 1 do
               let wire = Seqcodec.shift t.codec lo k in
               let seq = Seqcodec.decode_ack t.codec ~na:t.na wire in
-              if seq >= t.na && seq < t.ns && not (Ba_util.Ring_buffer.mem t.acked seq) then begin
+              if seq >= t.na && seq < t.ns && not (is_acked t seq) then begin
                 sample_rtt t seq;
-                Ba_util.Ring_buffer.set t.acked seq ();
+                t.acked_seq.(slot_of t seq) <- seq;
                 stop_timer t seq
               end
             done;
             let na_before = t.na in
-            while Ba_util.Ring_buffer.mem t.acked t.na do
-              Ba_util.Ring_buffer.remove t.acked t.na;
-              forget t t.na;
+            while is_acked t t.na do
+              let i = slot_of t t.na in
+              t.acked_seq.(i) <- -1;
+              t.payloads.(i) <- "";
+              stop_timer t t.na;
               t.na <- t.na + 1
             done;
             on_progress t (t.na - na_before);
@@ -375,7 +383,9 @@ let window_clamp t = t.wclamp
 
 let buffered_bytes t =
   let n = ref 0 in
-  Ba_util.Ring_buffer.iter (fun _ p -> n := !n + String.length p) t.buffer;
+  for seq = t.na to t.ns - 1 do
+    n := !n + String.length t.payloads.(slot_of t seq)
+  done;
   !n
 
 let alive t = t.alive

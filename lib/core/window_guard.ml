@@ -1,40 +1,81 @@
-type hold = { cap : int; expiry : int }
+(* Holds live in a pair of flat int arrays compacted in place: the old
+   [hold list] re-allocated itself on every [prune] (one [List.filter]
+   per pump call), which put the guard on the steady-loss allocation
+   profile. A hold is a (cap, expiry) pair; [len] counts live entries.
+   Expiries are in practice appended in nondecreasing order (the clock
+   is monotonic and [hold_for] constant per sender), but nothing here
+   assumes it — [prune] keeps every unexpired entry regardless of
+   position, exactly like the [List.filter] it replaces. *)
 
 type t = {
   engine : Ba_sim.Engine.t;
-  mutable holds : hold list;
+  mutable caps : int array;
+  mutable expiries : int array;
+  mutable len : int;
   mutable retry_armed : bool;
 }
 
-let create engine = { engine; holds = []; retry_armed = false }
+let initial_cap = 8
+
+let create engine =
+  {
+    engine;
+    caps = Array.make initial_cap 0;
+    expiries = Array.make initial_cap 0;
+    len = 0;
+    retry_armed = false;
+  }
 
 (* Crash–restart support: holds protect in-flight copies of the dead
    incarnation, whose frames the restarted world rejects by epoch, so
    they are simply dropped. An already-armed retry fires harmlessly —
-   it re-checks the (now empty) hold list. *)
-let clear t = t.holds <- []
+   it re-checks the (now empty) hold set. *)
+let clear t = t.len <- 0
 
-let prune t =
-  let now = Ba_sim.Engine.now t.engine in
-  t.holds <- List.filter (fun h -> h.expiry > now) t.holds
+(* In-place stable compaction of the unexpired entries. Top-level
+   recursive loops (here and below) rather than local refs/closures, so
+   the per-pump guard checks allocate nothing. *)
+let rec prune_from t now i j =
+  if i >= t.len then t.len <- j
+  else if t.expiries.(i) > now then begin
+    if j <> i then begin
+      t.caps.(j) <- t.caps.(i);
+      t.expiries.(j) <- t.expiries.(i)
+    end;
+    prune_from t now (i + 1) (j + 1)
+  end
+  else prune_from t now (i + 1) j
+
+let prune t = prune_from t (Ba_sim.Engine.now t.engine) 0 0
 
 let note_retransmission t ~seq ~window ~hold_for =
   prune t;
-  t.holds <- { cap = seq + window; expiry = Ba_sim.Engine.now t.engine + hold_for } :: t.holds
+  if t.len = Array.length t.caps then begin
+    let cap = 2 * t.len in
+    let caps = Array.make cap 0 in
+    Array.blit t.caps 0 caps 0 t.len;
+    t.caps <- caps;
+    let expiries = Array.make cap 0 in
+    Array.blit t.expiries 0 expiries 0 t.len;
+    t.expiries <- expiries
+  end;
+  t.caps.(t.len) <- seq + window;
+  t.expiries.(t.len) <- Ba_sim.Engine.now t.engine + hold_for;
+  t.len <- t.len + 1
+
+let rec min_over a len i acc = if i >= len then acc else min_over a len (i + 1) (min acc a.(i))
 
 let frontier t =
   prune t;
-  List.fold_left (fun acc h -> min acc h.cap) max_int t.holds
+  min_over t.caps t.len 0 max_int
 
 let when_blocked t retry =
   prune t;
-  match t.holds with
-  | [] -> ()
-  | _ :: _ when t.retry_armed -> ()
-  | holds ->
-      let earliest = List.fold_left (fun acc h -> min acc h.expiry) max_int holds in
-      t.retry_armed <- true;
-      ignore
-        (Ba_sim.Engine.schedule_at t.engine ~at:earliest (fun () ->
-             t.retry_armed <- false;
-             retry ()))
+  if t.len > 0 && not t.retry_armed then begin
+    let earliest = min_over t.expiries t.len 0 max_int in
+    t.retry_armed <- true;
+    ignore
+      (Ba_sim.Engine.schedule_at t.engine ~at:earliest (fun () ->
+           t.retry_armed <- false;
+           retry ()))
+  end

@@ -155,12 +155,14 @@ let run ?(seed = 42) ?(data_loss = 0.) ?(ack_loss = 0.)
   let data_link =
     Ba_channel.Link.create engine ~loss:data_loss ~delay:data_delay ?bottleneck:data_bottleneck
       ~corrupt:(fun (i, d) -> (i, Wire.corrupt_data d))
+      ~release:(fun (_, d) -> Wire.release_data d)
       ~deliver:(fun (i, d) -> match flows.(i) with Some f -> Flow.on_data f d | None -> ())
       ()
   in
   let ack_link =
     Ba_channel.Link.create engine ~loss:ack_loss ~delay:ack_delay ?bottleneck:ack_bottleneck
       ~corrupt:(fun (i, a) -> (i, Wire.corrupt_ack a))
+      ~release:(fun (_, a) -> Wire.release_ack a)
       ~deliver:(fun (i, a) -> match flows.(i) with Some f -> Flow.on_ack f a | None -> ())
       ()
   in

@@ -103,8 +103,11 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
     pending_restarts := []
   in
   let seen = Ba_util.Bitset.create ~initial_capacity:messages () in
-  let expected_payloads = Hashtbl.create 97 in
-  let pulled_at = Hashtbl.create 97 in
+  (* Indexed by message number — the workload's index space is exactly
+     [0, messages), so flat arrays replace the old Hashtbls and the
+     per-delivery validation path stops allocating. *)
+  let expected_payloads = Array.make (max 1 messages) "" in
+  let pulled_at = Array.make (max 1 messages) (-1) in
   let latency_stats = Ba_util.Stats.create () in
   let check_done () =
     match !sender with
@@ -117,13 +120,12 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
   let deliver payload =
     (match Workload.index_of payload with
     | None -> incr corrupted
+    | Some i when i < 0 || i >= messages -> incr corrupted
     | Some i ->
         let valid =
-          match Hashtbl.find_opt expected_payloads i with
-          | Some p -> String.equal p payload
-          | None ->
-              i >= 0 && i < messages
-              && String.equal (Workload.payload ~seed:workload_seed ~size:payload_size i) payload
+          let exp = expected_payloads.(i) in
+          if String.length exp > 0 then String.equal exp payload
+          else String.equal (Workload.payload ~seed:workload_seed ~size:payload_size i) payload
         in
         if not valid then incr corrupted
         else if Ba_util.Bitset.mem seen i then incr duplicates
@@ -131,10 +133,9 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
           Ba_util.Bitset.set seen i;
           incr delivered;
           resolve_restarts ();
-          (match Hashtbl.find_opt pulled_at i with
-          | Some t0 ->
-              Ba_util.Stats.add latency_stats (float_of_int (Ba_sim.Engine.now engine - t0))
-          | None -> ());
+          let t0 = pulled_at.(i) in
+          if t0 >= 0 then
+            Ba_util.Stats.add latency_stats (float_of_int (Ba_sim.Engine.now engine - t0));
           if i <> !next_expected then incr misordered;
           next_expected := i + 1
         end);
@@ -146,25 +147,28 @@ let create engine (module P : Protocol.S) ?(id = 0) ?workload_seed ~seed ~messag
     | None -> None
     | Some p ->
         (match Workload.index_of p with
-        | Some i ->
-            Hashtbl.replace expected_payloads i p;
-            Hashtbl.replace pulled_at i (Ba_sim.Engine.now engine)
-        | None -> ());
+        | Some i when i >= 0 && i < messages ->
+            expected_payloads.(i) <- p;
+            pulled_at.(i) <- Ba_sim.Engine.now engine
+        | Some _ | None -> ());
         Some p
   in
-  (* Payload-keyed retransmission bytes: workload payloads are unique
-     per message, so a repeated payload is a retransmitted copy.
-     Handshake frames carry no payload and are excluded. *)
-  let tx_payloads = Hashtbl.create 97 in
+  (* Index-keyed retransmission bytes: workload payloads are unique per
+     message, so a second transmission of the same index is a
+     retransmitted copy. Handshake frames carry no payload and are
+     excluded, as are payloads outside the workload's index space. *)
+  let tx_seen = Array.make (max 1 messages) false in
   let s =
     P.create_sender engine config
       ~tx:(fun d ->
         incr data_sent;
         (match d.Wire.dkind with
-        | Wire.Msg ->
-            if Hashtbl.mem tx_payloads d.Wire.payload then
-              retx_bytes := !retx_bytes + Wire.data_bytes d
-            else Hashtbl.replace tx_payloads d.Wire.payload ()
+        | Wire.Msg -> (
+            match Workload.index_of d.Wire.payload with
+            | Some i when i >= 0 && i < messages ->
+                if tx_seen.(i) then retx_bytes := !retx_bytes + Wire.data_bytes d
+                else tx_seen.(i) <- true
+            | Some _ | None -> ())
         | Wire.Sync_req | Wire.Sync_fin -> ());
         data_tx d)
       ~next_payload

@@ -56,13 +56,13 @@ let run (module P : Protocol.S) ?(seed = 42) ?(messages = 1000) ?(payload_size =
   let flow = ref None in
   let data_link =
     Ba_channel.Link.create engine ~loss:data_loss ~delay:data_delay ?bottleneck:data_bottleneck
-      ~corrupt:Wire.corrupt_data
+      ~corrupt:Wire.corrupt_data ~release:Wire.release_data
       ~deliver:(fun d -> match !flow with Some f -> Flow.on_data f d | None -> ())
       ()
   in
   let ack_link =
     Ba_channel.Link.create engine ~loss:ack_loss ~delay:ack_delay
-      ~corrupt:Wire.corrupt_ack
+      ~corrupt:Wire.corrupt_ack ~release:Wire.release_ack
       ~deliver:(fun a -> match !flow with Some f -> Flow.on_ack f a | None -> ())
       ()
   in

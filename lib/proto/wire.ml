@@ -2,54 +2,177 @@
    reject traffic from its peer's (or its own) previous life, and a
    [kind] discriminator for the three resync-handshake messages
    (REQ/POS/FIN) that re-establish a common position after a crash.
-   Epoch 0 with kind [Msg]/[Ack] is exactly the pre-crash wire format. *)
+   Epoch 0 with kind [Msg]/[Ack] is exactly the pre-crash wire format.
+
+   Fields are mutable solely so frames can be pooled: [make_data_e] and
+   [make_ack_e] draw records from a domain-local free-list that
+   [release_data]/[release_ack] refill, making the steady-state data
+   path allocation-free. Pooling is value-transparent — a pooled frame
+   is indistinguishable from a fresh one — and opt-in: a frame nobody
+   releases is simply collected by the GC as before. *)
 
 type data_kind = Msg | Sync_req | Sync_fin
 
-type data = { seq : int; payload : string; epoch : int; dkind : data_kind; check : int }
+type data = {
+  mutable seq : int;
+  mutable payload : string;
+  mutable epoch : int;
+  mutable dkind : data_kind;
+  mutable check : int;
+}
 
 type ack_kind = Ack | Sync_pos
 
-type ack = { lo : int; hi : int; epoch : int; akind : ack_kind; check : int }
+type ack = {
+  mutable lo : int;
+  mutable hi : int;
+  mutable epoch : int;
+  mutable akind : ack_kind;
+  mutable check : int;
+}
 
-(* FNV-1a over the payload bytes, folded with the header numbers (offset
-   basis truncated to OCaml's 63-bit int). The simulation never needs
-   cryptographic strength — only that the single byte flips and header
-   perturbations [corrupt_data]/[corrupt_ack] inject are always caught. *)
+(* FNV-style multiply-xor fold, one multiply per 63-bit word instead of
+   the textbook one-per-byte: headers fold as whole ints and the payload
+   in 7-byte chunks (7 x 8 = 56 bits, so a chunk never touches the sign
+   bit). The checksum step [h <- (h lxor w) * prime land max_int] is a
+   bijection of [h] for fixed [w] (the prime is odd, so multiplying by
+   it is invertible mod 2^63), which makes detection provable rather
+   than probabilistic: any change confined to one chunk — in particular
+   every byte flip and header perturbation [corrupt_data]/[corrupt_ack]
+   inject — changes that step's output, and every later step propagates
+   the difference. The fold is a tail-recursive loop over the string —
+   no ref cell, no closure, no boxing — so checksumming allocates
+   nothing, and at one multiply per 7 payload bytes it is no longer the
+   dominant per-frame cost. *)
 let fnv_prime = 0x100000001b3
 let fnv_offset = 0x3bf29ce484222325
 
-let fnv_byte h b = (h lxor b) * fnv_prime land max_int
+let fnv_word h w = (h lxor w) * fnv_prime land max_int
 
-let fnv_int h v =
-  let h = ref h in
-  for shift = 0 to 7 do
-    h := fnv_byte !h ((v lsr (shift * 8)) land 0xff)
-  done;
-  !h
+let fnv_int h v = fnv_word h (v land max_int)
 
 let data_kind_tag = function Msg -> 0 | Sync_req -> 1 | Sync_fin -> 2
 let ack_kind_tag = function Ack -> 0 | Sync_pos -> 1
 
+let byte s i = Char.code (String.unsafe_get s i)
+
+(* Fold [s.[i .. n-1]] in 7-byte little-endian chunks; the final short
+   chunk folds however many bytes remain (its length is implied by the
+   position, which the header fold has already bound). *)
+let rec fnv_bytes h s i n =
+  if i + 7 <= n then begin
+    let w =
+      byte s i
+      lor (byte s (i + 1) lsl 8)
+      lor (byte s (i + 2) lsl 16)
+      lor (byte s (i + 3) lsl 24)
+      lor (byte s (i + 4) lsl 32)
+      lor (byte s (i + 5) lsl 40)
+      lor (byte s (i + 6) lsl 48)
+    in
+    fnv_bytes (fnv_word h w) s (i + 7) n
+  end
+  else if i >= n then h
+  else fnv_word h (fnv_tail 0 0 s i n)
+
+and fnv_tail w shift s k n =
+  if k >= n then w else fnv_tail (w lor (byte s k lsl shift)) (shift + 8) s (k + 1) n
+
 let data_checksum ~seq ~payload ~epoch ~dkind =
-  let h = ref (fnv_int fnv_offset seq) in
+  let h = fnv_int fnv_offset seq in
   (* Epoch-0 [Msg] frames hash exactly as before the crash-tolerance
      layer existed: folding two extra zero ints would be harmless but
      this keeps the whole zero-epoch wire image bit-identical. *)
-  if epoch <> 0 || dkind <> Msg then
-    h := fnv_int (fnv_int !h epoch) (data_kind_tag dkind);
-  String.iter (fun c -> h := fnv_byte !h (Char.code c)) payload;
-  !h
+  let h =
+    match dkind with
+    | Msg when epoch = 0 -> h
+    | _ -> fnv_int (fnv_int h epoch) (data_kind_tag dkind)
+  in
+  fnv_bytes h payload 0 (String.length payload)
 
 let ack_checksum ~lo ~hi ~epoch ~akind =
   let h = fnv_int (fnv_int fnv_offset lo) hi in
-  if epoch <> 0 || akind <> Ack then fnv_int (fnv_int h epoch) (ack_kind_tag akind) else h
+  match akind with
+  | Ack when epoch = 0 -> h
+  | _ -> fnv_int (fnv_int h epoch) (ack_kind_tag akind)
+
+(* ---- frame pool ----
+
+   One pool per domain: parallel campaign runners each get their own
+   free-lists, so pooling needs no synchronization and frames never
+   migrate between domains (a run executes entirely inside one). *)
+
+let pool_cap = 256
+
+type pool = {
+  mutable dfree : data array;
+  mutable dlen : int;
+  mutable afree : ack array;
+  mutable alen : int;
+}
+
+let dummy_data = { seq = 0; payload = ""; epoch = 0; dkind = Msg; check = 0 }
+let dummy_ack = { lo = 0; hi = 0; epoch = 0; akind = Ack; check = 0 }
+
+let pool_key : pool Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        dfree = Array.make pool_cap dummy_data;
+        dlen = 0;
+        afree = Array.make pool_cap dummy_ack;
+        alen = 0;
+      })
 
 let make_data_e ~epoch ~seq ~payload =
-  { seq; payload; epoch; dkind = Msg; check = data_checksum ~seq ~payload ~epoch ~dkind:Msg }
+  let check = data_checksum ~seq ~payload ~epoch ~dkind:Msg in
+  let p = Domain.DLS.get pool_key in
+  if p.dlen > 0 then begin
+    p.dlen <- p.dlen - 1;
+    let d = p.dfree.(p.dlen) in
+    p.dfree.(p.dlen) <- dummy_data;
+    d.seq <- seq;
+    d.payload <- payload;
+    d.epoch <- epoch;
+    d.dkind <- Msg;
+    d.check <- check;
+    d
+  end
+  else { seq; payload; epoch; dkind = Msg; check }
 
 let make_ack_e ~epoch ~lo ~hi =
-  { lo; hi; epoch; akind = Ack; check = ack_checksum ~lo ~hi ~epoch ~akind:Ack }
+  let check = ack_checksum ~lo ~hi ~epoch ~akind:Ack in
+  let p = Domain.DLS.get pool_key in
+  if p.alen > 0 then begin
+    p.alen <- p.alen - 1;
+    let a = p.afree.(p.alen) in
+    p.afree.(p.alen) <- dummy_ack;
+    a.lo <- lo;
+    a.hi <- hi;
+    a.epoch <- epoch;
+    a.akind <- Ack;
+    a.check <- check;
+    a
+  end
+  else { lo; hi; epoch; akind = Ack; check }
+
+let release_data d =
+  if d != dummy_data then begin
+    let p = Domain.DLS.get pool_key in
+    if p.dlen < pool_cap then begin
+      d.payload <- "";
+      p.dfree.(p.dlen) <- d;
+      p.dlen <- p.dlen + 1
+    end
+  end
+
+let release_ack a =
+  if a != dummy_ack then begin
+    let p = Domain.DLS.get pool_key in
+    if p.alen < pool_cap then begin
+      p.afree.(p.alen) <- a;
+      p.alen <- p.alen + 1
+    end
+  end
 
 (* Epoch-0 constructors: the pre-crash wire format, used by every
    protocol that never restarts. *)
@@ -59,7 +182,8 @@ let make_ack ~lo ~hi = make_ack_e ~epoch:0 ~lo ~hi
 (* Handshake frames. [Sync_pos] carries the receiver's stable delivered
    count in [lo] (and mirrors it in [hi]); it is an absolute position,
    deliberately exempt from the wire modulus — resync is rare, so the
-   paper's tight sequence-number economy does not apply to it. *)
+   paper's tight sequence-number economy does not apply to it. The
+   handshake constructors are rare too, so they skip the pool. *)
 let make_sync_req ~epoch =
   { seq = 0; payload = ""; epoch; dkind = Sync_req;
     check = data_checksum ~seq:0 ~payload:"" ~epoch ~dkind:Sync_req }
@@ -80,14 +204,16 @@ let ack_ok (a : ack) =
 
 (* Deterministic mangling for the link's [Corrupt] verdict: damage the
    message without touching the stored checksum, so validation fails.
-   An empty payload leaves only the header to flip. *)
+   An empty payload leaves only the header to flip. The payload flip is
+   a single [String.mapi] pass (one fresh string), not a
+   bytes-of-string/bytes-to-string double copy. *)
 let corrupt_data (d : data) =
   if String.length d.payload = 0 then { d with seq = d.seq lxor 1 }
-  else begin
-    let b = Bytes.of_string d.payload in
-    Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x20));
-    { d with payload = Bytes.to_string b }
-  end
+  else
+    { d with
+      payload =
+        String.mapi (fun i c -> if i = 0 then Char.chr (Char.code c lxor 0x20) else c) d.payload
+    }
 
 let corrupt_ack (a : ack) = { a with hi = a.hi lxor 1 }
 

@@ -27,11 +27,25 @@
 
 type data_kind = Msg | Sync_req | Sync_fin
 
-type data = { seq : int; payload : string; epoch : int; dkind : data_kind; check : int }
+type data = {
+  mutable seq : int;
+  mutable payload : string;
+  mutable epoch : int;
+  mutable dkind : data_kind;
+  mutable check : int;
+}
+(** Fields are mutable only so frames can be pooled (see
+    {!release_data}); protocol code treats frames as immutable values. *)
 
 type ack_kind = Ack | Sync_pos
 
-type ack = { lo : int; hi : int; epoch : int; akind : ack_kind; check : int }
+type ack = {
+  mutable lo : int;
+  mutable hi : int;
+  mutable epoch : int;
+  mutable akind : ack_kind;
+  mutable check : int;
+}
 
 val make_data : seq:int -> payload:string -> data
 val make_ack : lo:int -> hi:int -> ack
@@ -73,6 +87,17 @@ val corrupt_data : data -> data
     empty) — the mangle function links install for [Corrupt] verdicts. *)
 
 val corrupt_ack : ack -> ack
+
+val release_data : data -> unit
+(** Return a frame to the domain-local pool that {!make_data} /
+    {!make_data_e} draw from, making steady-state frame construction
+    allocation-free. Callers must own the frame exclusively: nothing may
+    touch it after release (its payload reference is cleared; the
+    payload string itself is unaffected). Releasing is optional — an
+    unreleased frame is GC'd as usual. {!Ba_channel.Link}'s [release]
+    hook is the intended call site. *)
+
+val release_ack : ack -> unit
 
 val data_header_bytes : int
 (** Fixed per-data-message header cost used for overhead accounting. *)

@@ -1,22 +1,46 @@
 let filler_alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
 
+(* "m:<i>:" followed by seeded filler, built in one [Bytes] — the
+   sprintf/init/concat formulation allocated several intermediates per
+   payload, which dominated the transfer benchmarks' heap profile. *)
+(* Top-level helpers: local [let rec] closures would allocate per call. *)
+let rec decimal_width n acc = if n < 10 then acc else decimal_width (n / 10) (acc + 1)
+
+let rec put_digits b v k =
+  Bytes.unsafe_set b k (Char.unsafe_chr (Char.code '0' + (v mod 10)));
+  if v >= 10 then put_digits b (v / 10) (k - 1)
+
 let payload ~seed ~size i =
   if i < 0 then invalid_arg "Workload.payload: negative index";
-  let prefix = Printf.sprintf "m:%d:" i in
-  let pad = max 0 (size - String.length prefix) in
+  let ndigits = decimal_width i 1 in
+  let plen = 2 + ndigits + 1 in
+  let n = max plen size in
+  let b = Bytes.create n in
+  Bytes.unsafe_set b 0 'm';
+  Bytes.unsafe_set b 1 ':';
+  put_digits b i (2 + ndigits - 1);
+  Bytes.unsafe_set b (plen - 1) ':';
   let rng = Ba_util.Rng.create ((seed * 1_000_003) + i) in
-  let filler =
-    String.init pad (fun _ ->
-        filler_alphabet.[Ba_util.Rng.int rng (String.length filler_alphabet)])
-  in
-  prefix ^ filler
+  for k = plen to n - 1 do
+    Bytes.unsafe_set b k
+      (String.unsafe_get filler_alphabet (Ba_util.Rng.int rng (String.length filler_alphabet)))
+  done;
+  Bytes.unsafe_to_string b
+
+(* Parse the "m:<digits>:" prefix in place — no [String.sub] and no
+   local closure, so the per-delivery validation path allocates only
+   the [Some]. *)
+let rec parse_index s n i acc =
+  if i >= n || i > 20 then None
+  else
+    match s.[i] with
+    | ':' -> if i = 2 then None else Some acc
+    | '0' .. '9' -> parse_index s n (i + 1) ((acc * 10) + (Char.code s.[i] - Char.code '0'))
+    | _ -> None
 
 let index_of s =
-  if String.length s >= 2 && s.[0] = 'm' && s.[1] = ':' then begin
-    match String.index_from_opt s 2 ':' with
-    | None -> None
-    | Some stop -> int_of_string_opt (String.sub s 2 (stop - 2))
-  end
+  if String.length s >= 2 && s.[0] = 'm' && s.[1] = ':' then
+    parse_index s (String.length s) 2 0
   else None
 
 let supplier ~seed ~size ~count =

@@ -43,8 +43,46 @@ val queue_length : t -> int
     Exposed so tests can observe dead-event compaction; not meaningful
     for simulation logic. *)
 
+type slot
+(** A reusable event slot: the allocation-free way to run a recurring
+    (re-armable) callback. The callback closure is built once at
+    {!slot_create}; every {!slot_arm} after that reuses it, costing no
+    heap allocation — unlike {!schedule}, which builds a fresh closure
+    and handle per call. This is what {!Timer} arms on every
+    (re)transmission. *)
+
+val slot_create : t -> (unit -> unit) -> slot
+(** [slot_create t f] makes a disarmed slot that runs [f ()] when it
+    fires. A slot fires at most once per arming and is disarmed before
+    [f] runs, so [f] may re-arm it. *)
+
+val slot_arm : slot -> delay:int -> unit
+(** Arm (or re-arm, cancelling the previous arming) to fire [delay]
+    ticks from now. Requires [delay >= 0]. Allocation-free. *)
+
+val slot_cancel : slot -> unit
+(** Disarm; no-op when not armed. *)
+
+val slot_armed : slot -> bool
+
+val slot_expiry : slot -> int
+(** Absolute tick of the current arming; meaningless when disarmed. *)
+
+val schedule_fn : t -> delay:int -> (int -> unit) -> int -> unit
+(** [schedule_fn t ~delay f arg] runs [f arg] at [now t + delay] —
+    fire-and-forget, not cancellable. Passing a persistent [f] and an
+    integer [arg] makes this the allocation-free path for high-rate
+    one-shot events (the link's delivery events). *)
+
 val step : t -> bool
 (** Fire the next event. Returns [false] when the queue is empty. *)
+
+val drain_batch : t -> int
+(** Fire every event of the earliest pending tick — including events
+    that callbacks schedule for that same tick — in one pass, and
+    return how many fired (0 when the queue is empty). Firing order is
+    identical to repeated {!step}; this just hoists the head
+    inspection out of the per-event loop. Respects {!stop}. *)
 
 val run : ?until:int -> ?max_events:int -> t -> unit
 (** Fire events until the queue drains, [until] ticks is reached

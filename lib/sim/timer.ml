@@ -1,35 +1,24 @@
+(* A thin veneer over an {!Engine.slot}: the callback closure is built
+   once here, and every (re)arm after that is allocation-free — the old
+   implementation built a fresh closure and heap record per [start]. *)
+
 type t = {
   engine : Engine.t;
+  slot : Engine.slot;
   mutable duration : int;
-  callback : unit -> unit;
-  mutable handle : Engine.handle option;
-  mutable expiry : int;
 }
 
 let create engine ~duration callback =
   if duration < 0 then invalid_arg "Timer.create: negative duration";
-  { engine; duration; callback; handle = None; expiry = 0 }
+  { engine; slot = Engine.slot_create engine callback; duration }
 
-let stop t =
-  match t.handle with
-  | None -> ()
-  | Some h ->
-      Engine.cancel h;
-      t.handle <- None
+let stop t = Engine.slot_cancel t.slot
 
-let start_for t duration =
-  stop t;
-  t.expiry <- Engine.now t.engine + duration;
-  let h =
-    Engine.schedule t.engine ~delay:duration (fun () ->
-        t.handle <- None;
-        t.callback ())
-  in
-  t.handle <- Some h
+let start_for t duration = Engine.slot_arm t.slot ~delay:duration
 
 let start t = start_for t t.duration
 
-let is_armed t = match t.handle with Some h -> Engine.is_pending h | None -> false
+let is_armed t = Engine.slot_armed t.slot
 
 let duration t = t.duration
 
@@ -37,4 +26,5 @@ let set_duration t d =
   if d < 0 then invalid_arg "Timer.set_duration: negative duration";
   t.duration <- d
 
-let remaining t = if is_armed t then Some (max 0 (t.expiry - Engine.now t.engine)) else None
+let remaining t =
+  if is_armed t then Some (max 0 (Engine.slot_expiry t.slot - Engine.now t.engine)) else None

@@ -9,41 +9,70 @@ type summary = {
   p99 : float;
 }
 
+(* The Welford accumulators and the retained samples live in unboxed
+   float arrays: a record mixing ints and mutable floats boxes every
+   float store, which made each [add] — one per delivered message —
+   allocate. Indices into [acc]: mean, m2, min, max. *)
 type t = {
   mutable n : int;
-  mutable mean : float;
-  mutable m2 : float;
-  mutable min : float;
-  mutable max : float;
-  samples : float Queue.t;
+  acc : float array;
+  mutable buf : float array;  (* samples, first [n] valid *)
 }
 
-let create () =
-  { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity; samples = Queue.create () }
+let create () = { n = 0; acc = [| 0.; 0.; infinity; neg_infinity |]; buf = Array.make 16 0. }
 
 let add t x =
+  if t.n = Array.length t.buf then begin
+    let nb = Array.make (2 * t.n) 0. in
+    Array.blit t.buf 0 nb 0 t.n;
+    t.buf <- nb
+  end;
+  t.buf.(t.n) <- x;
   t.n <- t.n + 1;
-  let delta = x -. t.mean in
-  t.mean <- t.mean +. (delta /. float_of_int t.n);
-  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
-  if x < t.min then t.min <- x;
-  if x > t.max then t.max <- x;
-  Queue.add x t.samples
+  let delta = x -. t.acc.(0) in
+  t.acc.(0) <- t.acc.(0) +. (delta /. float_of_int t.n);
+  t.acc.(1) <- t.acc.(1) +. (delta *. (x -. t.acc.(0)));
+  if x < t.acc.(2) then t.acc.(2) <- x;
+  if x > t.acc.(3) then t.acc.(3) <- x
 
 let count t = t.n
-let mean t = if t.n = 0 then 0. else t.mean
-let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let mean t = if t.n = 0 then 0. else t.acc.(0)
+let variance t = if t.n < 2 then 0. else t.acc.(1) /. float_of_int (t.n - 1)
 let stddev t = sqrt (variance t)
 
+(* In-place monomorphic heapsort: [Array.sort compare] on a float
+   array boxes both operands of every comparison (the polymorphic
+   traversal cannot see the unboxed representation), which dominated
+   summary-time allocation. Ascending order, identical to
+   [Array.sort compare] for the finite samples stored here. *)
+let float_sort (a : float array) =
+  let n = Array.length a in
+  let swap i j =
+    let x = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- x
+  in
+  let rec sift i len =
+    let l = (2 * i) + 1 in
+    if l < len then begin
+      let c = if l + 1 < len && a.(l + 1) > a.(l) then l + 1 else l in
+      if a.(c) > a.(i) then begin
+        swap c i;
+        sift c len
+      end
+    end
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift i n
+  done;
+  for len = n - 1 downto 1 do
+    swap 0 len;
+    sift 0 len
+  done
+
 let sorted_samples t =
-  let a = Array.make t.n 0. in
-  let i = ref 0 in
-  Queue.iter
-    (fun x ->
-      a.(!i) <- x;
-      incr i)
-    t.samples;
-  Array.sort compare a;
+  let a = Array.sub t.buf 0 t.n in
+  float_sort a;
   a
 
 let percentile_of_sorted a q =
@@ -58,7 +87,7 @@ let percentile_of_sorted a q =
     (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
   end
 
-let samples t = List.of_seq (Queue.to_seq t.samples)
+let samples t = Array.to_list (Array.sub t.buf 0 t.n)
 
 let percentile t q = percentile_of_sorted (sorted_samples t) q
 
@@ -69,8 +98,8 @@ let summary t =
     count = t.n;
     mean = mean t;
     stddev = stddev t;
-    min = t.min;
-    max = t.max;
+    min = t.acc.(2);
+    max = t.acc.(3);
     p50 = percentile_of_sorted a 0.5;
     p90 = percentile_of_sorted a 0.9;
     p99 = percentile_of_sorted a 0.99;

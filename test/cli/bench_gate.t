@@ -1,0 +1,14 @@
+The data-path performance gate (`bench --check`): block acknowledgement
+must not be slower than the slowest baseline transfer on the same lossy
+channel, and the steady-state allocation slope — marginal heap bytes per
+additional frame — must stay within budget. The measured times (and
+which baseline happens to be slowest) vary by machine, so they are
+normalised away; the verdict and the exit status must not vary.
+
+  $ ../../bench/main.exe --check > gate.out 2>&1; echo "exit=$?"
+  exit=0
+  $ sed -e 's/ [0-9][0-9]* us/ N us/g' -e 's/slope [0-9][0-9]* B/slope N B/' \
+  >     -e 's/(F[0-9]*\/transfer-[a-z-]*5pc N us)/(SLOWEST-BASELINE N us)/' gate.out
+  check: blockack-5pc N us <= slowest baseline (SLOWEST-BASELINE N us)
+  check: alloc slope N B/frame within budget (512 B/frame)
+  check: OK
