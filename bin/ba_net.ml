@@ -73,7 +73,7 @@ let run_sweep ~counts ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capac
   let protos = List.map fst mix in
   let cells = List.concat_map (fun n -> List.map (fun e -> (n, e)) protos) counts in
   let outcomes =
-    Ba_parallel.Pool.map ~jobs
+    Ba_parallel.Pool.map_chunks ~jobs
       (fun (n, e) ->
         let config = Registry.config ~window ~rto ?modulus ~adaptive_rto:adaptive e () in
         let specs =
@@ -107,6 +107,46 @@ let run_sweep ~counts ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capac
       outcomes
   then 0
   else 1
+
+(* Sharded scale run: --scale N flows partitioned into fixed-size cells
+   (Ba_proto.Shard), the shared bottleneck realised as per-cell capacity
+   leases reconciled at epoch barriers. Everything deterministic goes to
+   stdout — the summary is byte-identical at any --jobs and any --shards
+   (cram-proven) — while wall-clock figures (flows/sec, heap bytes per
+   flow), which vary by machine, go to stderr. *)
+let run_scale ~flows ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capacity ~window
+    ~rto ~modulus ~adaptive ~seed ~jobs ~shards ~cell ~barrier =
+  let protos =
+    Array.of_list (List.concat_map (fun (e, count) -> List.init count (fun _ -> e)) mix)
+  in
+  let specs =
+    List.init flows (fun i ->
+        let e = protos.(i mod Array.length protos) in
+        let config = Registry.config ~window ~rto ?modulus ~adaptive_rto:adaptive e () in
+        Fabric.spec ~config ~messages ~payload_size e.Registry.protocol)
+  in
+  let t0 = Unix.gettimeofday () in
+  let r =
+    Ba_proto.Shard.run ~seed ~jobs ?shards ~cell ~barrier ~data_loss:loss ~ack_loss
+      ~data_delay:delay ~ack_delay:delay ?capacity ~measure_mem:true specs
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  print_string (Ba_proto.Shard.summary r);
+  let safe =
+    r.Ba_proto.Shard.duplicates = 0 && r.Ba_proto.Shard.corrupted = 0
+    && r.Ba_proto.Shard.misordered = 0
+  in
+  let pass = safe && r.Ba_proto.Shard.completed in
+  Printf.printf "scale-verdict: flows=%d safety=%s completion=%s result=%s\n"
+    r.Ba_proto.Shard.flows
+    (if safe then "pass" else "FAIL")
+    (if r.Ba_proto.Shard.completed then "pass" else "FAIL")
+    (if pass then "PASS" else "FAIL");
+  Printf.eprintf "scale-perf: wall=%.2fs flows/sec=%.0f state=%dB (%dB/flow)\n%!" wall
+    (if wall > 0. then float_of_int r.Ba_proto.Shard.flows /. wall else 0.)
+    r.Ba_proto.Shard.state_bytes
+    (r.Ba_proto.Shard.state_bytes / max 1 r.Ba_proto.Shard.flows);
+  if pass then 0 else 1
 
 (* Long-horizon overload soak: each round doubles the offered load with
    a surge of late-starting flows under a fabric memory budget and an
@@ -385,7 +425,7 @@ let run_soak ~rounds ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capaci
 
 let run list_protocols connections mix messages payload_size loss ack_loss_opt base_delay
     jitter capacity window rto modulus adaptive seed sweep soak budget surge_at stall_for churn
-    fault jobs =
+    fault scale shards cell barrier jobs =
   if list_protocols then begin
     Format.printf "%a" Registry.pp_list ();
     exit 0
@@ -404,6 +444,18 @@ let run list_protocols connections mix messages payload_size loss ack_loss_opt b
     reject "--stall-for" stall_for;
     reject "--churn" churn;
     reject "--fault" fault
+  end;
+  (* Likewise the sharding knobs belong to --scale. *)
+  if scale = None then begin
+    let reject name = function
+      | Some _ ->
+          Format.eprintf "ba_net: %s requires --scale@." name;
+          exit 2
+      | None -> ()
+    in
+    reject "--shards" shards;
+    reject "--cell" cell;
+    reject "--barrier" barrier
   end;
   let ack_loss = Option.value ~default:loss ack_loss_opt in
   let delay =
@@ -464,6 +516,34 @@ let run list_protocols connections mix messages payload_size loss ack_loss_opt b
       in
       run_soak ~rounds ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capacity ~window
         ~rto ~modulus ~adaptive ~seed ~budget ~surge_at ~stall_for ~churners ~fault ~jobs
+  | None ->
+  match scale with
+  | Some flows ->
+      let jobs = Ba_cli.resolve_jobs jobs in
+      if flows < 1 then begin
+        Format.eprintf "ba_net: --scale flows must be positive (got %d)@." flows;
+        exit 2
+      end;
+      let positive name v default =
+        match v with
+        | None -> default
+        | Some v when v > 0 -> v
+        | Some v ->
+            Format.eprintf "ba_net: %s must be positive (got %d)@." name v;
+            exit 2
+      in
+      let shards =
+        match shards with
+        | None | Some 0 -> None (* 0 = auto: one shard per job *)
+        | Some s when s > 0 -> Some s
+        | Some s ->
+            Format.eprintf "ba_net: --shards must be >= 0 (got %d)@." s;
+            exit 2
+      in
+      let cell = positive "--cell" cell 1024 in
+      let barrier = positive "--barrier" barrier 1000 in
+      run_scale ~flows ~mix ~messages ~payload_size ~loss ~ack_loss ~delay ~capacity ~window
+        ~rto ~modulus ~adaptive ~seed ~jobs ~shards ~cell ~barrier
   | None ->
   match sweep with
   | Some counts ->
@@ -657,6 +737,44 @@ let fault =
               budgets and the bottleneck, and the crash schedule hits the first base flow. \
               $(b,storm) composes all three (only with $(b,--soak)).")
 
+let scale =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "scale" ] ~docv:"FLOWS"
+        ~doc:
+          "Sharded scale run: simulate FLOWS flows (cycled over the $(b,--mix)) through the \
+           cell-partitioned fabric (Ba_proto.Shard), where the shared bottleneck becomes \
+           per-cell capacity leases reconciled at epoch barriers. The printed summary is a \
+           pure function of the model parameters — byte-identical at any $(b,--jobs) and any \
+           $(b,--shards) — while wall-clock figures go to stderr. Built for 100k-1M flows in \
+           bounded memory.")
+
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:"Shard count for $(b,--scale): cells are dealt to N contiguous shard groups \
+              each epoch (0 or default: one shard per job). Pure scheduling - never changes \
+              output.")
+
+let cell_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cell" ] ~docv:"FLOWS"
+        ~doc:"Flows per cell for $(b,--scale) (default 1024). A model parameter: changing \
+              it changes the partition, and therefore the run.")
+
+let barrier_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "barrier" ] ~docv:"TICKS"
+        ~doc:"Epoch length in ticks for $(b,--scale) (default 1000): cells run independently \
+              for one epoch, then the capacity leases are reconciled. A model parameter.")
+
 let cmd =
   let doc = "simulate N window-protocol connections over a shared bottleneck" in
   let man =
@@ -673,11 +791,11 @@ let cmd =
   in
   let wrap list_protocols connections mix messages payload_size loss ack_loss base_delay
       jitter capacity no_capacity window rto modulus adaptive seed sweep soak budget surge_at
-      stall_for churn fault jobs =
+      stall_for churn fault scale shards cell barrier jobs =
     let capacity = if no_capacity then None else capacity in
     run list_protocols connections mix messages payload_size loss ack_loss base_delay jitter
       capacity window rto modulus adaptive seed sweep soak budget surge_at stall_for churn
-      fault jobs
+      fault scale shards cell barrier jobs
   in
   Cmd.v
     (Cmd.info "ba_net" ~doc ~man ~version:Ba_cli.version)
@@ -685,6 +803,6 @@ let cmd =
       const wrap $ list_protocols $ connections $ mix $ messages $ payload_size $ loss
       $ ack_loss $ base_delay $ jitter $ capacity $ no_capacity $ window $ rto $ modulus
       $ adaptive $ seed $ sweep $ soak $ budget $ surge_at $ stall_for $ churn $ fault
-      $ Ba_cli.jobs)
+      $ scale $ shards_arg $ cell_arg $ barrier_arg $ Ba_cli.jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -32,4 +32,9 @@ let jobs =
            recommended domain count, override with $(b,BA_JOBS)). Results are collected \
            in submission order, so output is byte-identical at any value.")
 
-let resolve_jobs = function Some n -> n | None -> Ba_parallel.Pool.default_jobs ()
+(* Explicit --jobs (and BA_JOBS, which cmdliner feeds through the same
+   option) gets the same absurdity clamp as the pool default: requesting
+   100000 domains on a 4-core host is a mistake, not a plan. *)
+let resolve_jobs = function
+  | Some n -> min n (Ba_parallel.Pool.max_jobs ())
+  | None -> Ba_parallel.Pool.default_jobs ()

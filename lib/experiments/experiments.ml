@@ -17,10 +17,11 @@ let pct x = Printf.sprintf "%.0f%%" (100. *. x)
 
 (* Every experiment below is a grid of independent simulations (each
    builds its own engine from its own seed), so each table farms its
-   cells to a domain pool. Pool.map collects in input order, making the
+   cells to a domain pool. Pool.map_chunks batches neighbouring cells
+   into one queue entry each and collects in input order, making the
    rendered table identical at any [jobs]; [jobs = 1] (the default) runs
    inline with no domains spawned. *)
-let pmap ~jobs f cells = Pool.map ~jobs f cells
+let pmap ~jobs f cells = Pool.map_chunks ~jobs f cells
 
 (* Regroup a flattened row-major cell list back into rows of [n]. *)
 let chunk n xs =
@@ -1152,6 +1153,65 @@ let s3_churn_soak ?(jobs = 1) ~quick () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* S4: the sharded fabric's scaling curve — S1 carried two decades
+   further through the cell-partitioned engine. *)
+
+let s4_sharded_scale ?(jobs = 1) ~quick () =
+  let counts = if quick then [ 200; 1_000 ] else [ 1_000; 10_000; 100_000 ] in
+  let messages = 2 in
+  let e =
+    match Registry.find "blockack-multi" with Some e -> e | None -> assert false
+  in
+  (* The lease queue scales with the offered load (4 slots per flow) and
+     the timeout sits above the full drain time, so the curve measures
+     the sharded engine, not a retransmission storm. Every column is a
+     pure function of the model parameters — byte-identical at any
+     [jobs] (and any shard count), which test_shard proves wholesale. *)
+  let config = Registry.config ~window:4 ~rto:500_000 e () in
+  let rows =
+    List.map
+      (fun flows ->
+        let specs =
+          List.init flows (fun _ -> Fabric.spec ~config ~messages e.Registry.protocol)
+        in
+        let r = Ba_proto.Shard.run ~seed:11 ~jobs ~capacity:(1, 4 * flows) specs in
+        [
+          string_of_int flows;
+          string_of_int r.Ba_proto.Shard.cells;
+          Printf.sprintf "%d/%d" r.Ba_proto.Shard.delivered r.Ba_proto.Shard.messages;
+          Printf.sprintf "%d/%d" r.Ba_proto.Shard.completed_flows flows;
+          string_of_int r.Ba_proto.Shard.ticks;
+          fmt r.Ba_proto.Shard.aggregate_goodput;
+          string_of_int r.Ba_proto.Shard.lease_drops;
+          string_of_int r.Ba_proto.Shard.lease_rebalances;
+        ])
+      counts
+  in
+  {
+    id = "S4";
+    title =
+      Printf.sprintf
+        "Sharded scale (S1 extension): %d msgs per flow through the cell-partitioned \
+         fabric, bottleneck leased per cell" messages;
+    headers =
+      [ "flows"; "cells"; "delivered"; "done"; "ticks"; "agg goodput"; "lease drops"; "rebalances" ];
+    rows;
+    notes =
+      [
+        "Flows are partitioned into fixed-size cells (1024 flows each), every cell its own \
+         engine over flat endpoint arrays; the shared bottleneck becomes per-cell capacity \
+         leases reconciled at epoch barriers (see Ba_proto.Shard and DESIGN.md).";
+        "Wall-clock throughput and bytes-per-flow for the same sweep live in \
+         BENCH_campaigns.json (the \"scale\" block) and in `ba_net --scale`'s stderr line \
+         — machine-dependent numbers stay out of this deterministic table.";
+        "Expected shape: ticks grow linearly with the frame total (the lease serves one \
+         frame per tick aggregate), goodput is flat at the service rate, and nothing is \
+         dropped or rebalanced because the queue share and timeout are provisioned for \
+         the drain.";
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
 (* C3: the storm matrix — compound incidents vs their ingredients. *)
 
 let c3_storm_matrix ?(jobs = 1) ~quick () =
@@ -1242,6 +1302,7 @@ let grids : (string * (quick:bool -> jobs:int -> table)) list =
     ("A3", fun ~quick ~jobs -> a3_fairness ~jobs ~quick ());
     ("S1", fun ~quick ~jobs -> s1_scaling ~jobs ~quick ());
     ("S3", fun ~quick ~jobs -> s3_churn_soak ~jobs ~quick ());
+    ("S4", fun ~quick ~jobs -> s4_sharded_scale ~jobs ~quick ());
     ("C1", fun ~quick ~jobs -> c1_chaos_matrix ~jobs ~quick ());
     ("C2", fun ~quick ~jobs -> c2_crash_recovery ~jobs ~quick ());
     ("C3", fun ~quick ~jobs -> c3_storm_matrix ~jobs ~quick ());

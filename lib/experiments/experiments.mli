@@ -93,6 +93,14 @@ val s3_churn_soak : ?jobs:int -> quick:bool -> unit -> table
     flows' budget for the returning cohort. Reports pre- vs post-churn
     goodput and the peak-memory/budget margin per seed. *)
 
+val s4_sharded_scale : ?jobs:int -> quick:bool -> unit -> table
+(** S1 carried two decades further: 1k -> 100k flows (smaller when
+    [quick]) through the cell-partitioned fabric ({!Ba_proto.Shard}),
+    the shared bottleneck realised as per-cell capacity leases
+    reconciled at epoch barriers. Only deterministic columns (delivered,
+    completion, ticks, goodput, lease counters); the machine-dependent
+    flows/sec and bytes-per-flow live in [BENCH_campaigns.json]. *)
+
 val c2_crash_recovery : ?jobs:int -> quick:bool -> unit -> table
 (** Crash–restart recovery: the {!Ba_verify.Chaos.Crash} class (sender,
     receiver and staggered double crashes, seed-derived) against the

@@ -93,6 +93,20 @@ val jain : float list -> float
     allocation, [1/n] is one flow hoarding everything. 1.0 on degenerate
     input (empty list, or all zeros). *)
 
+val flow_cost : spec -> clamp:int -> int
+(** Worst-case payload bytes one flow can pin under a window clamp:
+    [2 · min window clamp · payload_size] (retransmit buffer plus
+    reassembly window). The admission unit of account. *)
+
+val plan_admission : budget:int -> spec list -> spec list * int * int option
+(** [plan_admission ~budget specs] is the graceful-degradation decision
+    {!run} applies for [memory_budget]: [(admitted, refused, clamp)] —
+    everyone unclamped if peak concurrent cost fits; else everyone under
+    the largest uniform window clamp that fits; else clamp 1 and the
+    longest spec prefix that fits, the rest refused. Raises
+    [Invalid_argument] when not even one clamped flow fits. Exported so
+    {!Shard} can make the {e same} decision cell-locally. *)
+
 val run :
   ?seed:int ->
   ?data_loss:float ->

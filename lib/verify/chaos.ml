@@ -273,9 +273,10 @@ let run_campaign ?messages ?config ?(seeds = default_seeds) ?(classes = all_clas
   let (module P : Ba_proto.Protocol.S) = protocol in
   (* The campaign is a grid of independent (fault, seed) cells: each run
      builds its own engine and derives every random stream from its own
-     seed, so the cells farm out to a domain pool. Pool.map returns the
-     outcomes in input order, which makes the fold below — and therefore
-     the whole report — identical at any job count. *)
+     seed, so the cells farm out to a domain pool. Pool.map_chunks
+     batches neighbouring cells into one queue entry each and returns
+     the outcomes in input order, which makes the fold below — and
+     therefore the whole report — identical at any job count. *)
   (* The crash class — and the storm, which contains one — only makes
      sense against protocols implementing the crash-restart lifecycle;
      for the rest it is reported as skipped rather than silently
@@ -289,7 +290,7 @@ let run_campaign ?messages ?config ?(seeds = default_seeds) ?(classes = all_clas
       classes
   in
   let outcomes =
-    Ba_parallel.Pool.map ?pool ~jobs
+    Ba_parallel.Pool.map_chunks ?pool ~jobs
       (fun (fault, seed) -> run_cell ?messages ?config protocol fault ~seed)
       cells
   in

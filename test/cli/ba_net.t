@@ -71,3 +71,47 @@ byte-identical at any job count:
   $ ../../bin/ba_net.exe --sweep 0,2
   ba_net: --sweep counts must be positive (got 0)
   [2]
+
+
+--scale runs the cell-partitioned fabric (Ba_proto.Shard): flows are
+dealt into fixed-size cells, the shared bottleneck becomes per-cell
+capacity leases reconciled at epoch barriers, and stdout is a pure
+function of the model parameters. Machine-dependent figures (wall
+clock, flows/sec, heap bytes per flow) go to stderr, discarded here:
+
+  $ ../../bin/ba_net.exe --scale 60 --cell 16 --messages 4 --capacity 1:512 \
+  >     --mix blockack-multi:2,go-back-n:1,selective-repeat:1 2>/dev/null | tee scale.ref
+  flows=60 cells=4 messages=240
+  delivered=240 duplicates=0 misordered=0 corrupted=0 completed-flows=60
+  departed=0 refused=0 clamped-cells=0
+  data-sent=240 acks-sent=240 retransmissions=0 pressure-drops=0
+  lease-drops=0 lease-rebalances=0
+  quarantine-events=0 watchdog-resyncs=0 quarantined=0
+  mem-peak=0B ticks=340 epochs=1 completed=true goodput=705.88/ktick
+  latency: p50=152 p99=280 max=290 (n=240)
+  scale-verdict: flows=60 safety=pass completion=pass result=PASS
+
+Shards and jobs are scheduling knobs, never semantics: any --shards and
+any --jobs reproduce the reference byte for byte — including an absurd
+BA_JOBS, which is clamped (to 4x the machine's recommended domain
+count) instead of spawning 100000 domains:
+
+  $ ../../bin/ba_net.exe --scale 60 --cell 16 --messages 4 --capacity 1:512 \
+  >     --mix blockack-multi:2,go-back-n:1,selective-repeat:1 --jobs 4 --shards 3 2>/dev/null | cmp - scale.ref
+  $ ../../bin/ba_net.exe --scale 60 --cell 16 --messages 4 --capacity 1:512 \
+  >     --mix blockack-multi:2,go-back-n:1,selective-repeat:1 --jobs 1 --shards 7 2>/dev/null | cmp - scale.ref
+  $ BA_JOBS=100000 ../../bin/ba_net.exe --scale 60 --cell 16 --messages 4 --capacity 1:512 \
+  >     --mix blockack-multi:2,go-back-n:1,selective-repeat:1 2>/dev/null | cmp - scale.ref
+
+The sharding knobs belong to --scale and are rejected elsewhere, like
+the soak-only flags:
+
+  $ ../../bin/ba_net.exe --shards 2 -m 5
+  ba_net: --shards requires --scale
+  [2]
+  $ ../../bin/ba_net.exe --cell 64 -m 5
+  ba_net: --cell requires --scale
+  [2]
+  $ ../../bin/ba_net.exe --scale 0
+  ba_net: --scale flows must be positive (got 0)
+  [2]

@@ -78,6 +78,68 @@ let test_chaos_campaign_jobs_invariant () =
      every class and the replayable first_failure cells. *)
   check Alcotest.bool "campaign identical at jobs 1 vs 4" true (run 1 = run 4)
 
+let test_map_chunks_matches_list_map () =
+  let xs = List.init 257 Fun.id in
+  let f x = (7 * x) - (x * x / 3) in
+  List.iter
+    (fun (jobs, chunk) ->
+      check
+        Alcotest.(list int)
+        (Printf.sprintf "jobs=%d chunk=%s" jobs
+           (match chunk with Some c -> string_of_int c | None -> "auto"))
+        (List.map f xs)
+        (Pool.map_chunks ~jobs ?chunk f xs))
+    [ (1, None); (4, None); (4, Some 1); (4, Some 7); (4, Some 1000); (3, Some 64) ];
+  check Alcotest.(list int) "empty input" [] (Pool.map_chunks ~jobs:4 f []);
+  Pool.with_pool ~jobs:3 (fun pool ->
+      check
+        Alcotest.(list int)
+        "explicit pool" (List.map f xs)
+        (Pool.map_chunks ~pool f xs))
+
+let test_map_chunks_exception_order () =
+  let xs = List.init 50 Fun.id in
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map_chunks ~jobs ~chunk:4
+          (fun x -> if x mod 11 = 5 then raise (Boom x) else x)
+          xs
+      with
+      | _ -> Alcotest.fail "expected Boom to propagate"
+      | exception Boom x ->
+          check Alcotest.int (Printf.sprintf "jobs=%d first failure" jobs) 5 x)
+    [ 1; 4 ]
+
+let test_jobs1_spawns_no_domain () =
+  (* The zero-domain pin: sequential work must never pay for domains —
+     not in [create], not in [map], not in [map_chunks]. *)
+  let before = Pool.spawned_domains () in
+  let pool = Pool.create ~jobs:1 () in
+  Pool.shutdown pool;
+  ignore (Pool.map ~jobs:1 succ (List.init 100 Fun.id));
+  ignore (Pool.map_chunks ~jobs:1 succ (List.init 100 Fun.id));
+  check Alcotest.int "jobs=1 spawned nothing" before (Pool.spawned_domains ());
+  (* And whatever the requested parallelism, spawns are capped at the
+     hardware: jobs=64 on an n-core host starts at most n-1 domains. *)
+  let cap = max 0 (Domain.recommended_domain_count () - 1) in
+  Pool.with_pool ~jobs:64 (fun _ -> ());
+  check Alcotest.bool "spawns capped at hardware" true
+    (Pool.spawned_domains () - before <= cap)
+
+let test_jobs_clamped_at_max () =
+  check Alcotest.int "max_jobs = 4x hardware" (4 * Domain.recommended_domain_count ())
+    (Pool.max_jobs ());
+  let pool = Pool.create ~jobs:(Pool.max_jobs () + 1000) () in
+  let reported = Pool.jobs pool in
+  Pool.shutdown pool;
+  check Alcotest.int "absurd jobs clamped" (Pool.max_jobs ()) reported
+
+let test_domain_rng_is_per_domain_scratch () =
+  let r = Pool.domain_rng () in
+  ignore (Ba_util.Rng.int r 1000);
+  check Alcotest.bool "same stream within a domain" true (r == Pool.domain_rng ())
+
 let test_s1_sweep_jobs_invariant () =
   let a = E.s1_scaling ~jobs:1 ~quick:true () in
   let b = E.s1_scaling ~jobs:4 ~quick:true () in
@@ -99,6 +161,14 @@ let () =
           Alcotest.test_case "exceptions propagate in order" `Quick test_exception_propagates;
           Alcotest.test_case "pool reuse across batches" `Quick test_pool_reuse_across_batches;
           Alcotest.test_case "invalid jobs rejected" `Quick test_invalid_jobs_rejected;
+          Alcotest.test_case "map_chunks matches List.map" `Quick
+            test_map_chunks_matches_list_map;
+          Alcotest.test_case "map_chunks exception order" `Quick
+            test_map_chunks_exception_order;
+          Alcotest.test_case "jobs=1 spawns no domain" `Quick test_jobs1_spawns_no_domain;
+          Alcotest.test_case "absurd jobs clamped" `Quick test_jobs_clamped_at_max;
+          Alcotest.test_case "domain rng is per-domain scratch" `Quick
+            test_domain_rng_is_per_domain_scratch;
         ] );
       ( "campaigns",
         [
