@@ -315,6 +315,131 @@ let scale_campaign ~quick ~jobs =
     rows;
   rows
 
+(* ---- the real-transport campaign (N1) -------------------------------
+   The same protocol, config and fault plan run twice: once over the
+   simulated channel (virtual ticks, mapped to milliseconds at the
+   transport's tick_us) and once over real loopback UDP through lib/net
+   — sockets, wall-clock retransmission timers and the socket-boundary
+   impairment shim. Sim-side counters are deterministic; the UDP side's
+   throughput and latency are this machine's. *)
+
+let net_tick_us = 200
+let net_plan_str = "ge(0.02->0.3,l=0.05/0.3)+dup(0.03x2)+spike(0.03,+30)"
+
+let net_plan () =
+  match Ba_channel.Fault_plan.of_string net_plan_str with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let net_entry () =
+  match Ba_registry.Registry.find "blockack" with Some e -> e | None -> assert false
+
+(* rto 250 ticks = 50 ms of real silence at tick_us = 200; modulus
+   defaults to the registry's 2w for blockack. *)
+let net_config e = Ba_registry.Registry.config ~window:16 ~rto:250 e ()
+
+type net_row = {
+  nr_backend : string;  (** "sim" | "udp" *)
+  nr_faults : string;  (** "none" | "lossy" (the 5%-baseline shim plan) *)
+  nr_completed : bool;
+  nr_msgs_s : float;
+  nr_retx : int;
+  nr_p50_ms : float;
+  nr_p99_ms : float;
+  nr_clean : bool;  (** delivered exactly once, in order, digest intact *)
+}
+
+let net_sim_row ~messages ~lossy =
+  let e = net_entry () in
+  (* Fresh plan values per link: a compiled plan carries per-link fault
+     state, so the two directions must not share one. *)
+  let data_plan = if lossy then Some (net_plan ()) else None in
+  let ack_plan = if lossy then Some (net_plan ()) else None in
+  let r =
+    Ba_proto.Harness.run e.Ba_registry.Registry.protocol ~seed:3 ~messages ~payload_size:32
+      ~config:(net_config e) ~data_delay:(Ba_channel.Dist.Constant 1)
+      ~ack_delay:(Ba_channel.Dist.Constant 1) ?data_plan ?ack_plan ()
+  in
+  let ms_of_ticks t = t *. float_of_int net_tick_us /. 1000. in
+  let wall_virtual_s = float_of_int r.Ba_proto.Harness.ticks *. float_of_int net_tick_us *. 1e-6 in
+  {
+    nr_backend = "sim";
+    nr_faults = (if lossy then "lossy" else "none");
+    nr_completed = r.Ba_proto.Harness.completed;
+    nr_msgs_s =
+      (if wall_virtual_s > 0. then float_of_int r.Ba_proto.Harness.delivered /. wall_virtual_s
+       else 0.);
+    nr_retx = r.Ba_proto.Harness.retransmissions;
+    nr_p50_ms =
+      (match r.Ba_proto.Harness.latency with Some s -> ms_of_ticks s.Ba_util.Stats.p50 | None -> 0.);
+    nr_p99_ms =
+      (match r.Ba_proto.Harness.latency with Some s -> ms_of_ticks s.Ba_util.Stats.p99 | None -> 0.);
+    nr_clean =
+      r.Ba_proto.Harness.completed
+      && r.Ba_proto.Harness.duplicates = 0
+      && r.Ba_proto.Harness.misordered = 0
+      && r.Ba_proto.Harness.corrupted = 0;
+  }
+
+let net_udp_outcome ~messages ~lossy =
+  let e = net_entry () in
+  let plan = if lossy then Some (net_plan ()) else None in
+  Ba_transport.Endpoint.Pair.run ~protocol:e.Ba_registry.Registry.protocol
+    ~config:(net_config e) ~messages ~payload_size:32 ~wseed:3 ?plan ~impair_seed:11
+    ~tick_us:net_tick_us ~deadline_s:45. ()
+
+let net_udp_clean (o : Ba_transport.Endpoint.Pair.outcome) =
+  o.Ba_transport.Endpoint.Pair.completed
+  && o.Ba_transport.Endpoint.Pair.duplicates = 0
+  && o.Ba_transport.Endpoint.Pair.misordered = 0
+  && o.Ba_transport.Endpoint.Pair.corrupted = 0
+  && o.Ba_transport.Endpoint.Pair.digest = o.Ba_transport.Endpoint.Pair.digest_expected
+
+let net_udp_row ~messages ~lossy =
+  let open Ba_transport.Endpoint.Pair in
+  let o = net_udp_outcome ~messages ~lossy in
+  let module Q = Ba_util.Qsketch in
+  let q p = if Q.count o.latency_ms = 0 then 0. else Q.quantile o.latency_ms p in
+  {
+    nr_backend = "udp";
+    nr_faults = (if lossy then "lossy" else "none");
+    nr_completed = o.completed;
+    nr_msgs_s = o.msgs_per_s;
+    nr_retx = o.retransmissions;
+    nr_p50_ms = q 0.5;
+    nr_p99_ms = q 0.99;
+    nr_clean = net_udp_clean o;
+  }
+
+let net_campaign ~quick =
+  let messages = if quick then 120 else 300 in
+  let rows =
+    [
+      net_sim_row ~messages ~lossy:false;
+      net_udp_row ~messages ~lossy:false;
+      net_sim_row ~messages ~lossy:true;
+      net_udp_row ~messages ~lossy:true;
+    ]
+  in
+  Printf.printf
+    "\n=== real-transport campaign (N1: sim vs loopback UDP, blockack, %d x 32 B) ===\n" messages;
+  Ba_util.Table.print
+    ~headers:[ "backend"; "faults"; "completed"; "msgs/s"; "retx"; "p50 ms"; "p99 ms"; "clean" ]
+    (List.map
+       (fun r ->
+         [
+           r.nr_backend;
+           r.nr_faults;
+           string_of_bool r.nr_completed;
+           Printf.sprintf "%.0f" r.nr_msgs_s;
+           string_of_int r.nr_retx;
+           Printf.sprintf "%.1f" r.nr_p50_ms;
+           Printf.sprintf "%.1f" r.nr_p99_ms;
+           string_of_bool r.nr_clean;
+         ])
+       rows);
+  rows
+
 (* Warm every workload, then interleave the timed rounds round-robin.
    Measuring one workload's N runs back-to-back before the next one even
    starts biases the comparison: process and machine state (branch
@@ -403,7 +528,30 @@ let check () =
   Printf.printf "check: scale state %d B/flow %s ceiling (%d B/flow)\n" b_per_flow
     (if state_ok then "within" else "EXCEEDS")
     scale_state_ceiling;
-  if time_ok && alloc_ok && fps_ok && state_ok then begin
+  (* 4. the real transport must carry a blockack transfer over loopback
+     UDP through the 5%-baseline impairment shim: completion, zero
+     safety violations (no duplicate, misordered or corrupted delivery,
+     digest intact) and bounded wall time. The cap carries ~10x headroom
+     over the reference container so scheduler noise cannot trip it. *)
+  let net_messages = 150 in
+  let net_cap_s = 30. in
+  let o, net_wall =
+    wall (fun () -> net_udp_outcome ~messages:net_messages ~lossy:true)
+  in
+  let open Ba_transport.Endpoint.Pair in
+  let net_wall_ok = net_wall <= net_cap_s in
+  let net_ok = net_udp_clean o && net_wall_ok in
+  Printf.printf
+    "check: net loopback %d/%d %s under impairment (dup=%d ooo=%d corrupt=%d digest %s, wall \
+     %.1fs %s %.0fs cap)\n"
+    o.delivered net_messages
+    (if net_udp_clean o then "clean" else "NOT CLEAN")
+    o.duplicates o.misordered o.corrupted
+    (if o.digest = o.digest_expected then "ok" else "MISMATCH")
+    net_wall
+    (if net_wall_ok then "within" else "EXCEEDS")
+    net_cap_s;
+  if time_ok && alloc_ok && fps_ok && state_ok && net_ok then begin
     print_endline "check: OK";
     exit 0
   end
@@ -512,7 +660,7 @@ let selftime_chaos_matrix ~quick ~jobs =
     (if Domain.recommended_domain_count () = 1 then "" else "s");
   (s_seq, s_par, speedup)
 
-let write_json file ~quick ~jobs ~grid_times ~selftime ~soak ~scale ~bench_rows =
+let write_json file ~quick ~jobs ~grid_times ~selftime ~soak ~scale ~net ~bench_rows =
   let open Ba_util.Json in
   let soak_json =
     match soak with
@@ -558,6 +706,23 @@ let write_json file ~quick ~jobs ~grid_times ~selftime ~soak ~scale ~bench_rows 
              ])
          scale)
   in
+  let net_json =
+    List
+      (List.map
+         (fun r ->
+           Obj
+             [
+               ("backend", String r.nr_backend);
+               ("faults", String r.nr_faults);
+               ("completed", Bool r.nr_completed);
+               ("msgs_per_s", Float r.nr_msgs_s);
+               ("retransmissions", Int r.nr_retx);
+               ("p50_ms", Float r.nr_p50_ms);
+               ("p99_ms", Float r.nr_p99_ms);
+               ("clean", Bool r.nr_clean);
+             ])
+         net)
+  in
   let json =
     Obj
       [
@@ -573,6 +738,7 @@ let write_json file ~quick ~jobs ~grid_times ~selftime ~soak ~scale ~bench_rows 
         ("selftime", selftime_json);
         ("soak", soak_json);
         ("scale", scale_json);
+        ("net", net_json);
         ( "microbench",
           List
             (List.map
@@ -667,9 +833,10 @@ let () =
   let scale =
     if no_tables && !json_file = None then [] else scale_campaign ~quick ~jobs
   in
+  let net = if no_tables && !json_file = None then [] else net_campaign ~quick in
   let bench_rows = if no_bench then [] else run_benchmarks ~jobs in
   match !json_file with
   | Some file ->
       write_json file ~quick ~jobs ~grid_times:(List.rev !grid_times) ~selftime ~soak ~scale
-        ~bench_rows
+        ~net ~bench_rows
   | None -> ()

@@ -106,6 +106,15 @@ let of_string s =
     | None -> Ok (Some v)
     | Some _ -> Error (Printf.sprintf "duplicate %s fault in plan %S" what s)
   in
+  (* Range-check each token's contribution the moment it parses, so an
+     out-of-range value is reported against the token that carried it
+     ("token \"out[10,5)\": …") rather than as a whole-plan validation
+     failure that names neither token nor position. *)
+  let checked tok piece =
+    match validate piece with
+    | () -> Ok ()
+    | exception Invalid_argument m -> Error (Printf.sprintf "bad fault token %S: %s" tok m)
+  in
   let rec go acc = function
     | [] -> Ok acc
     | tok :: rest ->
@@ -113,26 +122,33 @@ let of_string s =
         let* acc =
           match try_scan tok "ge(%f->%f,l=%f/%f)%!" (fun a b c d -> (a, b, c, d)) with
           | Some (p_enter_bad, p_exit_bad, loss_good, loss_bad) ->
-              let* g = once "ge" bursty { p_enter_bad; p_exit_bad; loss_good; loss_bad } in
+              let g = { p_enter_bad; p_exit_bad; loss_good; loss_bad } in
+              let* () = checked tok { none with bursty = Some g } in
+              let* g = once "ge" bursty g in
               Ok (g, dup, corr, spike, outs)
           | None -> (
               match try_scan tok "dup(%fx%d)%!" (fun p c -> (p, c)) with
-              | Some d ->
-                  let* d = once "dup" dup d in
+              | Some (p, c) ->
+                  let* () = checked tok { none with duplicate = p; copies = c } in
+                  let* d = once "dup" dup (p, c) in
                   Ok (bursty, d, corr, spike, outs)
               | None -> (
                   match try_scan tok "corr(%f)%!" (fun p -> p) with
                   | Some c ->
+                      let* () = checked tok { none with corrupt = c } in
                       let* c = once "corr" corr c in
                       Ok (bursty, dup, c, spike, outs)
                   | None -> (
                       match try_scan tok "spike(%f,+%d)%!" (fun p d -> (p, d)) with
                       | Some sp ->
+                          let* () = checked tok { none with delay_spike = Some sp } in
                           let* sp = once "spike" spike sp in
                           Ok (bursty, dup, corr, sp, outs)
                       | None -> (
                           match try_scan tok "out[%d,%d)%!" (fun a b -> { from_tick = a; until_tick = b }) with
-                          | Some o -> Ok (bursty, dup, corr, spike, o :: outs)
+                          | Some o ->
+                              let* () = checked tok { none with outages = [ o ] } in
+                              Ok (bursty, dup, corr, spike, o :: outs)
                           | None -> Error (Printf.sprintf "unrecognized fault token %S in plan %S" tok s)))))
         in
         go acc rest

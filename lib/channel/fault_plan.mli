@@ -88,7 +88,8 @@ val of_string : string -> (t, string) result
     bracket depth 0 (a [spike(p,+d)] token's inner ['+'] is kept);
     ["none"] parses to {!none}. Returns [Error msg] on an unknown
     token, a duplicated singleton fault, or a plan that fails
-    {!validate}. *)
+    {!validate}; range failures are reported against the offending
+    token (e.g. [bad fault token "out[10,5)": …]). *)
 
 (** {2 Instances}
 

@@ -7,6 +7,8 @@ module Common_receiver = struct
   let receiver_crash = Receiver.crash
   let receiver_restart = Receiver.restart
   let receiver_resync_rounds = Receiver.resync_rounds
+  let receiver_position = Receiver.nr
+  let receiver_restore = Receiver.restore
   let receiver_mem_bytes = Receiver.buffered_bytes
   let receiver_pressure_dropped = Receiver.pressure_dropped
 end

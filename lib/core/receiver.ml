@@ -265,6 +265,27 @@ let restart t =
     end
   end
 
+(* A new *process* incarnation: unlike [restart] (same process, volatile
+   state wiped in place), the caller rebuilt this receiver from nothing
+   and now replays what its stable storage remembered — the incarnation
+   epoch and the delivered count. The caller passes the *new* epoch
+   (persisted + 1, bumped exactly as [restart] would); announcing POS
+   with retries then runs the same handshake a within-process restart
+   does, so the sender side cannot tell the difference. *)
+let restore t ~epoch ~pos =
+  if not t.config.Config.resync_epochs then
+    invalid_arg "Receiver.restore: requires resync_epochs";
+  if epoch < 1 then invalid_arg "Receiver.restore: epoch must be >= 1";
+  if pos < 0 then invalid_arg "Receiver.restore: negative position";
+  if (not t.alive) || t.nr <> 0 || t.vr <> 0 || t.buf_occ <> 0 || t.epoch <> 0 then
+    invalid_arg "Receiver.restore: receiver already has state";
+  t.epoch <- epoch;
+  t.nr <- pos;
+  t.vr <- pos;
+  t.restarts <- t.restarts + 1;
+  t.syncing <- true;
+  send_pos t
+
 let nr t = t.nr
 let vr t = t.vr
 let buffered t = t.buf_occ

@@ -76,6 +76,18 @@ val flush : t -> unit
 val crash : t -> unit
 val restart : t -> unit
 
+val restore : t -> epoch:int -> pos:int -> unit
+(** Rebuild a {e fresh} receiver as the next incarnation of a dead
+    process: adopt the persisted delivered count [pos] and the new
+    [epoch] (persisted epoch + 1 — the caller bumps, exactly as
+    [restart] would have), then announce POS with retries until the
+    sender confirms. This is [crash] + [restart] for the case where the
+    process itself died and its successor only has stable storage — the
+    real-transport server uses it after a kill. Raises
+    [Invalid_argument] unless [resync_epochs] is set, [epoch >= 1],
+    [pos >= 0] and the receiver is still pristine (nothing delivered,
+    nothing buffered, epoch 0). *)
+
 val alive : t -> bool
 val epoch : t -> int
 val syncing : t -> bool

@@ -1,0 +1,115 @@
+type frame = Data of Ba_proto.Wire.data | Ack of Ba_proto.Wire.ack
+
+let version = 1
+let magic = 0xBA
+let max_payload = 60 * 1024
+let data_header_len = 28
+let ack_len = 32
+let max_datagram = data_header_len + max_payload
+
+let data_kind_tag = function
+  | Ba_proto.Wire.Msg -> 0
+  | Ba_proto.Wire.Sync_req -> 1
+  | Ba_proto.Wire.Sync_fin -> 2
+
+let data_kind_of_tag = function
+  | 0 -> Some Ba_proto.Wire.Msg
+  | 1 -> Some Ba_proto.Wire.Sync_req
+  | 2 -> Some Ba_proto.Wire.Sync_fin
+  | _ -> None
+
+let ack_kind_tag = function Ba_proto.Wire.Ack -> 0 | Ba_proto.Wire.Sync_pos -> 1
+let ack_kind_of_tag = function 0 -> Some Ba_proto.Wire.Ack | 1 -> Some Ba_proto.Wire.Sync_pos | _ -> None
+
+let encoded_len = function
+  | Data d -> data_header_len + String.length d.Ba_proto.Wire.payload
+  | Ack _ -> ack_len
+
+(* Every integer field is non-negative by construction (sequence numbers
+   come out of [Seqcodec.encode], checksums are [land max_int]-ed), so
+   the sign bit doubles as a cheap decode-side sanity check. *)
+let put_nat64 buf off v name =
+  if v < 0 then invalid_arg (Printf.sprintf "Codec.encode: negative %s" name);
+  Bytes.set_int64_le buf off (Int64.of_int v)
+
+let put_nat32 buf off v name =
+  if v < 0 || v > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Codec.encode: %s out of u32 range" name);
+  Bytes.set_int32_le buf off (Int32.of_int v)
+
+let encode buf f =
+  let n = encoded_len f in
+  if Bytes.length buf < n then invalid_arg "Codec.encode: buffer too small";
+  (match f with
+  | Data d ->
+      let pl = String.length d.Ba_proto.Wire.payload in
+      if pl > max_payload then invalid_arg "Codec.encode: payload exceeds max_payload";
+      Bytes.set_uint8 buf 0 magic;
+      Bytes.set_uint8 buf 1 version;
+      Bytes.set_uint8 buf 2 0;
+      Bytes.set_uint8 buf 3 (data_kind_tag d.Ba_proto.Wire.dkind);
+      put_nat32 buf 4 d.Ba_proto.Wire.epoch "epoch";
+      put_nat64 buf 8 d.Ba_proto.Wire.seq "seq";
+      put_nat64 buf 16 d.Ba_proto.Wire.check "check";
+      put_nat32 buf 24 pl "payload length";
+      Bytes.blit_string d.Ba_proto.Wire.payload 0 buf data_header_len pl
+  | Ack a ->
+      Bytes.set_uint8 buf 0 magic;
+      Bytes.set_uint8 buf 1 version;
+      Bytes.set_uint8 buf 2 1;
+      Bytes.set_uint8 buf 3 (ack_kind_tag a.Ba_proto.Wire.akind);
+      put_nat32 buf 4 a.Ba_proto.Wire.epoch "epoch";
+      put_nat64 buf 8 a.Ba_proto.Wire.lo "lo";
+      put_nat64 buf 16 a.Ba_proto.Wire.hi "hi";
+      put_nat64 buf 24 a.Ba_proto.Wire.check "check")
+  ;
+  n
+
+(* An i64 field is acceptable iff it round-trips through the OCaml int
+   it will live in and is non-negative — a negative or 2^62-ish value
+   cannot have come from [encode]. *)
+let get_nat64 buf off =
+  let v64 = Bytes.get_int64_le buf off in
+  let v = Int64.to_int v64 in
+  if v < 0 || Int64.of_int v <> v64 then None else Some v
+
+let get_u32 buf off = Int32.to_int (Bytes.get_int32_le buf off) land 0xFFFFFFFF
+
+let decode buf ~len =
+  if len < 4 then Error "short datagram"
+  else if Bytes.get_uint8 buf 0 <> magic then Error "bad magic"
+  else if Bytes.get_uint8 buf 1 <> version then Error "unknown codec version"
+  else
+    match Bytes.get_uint8 buf 2 with
+    | 0 -> (
+        if len < data_header_len then Error "truncated data header"
+        else
+          match data_kind_of_tag (Bytes.get_uint8 buf 3) with
+          | None -> Error "unknown data kind"
+          | Some dkind -> (
+              let epoch = get_u32 buf 4 in
+              match (get_nat64 buf 8, get_nat64 buf 16) with
+              | Some seq, Some check ->
+                  let pl = get_u32 buf 24 in
+                  if pl > max_payload then Error "payload length exceeds limit"
+                  else if data_header_len + pl <> len then Error "payload length mismatch"
+                  else
+                    let payload = Bytes.sub_string buf data_header_len pl in
+                    Ok (Data { Ba_proto.Wire.seq; payload; epoch; dkind; check })
+              | _ -> Error "field out of range"))
+    | 1 -> (
+        if len <> ack_len then Error "bad ack length"
+        else
+          match ack_kind_of_tag (Bytes.get_uint8 buf 3) with
+          | None -> Error "unknown ack kind"
+          | Some akind -> (
+              let epoch = get_u32 buf 4 in
+              match (get_nat64 buf 8, get_nat64 buf 16, get_nat64 buf 24) with
+              | Some lo, Some hi, Some check ->
+                  Ok (Ack { Ba_proto.Wire.lo; hi; epoch; akind; check })
+              | _ -> Error "field out of range"))
+    | _ -> Error "unknown frame class"
+
+let frame_ok = function
+  | Data d -> Ba_proto.Wire.data_ok d
+  | Ack a -> Ba_proto.Wire.ack_ok a

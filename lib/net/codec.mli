@@ -1,0 +1,63 @@
+(** Binary wire codec for {!Ba_proto.Wire} frames on a real datagram
+    transport.
+
+    One frame per UDP datagram, in a fixed little-endian layout:
+
+    {v
+    off 0      magic 0xBA
+    off 1      codec version (1)
+    off 2      frame class: 0 = data, 1 = ack
+    off 3      subkind tag (Msg/Sync_req/Sync_fin or Ack/Sync_pos)
+    off 4..7   incarnation epoch           (u32)
+    -- data --                    -- ack --
+    off 8..15  seq        (i64)   lo       (i64)
+    off 16..23 check      (i64)   hi       (i64)
+    off 24..27 payload len (u32)  check    (i64, off 24..31)
+    off 28..   payload bytes
+    v}
+
+    The payload is length-prefixed and the prefix must account for the
+    datagram exactly — a truncated or padded datagram is rejected, not
+    partially parsed. {!decode} never raises: every malformed input
+    (short buffer, bad magic, unknown version or kind, negative or
+    non-representable field, length mismatch) comes back as [Error],
+    because on a real socket "garbage arrived" is an ordinary event.
+    The frame checksum travels as an opaque field — the codec does not
+    recompute it, so endpoint-side {!Ba_proto.Wire.data_ok} validation
+    catches in-flight corruption exactly as it does in simulation. *)
+
+type frame = Data of Ba_proto.Wire.data | Ack of Ba_proto.Wire.ack
+
+val version : int
+
+val max_payload : int
+(** Largest encodable payload (60 KiB — under the UDP datagram limit
+    with headers to spare). *)
+
+val data_header_len : int
+(** Bytes before the payload of a data frame (28). *)
+
+val ack_len : int
+(** Exact encoded size of an ack frame (32). *)
+
+val max_datagram : int
+(** [data_header_len + max_payload]; a receive buffer of this size
+    never truncates a conforming frame. *)
+
+val encoded_len : frame -> int
+
+val encode : Bytes.t -> frame -> int
+(** [encode buf f] writes [f] at offset 0 and returns the encoded
+    length. Raises [Invalid_argument] when [buf] is too small, the
+    payload exceeds {!max_payload}, or a field is negative — encoding
+    failures are programming errors, unlike decoding ones. *)
+
+val decode : Bytes.t -> len:int -> (frame, string) result
+(** Parse the first [len] bytes of [buf]. Never raises (given
+    [0 <= len <= Bytes.length buf]); the [Error] string says what was
+    wrong, for diagnostics counters. The returned frame is freshly
+    allocated — it aliases nothing in [buf]. *)
+
+val frame_ok : frame -> bool
+(** Endpoint-side integrity: the embedded checksum matches the decoded
+    contents ({!Ba_proto.Wire.data_ok} / {!Ba_proto.Wire.ack_ok}). *)

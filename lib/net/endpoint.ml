@@ -1,0 +1,358 @@
+module W = Ba_proto.Wire
+
+(* Same multiply-xor fold as the frame checksums, over (index, payload)
+   pairs: a per-byte rate is fine here because it runs once per
+   delivery, not per retransmission. *)
+let fnv_prime = 0x100000001b3
+let digest_seed = 0x3bf29ce484222325
+
+let digest_add d ~index ~payload =
+  let h = ref ((d lxor index) * fnv_prime land max_int) in
+  for i = 0 to String.length payload - 1 do
+    h := (!h lxor Char.code (String.unsafe_get payload i)) * fnv_prime land max_int
+  done;
+  !h
+
+let expected_digest ~wseed ~payload_size ~messages =
+  let d = ref digest_seed in
+  for i = 0 to messages - 1 do
+    d :=
+      digest_add !d ~index:i
+        ~payload:(Ba_proto.Workload.payload ~seed:wseed ~size:payload_size i)
+  done;
+  !d
+
+module Server = struct
+  type t = {
+    messages : int;
+    next : int ref;
+    dig : int ref;
+    epoch : int ref;
+    dups : int ref;
+    misordered : int ref;
+    corrupted : int ref;
+    acks : int ref;
+    stray : int ref;
+    peer : Unix.sockaddr option ref;
+    shim : Shim.t;
+    feed : W.data -> unit;
+    resync_rounds_ : unit -> int;
+  }
+
+  let create ~engine ~protocol:(module P : Ba_proto.Protocol.S) ~config ~messages
+      ~payload_size ~wseed ?restore ?on_deliver ?plan ?(impair_seed = 1) ~send () =
+    let peer = ref None in
+    let shim =
+      Shim.create engine ?plan ~seed:impair_seed
+        ~transmit:(fun buf len -> match !peer with Some a -> send a buf len | None -> ())
+        ()
+    in
+    let buf = Bytes.create Codec.max_datagram in
+    let next = ref 0
+    and dig = ref digest_seed
+    and epoch = ref 0
+    and dups = ref 0
+    and misordered = ref 0
+    and corrupted = ref 0
+    and acks = ref 0 in
+    let notify () =
+      match on_deliver with
+      | Some f -> f ~epoch:!epoch ~pos:!next ~digest:!dig
+      | None -> ()
+    in
+    let deliver payload =
+      match Ba_proto.Workload.index_of payload with
+      | None -> incr corrupted
+      | Some i when i < 0 || i >= messages -> incr corrupted
+      | Some i ->
+          if
+            not
+              (String.equal payload
+                 (Ba_proto.Workload.payload ~seed:wseed ~size:payload_size i))
+          then incr corrupted
+          else if i < !next then incr dups
+          else begin
+            if i > !next then incr misordered;
+            dig := digest_add !dig ~index:i ~payload;
+            next := i + 1;
+            notify ()
+          end
+    in
+    let r =
+      P.create_receiver engine config
+        ~tx:(fun a ->
+          if a.W.epoch > !epoch then epoch := a.W.epoch;
+          incr acks;
+          let len = Codec.encode buf (Codec.Ack a) in
+          Shim.send shim buf len)
+        ~deliver
+    in
+    (match restore with
+    | None -> ()
+    | Some (e, pos, d) ->
+        P.receiver_restore r ~epoch:e ~pos;
+        if e > !epoch then epoch := e;
+        next := pos;
+        dig := d);
+    {
+      messages;
+      next;
+      dig;
+      epoch;
+      dups;
+      misordered;
+      corrupted;
+      acks;
+      stray = ref 0;
+      peer;
+      shim;
+      feed = (fun d -> P.receiver_on_data r d);
+      resync_rounds_ = (fun () -> P.receiver_resync_rounds r);
+    }
+
+  let on_frame t frame from =
+    (* Learn (or re-learn) the peer from any arrival: a stale-epoch frame
+       the protocol will reject still tells a restarted process where
+       the client lives, which is what lets its POS out the door. *)
+    t.peer := Some from;
+    match frame with
+    | Codec.Data d -> t.feed d
+    | Codec.Ack _ -> incr t.stray
+
+  let peer t = !(t.peer)
+  let complete t = !(t.next) >= t.messages
+  let position t = !(t.next)
+  let epoch t = !(t.epoch)
+  let digest t = !(t.dig)
+  let duplicates t = !(t.dups)
+  let misordered t = !(t.misordered)
+  let corrupted t = !(t.corrupted)
+  let acks_sent t = !(t.acks)
+  let stray_frames t = !(t.stray)
+  let resync_rounds t = t.resync_rounds_ ()
+  let shim_stats t = Shim.stats t.shim
+end
+
+module Client = struct
+  type t = {
+    pulled : int ref;
+    pull_wall_ : float array;
+    watermark : int ref;
+    wd_resyncs : int ref;
+    dog : Ba_proto.Watchdog.t;
+    shim : Shim.t;
+    feed : W.ack -> unit;
+    pump_ : unit -> unit;
+    done_ : unit -> bool;
+    retx_ : unit -> int;
+    resync_rounds_ : unit -> int;
+    outstanding_ : unit -> int;
+    data_frames : int ref;
+    stray : int ref;
+  }
+
+  let create ~engine ~protocol:(module P : Ba_proto.Protocol.S) ~config ~messages
+      ~payload_size ~wseed ?(watchdog = Ba_proto.Watchdog.default_config) ?plan
+      ?(impair_seed = 1) ~send () =
+    let shim = Shim.create engine ?plan ~seed:impair_seed ~transmit:send () in
+    let buf = Bytes.create Codec.max_datagram in
+    let pulled = ref 0
+    and data_frames = ref 0 in
+    let pull_wall_ = Array.make (max 1 messages) (-1.) in
+    let supply = Ba_proto.Workload.supplier ~seed:wseed ~size:payload_size ~count:messages in
+    let next_payload () =
+      match supply () with
+      | None -> None
+      | Some p ->
+          (match Ba_proto.Workload.index_of p with
+          | Some i when i >= 0 && i < messages -> pull_wall_.(i) <- Unix.gettimeofday ()
+          | Some _ | None -> ());
+          incr pulled;
+          Some p
+    in
+    let s =
+      P.create_sender engine config
+        ~tx:(fun d ->
+          incr data_frames;
+          let len = Codec.encode buf (Codec.Data d) in
+          Shim.send shim buf len)
+        ~next_payload
+    in
+    let dog = Ba_proto.Watchdog.create watchdog in
+    let watermark = ref 0
+    and wd_resyncs = ref 0 in
+    let resync () =
+      incr wd_resyncs;
+      P.sender_crash s;
+      P.sender_restart s
+    in
+    (* The watchdog's clock is a self-re-arming engine slot, so under a
+       wall-clock driver "no progress for N checks" means N real check
+       intervals of silence — peer-death detection by timeout. *)
+    let slot_ref = ref None in
+    let check () =
+      let acked = !pulled - P.sender_outstanding s in
+      if acked > !watermark then watermark := acked;
+      (match
+         Ba_proto.Watchdog.observe dog ~delivered:!watermark ~completed:(P.sender_done s)
+       with
+      | Ba_proto.Watchdog.Nothing -> ()
+      | Ba_proto.Watchdog.Resync -> resync ()
+      | Ba_proto.Watchdog.Quarantine -> Shim.gate shim true
+      | Ba_proto.Watchdog.Release ->
+          Shim.gate shim false;
+          resync ());
+      match !slot_ref with
+      | Some slot ->
+          Ba_sim.Engine.slot_arm slot ~delay:watchdog.Ba_proto.Watchdog.check_interval
+      | None -> ()
+    in
+    let slot = Ba_sim.Engine.slot_create engine check in
+    slot_ref := Some slot;
+    Ba_sim.Engine.slot_arm slot ~delay:watchdog.Ba_proto.Watchdog.check_interval;
+    {
+      pulled;
+      pull_wall_;
+      watermark;
+      wd_resyncs;
+      dog;
+      shim;
+      feed = (fun a -> P.sender_on_ack s a);
+      pump_ = (fun () -> P.sender_pump s);
+      done_ = (fun () -> P.sender_done s);
+      retx_ = (fun () -> P.sender_retransmissions s);
+      resync_rounds_ = (fun () -> P.sender_resync_rounds s);
+      outstanding_ = (fun () -> P.sender_outstanding s);
+      data_frames;
+      stray = ref 0;
+    }
+
+  let on_frame t = function
+    | Codec.Ack a -> t.feed a
+    | Codec.Data _ -> incr t.stray
+
+  let pump t = t.pump_ ()
+  let finished t = t.done_ ()
+  let pulled t = !(t.pulled)
+
+  let acked t =
+    let live = !(t.pulled) - t.outstanding_ () in
+    if live > !(t.watermark) then t.watermark := live;
+    !(t.watermark)
+  let pull_wall t i = t.pull_wall_.(i)
+  let data_frames t = !(t.data_frames)
+  let stray_frames t = !(t.stray)
+  let retransmissions t = t.retx_ ()
+  let resync_rounds t = t.resync_rounds_ ()
+  let watchdog_resyncs t = !(t.wd_resyncs)
+  let quarantines t = Ba_proto.Watchdog.quarantine_events t.dog
+  let watchdog_state t = Ba_proto.Watchdog.state t.dog
+  let gated t = Shim.gated t.shim
+  let shim_stats t = Shim.stats t.shim
+end
+
+module Pair = struct
+  type outcome = {
+    completed : bool;
+    delivered : int;
+    duplicates : int;
+    misordered : int;
+    corrupted : int;
+    digest : int;
+    digest_expected : int;
+    retransmissions : int;
+    resync_rounds : int;
+    watchdog_resyncs : int;
+    wall_s : float;
+    msgs_per_s : float;
+    frames_tx : int;
+    frames_rx : int;
+    decode_errors : int;
+    send_errors : int;
+    latency_ms : Ba_util.Qsketch.t;
+    client_shim : Shim.stats;
+    server_shim : Shim.stats;
+  }
+
+  let loopback_sock () =
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_DGRAM 0 in
+    Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    s
+
+  let run ~protocol ~config ~messages ~payload_size ~wseed ?plan ?(impair_seed = 1)
+      ?(tick_us = 200) ?(deadline_s = 60.) () =
+    let s_sock = loopback_sock () and c_sock = loopback_sock () in
+    Fun.protect
+      ~finally:(fun () ->
+        Unix.close s_sock;
+        Unix.close c_sock)
+      (fun () ->
+        let s_addr = Unix.getsockname s_sock in
+        let s_engine = Ba_sim.Engine.create ~seed:impair_seed ()
+        and c_engine = Ba_sim.Engine.create ~seed:(impair_seed + 1) () in
+        let srv = ref None and cli = ref None in
+        let s_drv =
+          Driver.create ~engine:s_engine ~sock:s_sock ~tick_us
+            ~on_frame:(fun f from ->
+              match !srv with Some s -> Server.on_frame s f from | None -> ())
+            ()
+        in
+        let c_drv =
+          Driver.create ~engine:c_engine ~sock:c_sock ~tick_us
+            ~on_frame:(fun f _ ->
+              match !cli with Some c -> Client.on_frame c f | None -> ())
+            ()
+        in
+        let latency_ms = Ba_util.Qsketch.create () in
+        let s' =
+          Server.create ~engine:s_engine ~protocol ~config ~messages ~payload_size
+            ~wseed ?plan ~impair_seed:(impair_seed * 2 + 1)
+            ~on_deliver:(fun ~epoch:_ ~pos ~digest:_ ->
+              match !cli with
+              | Some c ->
+                  let t0 = Client.pull_wall c (pos - 1) in
+                  if t0 > 0. then
+                    Ba_util.Qsketch.add latency_ms ((Unix.gettimeofday () -. t0) *. 1e3)
+              | None -> ())
+            ~send:(fun addr buf len -> ignore (Driver.send_to s_drv addr buf len))
+            ()
+        in
+        let c' =
+          Client.create ~engine:c_engine ~protocol ~config ~messages ~payload_size
+            ~wseed ?plan ~impair_seed:(impair_seed * 2 + 2)
+            ~send:(fun buf len -> ignore (Driver.send_to c_drv s_addr buf len))
+            ()
+        in
+        srv := Some s';
+        cli := Some c';
+        let t0 = Unix.gettimeofday () in
+        Client.pump c';
+        let completed =
+          Driver.run ~deadline_s
+            ~stop:(fun () -> Server.complete s' && Client.finished c')
+            [ s_drv; c_drv ]
+        in
+        let wall_s = Unix.gettimeofday () -. t0 in
+        {
+          completed;
+          delivered = Server.position s';
+          duplicates = Server.duplicates s';
+          misordered = Server.misordered s';
+          corrupted = Server.corrupted s';
+          digest = Server.digest s';
+          digest_expected = expected_digest ~wseed ~payload_size ~messages;
+          retransmissions = Client.retransmissions c';
+          resync_rounds = Client.resync_rounds c' + Server.resync_rounds s';
+          watchdog_resyncs = Client.watchdog_resyncs c';
+          wall_s;
+          msgs_per_s =
+            (if wall_s <= 0. then 0. else float_of_int (Server.position s') /. wall_s);
+          frames_tx = Driver.tx_datagrams s_drv + Driver.tx_datagrams c_drv;
+          frames_rx = Driver.rx_datagrams s_drv + Driver.rx_datagrams c_drv;
+          decode_errors = Driver.decode_errors s_drv + Driver.decode_errors c_drv;
+          send_errors = Driver.send_errors s_drv + Driver.send_errors c_drv;
+          latency_ms;
+          client_shim = Client.shim_stats c';
+          server_shim = Server.shim_stats s';
+        })
+end

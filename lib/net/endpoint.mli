@@ -1,0 +1,189 @@
+(** Protocol endpoints over a real datagram transport.
+
+    {!Server} wraps a protocol's receiver half and {!Client} its sender
+    half behind the {!Codec}: frames out of the protocol are encoded
+    and pushed through an impairment {!Shim} to the socket; decoded
+    arrivals are fed back in. Both halves stay pure engine programs —
+    everything wall-clock lives in the {!Driver} that owns the socket.
+
+    The server is the position authority (as in the resync handshake):
+    it validates every delivered payload against the deterministic
+    workload, folds the accepted stream into a running digest, and
+    reports [(epoch, position, digest)] after each delivery so a
+    process supervisor can persist them — the stable storage that makes
+    a SIGKILL survivable. A fresh process restores by handing the
+    persisted triple (epoch already bumped) to [?restore], which runs
+    {!Ba_proto.Protocol.S.receiver_restore}: the receiver comes back as
+    a new incarnation at the old position and re-announces it with POS
+    until the sender cuts over.
+
+    The client runs the {!Ba_proto.Watchdog} off real silence: a
+    recurring engine event observes acknowledged progress and
+    interprets the actions — [Resync] crash-restarts the sender (epoch
+    bump + REQ/POS/FIN), [Quarantine] closes the shim's gate,
+    [Release] reopens it and resyncs once more. A killed server is
+    therefore detected by timeout, handled by handshake, and survived
+    without operator help. *)
+
+val expected_digest : wseed:int -> payload_size:int -> messages:int -> int
+(** Digest of the full workload stream — what {!Server.digest} must
+    equal after a complete, duplicate-free, in-order transfer. Both
+    sides can compute it from the workload parameters alone, which is
+    what makes the transfer checksummed end-to-end without either side
+    keeping the payloads. *)
+
+module Server : sig
+  type t
+
+  val create :
+    engine:Ba_sim.Engine.t ->
+    protocol:Ba_proto.Protocol.t ->
+    config:Ba_proto.Proto_config.t ->
+    messages:int ->
+    payload_size:int ->
+    wseed:int ->
+    ?restore:int * int * int ->
+    ?on_deliver:(epoch:int -> pos:int -> digest:int -> unit) ->
+    ?plan:Ba_channel.Fault_plan.t ->
+    ?impair_seed:int ->
+    send:(Unix.sockaddr -> Bytes.t -> int -> unit) ->
+    unit ->
+    t
+  (** [restore:(epoch, pos, digest)] rebuilds the receiver as
+      incarnation [epoch] (the caller bumps the persisted epoch) at
+      delivered position [pos] with the stream digest so far.
+      [on_deliver] fires after every accepted delivery with the new
+      durable state — write it down {e before} acknowledging the world,
+      and a kill at any point loses nothing. [send] transmits one
+      encoded datagram to the (learned) peer. *)
+
+  val on_frame : t -> Codec.frame -> Unix.sockaddr -> unit
+  (** Feed one decoded arrival. Any datagram — even one the protocol
+      rejects as stale-epoch — teaches the server its peer's address,
+      which is how a restarted process re-learns where to send POS. *)
+
+  val peer : t -> Unix.sockaddr option
+
+  val complete : t -> bool
+  (** Every workload payload delivered. *)
+
+  val position : t -> int
+  (** In-order deliveries accepted so far (includes a restored prefix). *)
+
+  val epoch : t -> int
+  (** Highest incarnation epoch the receiver has spoken (observed on
+      its outgoing acknowledgments). *)
+
+  val digest : t -> int
+  val duplicates : t -> int
+  val misordered : t -> int
+  val corrupted : t -> int
+  (** Deliveries whose payload failed validation against the workload. *)
+
+  val acks_sent : t -> int
+  val stray_frames : t -> int
+  (** Well-formed arrivals of the wrong class (acks at a server). *)
+
+  val resync_rounds : t -> int
+  val shim_stats : t -> Shim.stats
+end
+
+module Client : sig
+  type t
+
+  val create :
+    engine:Ba_sim.Engine.t ->
+    protocol:Ba_proto.Protocol.t ->
+    config:Ba_proto.Proto_config.t ->
+    messages:int ->
+    payload_size:int ->
+    wseed:int ->
+    ?watchdog:Ba_proto.Watchdog.config ->
+    ?plan:Ba_channel.Fault_plan.t ->
+    ?impair_seed:int ->
+    send:(Bytes.t -> int -> unit) ->
+    unit ->
+    t
+  (** [send] transmits one encoded datagram to the server (the client
+      always knows its peer). The watchdog (default
+      {!Ba_proto.Watchdog.default_config}) starts observing
+      immediately; its check interval is in engine ticks, hence real
+      [check_interval * tick_us] microseconds under a driver. *)
+
+  val on_frame : t -> Codec.frame -> unit
+  val pump : t -> unit
+  (** Start (or kick) the transfer; call once after wiring up. *)
+
+  val finished : t -> bool
+  (** Supplier exhausted and every payload acknowledged. *)
+
+  val pulled : t -> int
+  val acked : t -> int
+  (** Monotone acknowledged-progress watermark (what the watchdog
+      observes). *)
+
+  val pull_wall : t -> int -> float
+  (** Wall-clock time ([Unix.gettimeofday]) payload [i] was first
+      pulled from the workload; negative if not yet pulled. *)
+
+  val data_frames : t -> int
+  val stray_frames : t -> int
+  val retransmissions : t -> int
+  val resync_rounds : t -> int
+
+  val watchdog_resyncs : t -> int
+  (** Watchdog-initiated sender resyncs (Release re-syncs included). *)
+
+  val quarantines : t -> int
+  val watchdog_state : t -> Ba_proto.Watchdog.state
+  val gated : t -> bool
+  val shim_stats : t -> Shim.stats
+end
+
+module Pair : sig
+  (** Both halves in one process, each with its own engine, socket and
+      driver, talking over real loopback UDP — the apparatus for the
+      sim-vs-real benchmark and the loopback smoke tests. Per-payload
+      latency is measured end to end: client pull wall-time to server
+      delivery wall-time, into a {!Ba_util.Qsketch} (milliseconds). *)
+
+  type outcome = {
+    completed : bool;  (** both halves finished before the deadline *)
+    delivered : int;
+    duplicates : int;
+    misordered : int;
+    corrupted : int;
+    digest : int;
+    digest_expected : int;
+    retransmissions : int;
+    resync_rounds : int;
+    watchdog_resyncs : int;
+    wall_s : float;
+    msgs_per_s : float;
+    frames_tx : int;  (** datagrams put on the wire, both directions *)
+    frames_rx : int;
+    decode_errors : int;
+    send_errors : int;
+    latency_ms : Ba_util.Qsketch.t;
+    client_shim : Shim.stats;
+    server_shim : Shim.stats;
+  }
+
+  val run :
+    protocol:Ba_proto.Protocol.t ->
+    config:Ba_proto.Proto_config.t ->
+    messages:int ->
+    payload_size:int ->
+    wseed:int ->
+    ?plan:Ba_channel.Fault_plan.t ->
+    ?impair_seed:int ->
+    ?tick_us:int ->
+    ?deadline_s:float ->
+    unit ->
+    outcome
+  (** Impairment applies to both directions (independent fault streams
+      split from [impair_seed]). [tick_us] (default 200) sets the real
+      duration of one engine tick, so the default [rto] of 250 ticks
+      retransmits after 50 ms of real silence. Always returns by
+      [deadline_s] (default 60). Sockets are closed on exit. *)
+end

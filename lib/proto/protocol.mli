@@ -74,6 +74,19 @@ module type S = sig
 
   val receiver_resync_rounds : receiver -> int
 
+  val receiver_position : receiver -> int
+  (** The receiver's stable delivered count — the value its resync POS
+      announces, and what a transport backend persists so a killed
+      process can restore it. 0 for protocols without a position
+      authority. *)
+
+  val receiver_restore : receiver -> epoch:int -> pos:int -> unit
+  (** Rebuild a freshly created receiver as the next incarnation of a
+      dead process: adopt the durable delivered count [pos] and the new
+      incarnation [epoch] (persisted + 1), then run the POS handshake —
+      the cross-process analogue of [receiver_crash]+[receiver_restart].
+      Raises [Invalid_argument] when [crash_tolerant] is false. *)
+
   (** {2 Overload accounting and backpressure}
 
       Hooks for the fabric's memory accounting and graceful degradation.
@@ -108,6 +121,8 @@ end) : sig
   val receiver_restart : N.receiver -> unit
   val sender_resync_rounds : N.sender -> int
   val receiver_resync_rounds : N.receiver -> int
+  val receiver_position : N.receiver -> int
+  val receiver_restore : N.receiver -> epoch:int -> pos:int -> unit
 end
 
 (** Drop-in stubs for protocols without memory accounting or a

@@ -316,6 +316,8 @@ let fire_head t =
   t.pending <- t.pending - 1;
   fn arg
 
+let next_due t = if skip_corpses t then Some t.hp_time.(0) else None
+
 let step t =
   if not (skip_corpses t) then false
   else begin

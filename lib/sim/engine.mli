@@ -74,6 +74,11 @@ val schedule_fn : t -> delay:int -> (int -> unit) -> int -> unit
     integer [arg] makes this the allocation-free path for high-rate
     one-shot events (the link's delivery events). *)
 
+val next_due : t -> int option
+(** Tick of the earliest pending event, without firing it ([None] when
+    the queue is empty). What a wall-clock driver needs to compute a
+    [select] timeout: sleep until the next virtual deadline, no longer. *)
+
 val step : t -> bool
 (** Fire the next event. Returns [false] when the queue is empty. *)
 

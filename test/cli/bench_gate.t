@@ -5,18 +5,22 @@ the slowest baseline, so only a multiple — a real data-path regression
 — may fail the build), the steady-state allocation slope — marginal heap bytes
 per additional frame — must stay within budget, and the sharded fabric
 must hold its scale envelope at 100k flows (flows/sec floor, per-flow
-state ceiling). The measured times (and which baseline happens to be
-slowest) vary by machine, so they are normalised away; the verdict and
-the exit status must not vary.
+state ceiling), and the real transport must carry a blockack transfer
+over loopback UDP through the 5%-baseline impairment shim with zero
+safety violations in bounded wall time. The measured times (and which
+baseline happens to be slowest) vary by machine, so they are normalised
+away; the verdict and the exit status must not vary.
 
   $ ../../bench/main.exe --check > gate.out 2>&1; echo "exit=$?"
   exit=0
   $ sed -e 's/ [0-9][0-9]* us/ N us/g' -e 's/slope [0-9][0-9]* B/slope N B/' \
   >     -e 's/flows [0-9][0-9]* flows\/sec/flows N flows\/sec/' \
   >     -e 's/state [0-9][0-9]* B/state N B/' \
+  >     -e 's/wall [0-9.]*s/wall Ns/' \
   >     -e 's/(F[0-9]*\/transfer-[a-z-]*5pc N us,/(SLOWEST-BASELINE N us,/' gate.out
   check: blockack-5pc N us within slowest baseline (SLOWEST-BASELINE N us, 1.5x margin)
   check: alloc slope N B/frame within budget (512 B/frame)
   check: scale 100k flows N flows/sec >= floor (5000 flows/sec)
   check: scale state N B/flow within ceiling (8192 B/flow)
+  check: net loopback 150/150 clean under impairment (dup=0 ooo=0 corrupt=0 digest ok, wall Ns within 30s cap)
   check: OK

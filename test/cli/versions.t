@@ -1,5 +1,5 @@
 Every binary reports the same version, sourced from the one constant in
-Ba_cli (so a release bumps all five in one place):
+Ba_cli (so a release bumps all seven in one place):
 
   $ ../../bin/ba_sim.exe --version
   0.5.0
@@ -10,4 +10,8 @@ Ba_cli (so a release bumps all five in one place):
   $ ../../bin/ba_check.exe --version
   0.5.0
   $ ../../bin/ba_diagram.exe --version
+  0.5.0
+  $ ../../bin/ba_serve.exe --version
+  0.5.0
+  $ ../../bin/ba_client.exe --version
   0.5.0

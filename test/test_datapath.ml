@@ -692,6 +692,14 @@ module Ref_multi : Ba_proto.Protocol.S = struct
   let receiver_restart = Ref_impl.Receiver.restart
   let sender_resync_rounds = Ref_impl.Sender_multi.resync_rounds
   let receiver_resync_rounds = Ref_impl.Receiver.resync_rounds
+
+  (* The reference pair predates cross-process restore; the equivalence
+     runs never exercise it. *)
+  let receiver_position = Ref_impl.Receiver.nr
+
+  let receiver_restore (_ : receiver) ~epoch:(_ : int) ~pos:(_ : int) =
+    invalid_arg "Ref_multi: receiver_restore not supported"
+
   let sender_mem_bytes = Ref_impl.Sender_multi.buffered_bytes
   let receiver_mem_bytes = Ref_impl.Receiver.buffered_bytes
   let sender_clamp_window = Ref_impl.Sender_multi.clamp_window
